@@ -1,0 +1,52 @@
+"""Ablation: warmup length before each simulation point.
+
+The paper warms caches for 500 M cycles (~17 slices) before each point
+and reports the L3 miss-rate error dropping from 25.16 to 9.08 pp.  This
+sweep varies the warmup prefix and traces the error recovery curve.
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import measure_points, measure_whole
+from repro.experiments.report import format_table
+from repro.pinpoints import run_pinpoints
+
+BENCHMARKS = ["505.mcf_r", "623.xalancbmk_s"]
+WARMUP_SLICES = (0, 2, 8, 17, 34)
+
+
+def sweep():
+    curves = {}
+    for name in BENCHMARKS:
+        deltas = {}
+        whole = None
+        for warmup in WARMUP_SLICES:
+            out = run_pinpoints(name, warmup_slices=warmup)
+            if whole is None:
+                whole = measure_whole(out)
+            metrics = measure_points(out, out.regional, with_warmup=True)
+            deltas[warmup] = (
+                metrics.miss_rates["L3"] - whole.miss_rates["L3"]
+            ) * 100
+        curves[name] = deltas
+    return curves
+
+
+def test_ablation_warmup_length(benchmark):
+    curves = run_once(benchmark, sweep)
+    rows = [
+        (name, *[f"{deltas[w]:+.2f}" for w in WARMUP_SLICES])
+        for name, deltas in curves.items()
+    ]
+    print()
+    print(format_table(
+        ["Benchmark", *[f"{w} slices" for w in WARMUP_SLICES]],
+        rows,
+        title="Ablation -- L3 miss-rate delta (pp) vs warmup length",
+    ))
+    for name, deltas in curves.items():
+        # No warmup == the cold Regional Run; the paper's 500 M budget
+        # (17 slices) must recover most of the L3 error, and more warmup
+        # must not make things worse.
+        assert deltas[17] < deltas[0] / 2, name
+        assert deltas[34] <= deltas[2], name

@@ -1,0 +1,22 @@
+"""Extension: SimPoint vs random/systematic/stratified/prefix sampling."""
+
+from conftest import run_once
+
+from repro.experiments import render_baselines, run_baselines
+
+# A representative cross-section: skewed, flat, memory- and compute-bound.
+BENCHMARKS = ["503.bwaves_r", "505.mcf_r", "541.leela_r", "623.xalancbmk_s",
+              "631.deepsjeng_s", "511.povray_r"]
+
+
+def test_ext_baselines(benchmark):
+    result = run_once(benchmark, lambda: run_baselines(BENCHMARKS))
+    print()
+    print(render_baselines(result))
+    # SimPoint's phase-aware selection must decisively beat prefix
+    # sampling and be competitive with (or better than) blind sampling.
+    assert result.average_mix_error("simpoint") < \
+        result.average_mix_error("prefix") / 2
+    assert result.average_mix_error("simpoint") <= \
+        result.average_mix_error("random") + 0.05
+    assert result.average_mix_error("simpoint") < 1.0

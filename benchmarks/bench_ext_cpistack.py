@@ -1,0 +1,59 @@
+"""Extension: CPI stacks of the simulated machine (Sniper-style)."""
+
+from conftest import run_once
+
+from repro.experiments.common import pinpoints_for
+from repro.experiments.report import format_table
+from repro.sniper import SniperSimulator
+from repro.stats.compare import weighted_average
+
+BENCHMARKS = ["505.mcf_r", "541.leela_r", "648.exchange2_s", "503.bwaves_r"]
+COMPONENTS = ("base", "dependency", "branch", "memory")
+
+
+def sweep():
+    simulator = SniperSimulator()
+    stacks = {}
+    for name in BENCHMARKS:
+        out = pinpoints_for(name)
+        per_component = {c: [] for c in COMPONENTS}
+        weights = []
+        for pb in out.regional:
+            timing = simulator.run_region(
+                pb.replay_slices(out.program),
+                warmup=pb.warmup_traces(out.program),
+            )
+            stack = timing.cpi_stack()
+            for component in COMPONENTS:
+                per_component[component].append(stack[component])
+            weights.append(pb.weight)
+        stacks[name] = {
+            c: weighted_average(per_component[c], weights)
+            for c in COMPONENTS
+        }
+    return stacks
+
+
+def test_ext_cpi_stack(benchmark):
+    stacks = run_once(benchmark, sweep)
+    rows = []
+    for name, stack in stacks.items():
+        total = sum(stack.values())
+        rows.append(
+            (name, *[f"{stack[c]:.3f}" for c in COMPONENTS], f"{total:.3f}")
+        )
+    print()
+    print(format_table(
+        ["Benchmark", *COMPONENTS, "CPI"],
+        rows,
+        title="Extension -- weighted CPI stacks on simulation points",
+    ))
+    # Memory-bound benchmarks are dominated by memory stalls; branchy
+    # compute benchmarks by base + branch cycles.
+    memory_bound = stacks["505.mcf_r"]
+    compute_bound = stacks["648.exchange2_s"]
+    assert memory_bound["memory"] > compute_bound["memory"]
+    assert memory_bound["memory"] > memory_bound["branch"]
+    assert compute_bound["branch"] > memory_bound["branch"] * 0.5
+    for stack in stacks.values():
+        assert all(v >= 0 for v in stack.values())

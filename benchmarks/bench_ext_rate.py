@@ -1,0 +1,27 @@
+"""Extension: SPECrate throughput scaling (shared-LLC contention)."""
+
+from conftest import run_once
+
+from repro.experiments import render_rate_scaling, run_rate_scaling
+
+
+def test_ext_rate_scaling(benchmark):
+    result = run_once(benchmark, run_rate_scaling)
+    print()
+    print(render_rate_scaling(result))
+    by_name = {r.benchmark: r for r in result.rows}
+    mcf = by_name["505.mcf_r"]
+    leela = by_name["541.leela_r"]
+    for row in result.rows:
+        # Throughput grows with copies but below linear.
+        assert row.throughput(8) > row.throughput(2)
+        assert row.efficiency(8) < 1.01
+        # Per-copy CPI degrades as copies are added (tolerance: copies
+        # carry different address jitter, so tiny per-copy set-mapping
+        # differences can wiggle the average by a fraction of a percent).
+        cpis = [row.results[n].average_cpi for n in result.copy_counts]
+        assert all(b >= a - 0.005 for a, b in zip(cpis, cpis[1:]))
+        assert cpis[-1] > cpis[0]
+    # The memory-bound benchmark suffers more contention than the
+    # compute-bound one.
+    assert mcf.efficiency(8) < leela.efficiency(8)

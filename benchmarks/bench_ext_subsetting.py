@@ -1,0 +1,46 @@
+"""Extension: suite subsetting via PCA + hierarchical clustering."""
+
+from conftest import run_once
+
+from repro.analysis import select_subset
+from repro.experiments.report import format_table
+from repro.workloads.spec2017 import benchmark_names, get_descriptor
+
+#: A cross-section of the suite covering all memory classes and variants.
+BENCHMARKS = [
+    "505.mcf_r", "520.omnetpp_r", "541.leela_r", "648.exchange2_s",
+    "557.xz_r", "623.xalancbmk_s", "503.bwaves_r", "519.lbm_r",
+    "511.povray_r", "538.imagick_r",
+]
+SUBSET_SIZE = 4
+
+
+def test_ext_subsetting(benchmark):
+    result = run_once(
+        benchmark, lambda: select_subset(BENCHMARKS, SUBSET_SIZE)
+    )
+    rows = []
+    for cluster, members in sorted(result.cluster_members().items()):
+        representative = result.representatives[cluster]
+        rows.append(
+            (cluster, representative,
+             ", ".join(m.split(".")[1] for m in members))
+        )
+    print()
+    print(format_table(
+        ["cluster", "representative", "members"],
+        rows,
+        title=f"Extension -- {SUBSET_SIZE}-benchmark subset of "
+              f"{len(BENCHMARKS)} (PCA + hierarchical clustering)",
+    ))
+    print(f"PCA explained variance: "
+          + ", ".join(f"{r * 100:.0f}%" for r in result.explained_variance))
+
+    assert len(set(result.representatives)) == SUBSET_SIZE
+    # The subset must span behaviours: at least two memory classes among
+    # the representatives.
+    classes = {get_descriptor(r).memory_class for r in result.representatives}
+    assert len(classes) >= 2
+    # Clustering must not lump memory-bound and compute-bound extremes.
+    labels = dict(zip(result.benchmarks, result.labels))
+    assert labels["505.mcf_r"] != labels["648.exchange2_s"]

@@ -1,0 +1,26 @@
+"""Extension: simulation-campaign turnaround across strategies."""
+
+from conftest import run_once
+
+from repro.experiments import render_turnaround, run_turnaround
+
+BENCHMARKS = ["505.mcf_r", "503.bwaves_r", "623.xalancbmk_s",
+              "631.deepsjeng_s"]
+
+
+def test_ext_turnaround(benchmark):
+    result = run_once(benchmark, lambda: run_turnaround(BENCHMARKS))
+    print()
+    print(render_turnaround(result))
+    full = result.average_hours("detailed-full")
+    serial = result.average_hours("serial-replay")
+    parallel = result.average_hours("parallel-replay")
+    fsa = result.average_hours("fsa")
+    # The paper's motivation: detailed full simulation is months; sampled
+    # replay is hours.
+    assert full > 24 * 30                 # > a month
+    assert serial < 24                    # < a day
+    assert parallel < serial
+    # FSA avoids checkpoint replay but must traverse the whole program;
+    # on multi-trillion-instruction workloads that one pass dominates.
+    assert fsa > serial

@@ -1,0 +1,39 @@
+"""Extension: warming strategies — cold vs prefix warmup vs double run."""
+
+from conftest import run_once
+
+from repro.cache.warming import compare_warming_strategies
+from repro.experiments.common import pinpoints_for
+from repro.experiments.report import format_table
+
+BENCHMARKS = ["505.mcf_r", "623.xalancbmk_s", "541.leela_r"]
+
+
+def sweep():
+    return {
+        name: compare_warming_strategies(pinpoints_for(name))
+        for name in BENCHMARKS
+    }
+
+
+def test_ext_warming_strategies(benchmark):
+    results = run_once(benchmark, sweep)
+    rows = []
+    for name, deltas in results.items():
+        rows.append(
+            (name,
+             f"{deltas['cold']['L3']:+.2f}",
+             f"{deltas['prefix']['L3']:+.2f}",
+             f"{deltas['double-run']['L3']:+.2f}")
+        )
+    print()
+    print(format_table(
+        ["Benchmark", "cold L3 (pp)", "prefix warm L3 (pp)",
+         "double-run L3 (pp)"],
+        rows,
+        title="Extension -- L3 miss-rate delta vs Whole Run by warming "
+              "strategy (paper Section IV-D mitigations)",
+    ))
+    for name, deltas in results.items():
+        assert deltas["prefix"]["L3"] < deltas["cold"]["L3"] / 2, name
+        assert deltas["double-run"]["L3"] < deltas["cold"]["L3"], name

@@ -1,0 +1,17 @@
+"""Regenerates Figure 10: L3 access counts per run type."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig10, run_fig10
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, run_fig10)
+    print()
+    print(render_fig10(result))
+    # Whole runs exercise the LLC far more than sampled replays — the
+    # paper's explanation for the Fig 8 L3 miss-rate discrepancy.
+    for row in result.rows:
+        assert row.whole > row.regional, row.benchmark
+        assert row.regional >= row.reduced, row.benchmark
+    assert result.average_ratio > 5

@@ -1,0 +1,31 @@
+"""Regenerates Figure 3: MaxK and slice-size sensitivity (xalancbmk_s)."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig3, run_fig3_maxk, run_fig3_slice_size
+
+
+def test_fig3a_maxk(benchmark):
+    result = run_once(benchmark, run_fig3_maxk)
+    print()
+    print(render_fig3(result))
+    by_k = {p.setting: p for p in result.points}
+    # Small MaxK starves the clustering (xalancbmk_s has 25 phases) and
+    # hurts the instruction-mix accuracy; MaxK=35 captures every phase.
+    assert by_k[15.0].chosen_k <= 15
+    assert by_k[35.0].chosen_k == 25
+    assert by_k[15.0].mix_error_pp > by_k[35.0].mix_error_pp
+    assert by_k[35.0].mix_error_pp < 1.0
+
+
+def test_fig3b_slice_size(benchmark):
+    result = run_once(benchmark, run_fig3_slice_size)
+    print()
+    print(render_fig3(result))
+    by_size = {p.setting: p for p in result.points}
+    # Small slices suffer amplified cold-cache L3 error; growing the slice
+    # shrinks it dramatically (the paper's justification for >= 30 M).
+    assert by_size[15.0].miss_rate_error_pp["L3"] > \
+        by_size[100.0].miss_rate_error_pp["L3"]
+    # The instruction mix stays accurate at every slice size.
+    assert all(p.mix_error_pp < 1.5 for p in result.points)

@@ -1,0 +1,21 @@
+"""Regenerates Figure 4: within-cluster variance vs cluster budget."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig4, run_fig4
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, run_fig4)
+    print()
+    print(render_fig4(result))
+    # Restricting the cluster budget forces dissimilar phases together:
+    # variance at k=5 must dominate variance at k=35 for every benchmark.
+    for name, curve in result.curves.items():
+        assert curve[5] >= curve[35], name
+    # And the suite-wide effect is strong (>= 5x on average).
+    ratios = [
+        curve[5] / curve[35]
+        for curve in result.curves.values() if curve[35] > 0
+    ]
+    assert sum(ratios) / len(ratios) > 5.0

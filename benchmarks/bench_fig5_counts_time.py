@@ -1,0 +1,21 @@
+"""Regenerates Figure 5: instruction counts and execution times."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig5, run_fig5
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, run_fig5)
+    print()
+    print(render_fig5(result))
+    # Paper: 6 873.9 B -> 10.4 B instructions, ~650x instructions and
+    # ~750x time for Regional; ~1225x / ~1297x for Reduced; Regional to
+    # Reduced ~1.74x.  Shapes must hold within a loose band.
+    assert abs(result.average_whole_instructions - 6_873.9e9) / 6_873.9e9 < 0.01
+    assert 400 < result.instruction_reduction < 1000
+    assert 450 < result.time_reduction < 1100
+    assert result.time_reduction > result.instruction_reduction
+    assert 800 < result.reduced_instruction_reduction < 2200
+    assert result.reduced_time_reduction > result.reduced_instruction_reduction
+    assert 1.3 < result.regional_to_reduced_instructions < 2.6

@@ -1,0 +1,26 @@
+"""Regenerates Figure 6: simulation-point weight distributions."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig6, run_fig6
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, run_fig6)
+    print()
+    print(render_fig6(result))
+    rows = result.by_benchmark()
+    # bwaves_r: one dominant point, top-3 covering most of execution
+    # (the paper's low-diversity example).
+    bwaves = rows["503.bwaves_r"]
+    assert bwaves.dominant_weight > 0.25
+    assert bwaves.top3_weight > 0.6
+    # deepsjeng_s / exchange2_s / povray_r: flat profiles needing many
+    # points (the paper's high-diversity examples).
+    for name in ("631.deepsjeng_s", "648.exchange2_s", "511.povray_r"):
+        assert rows[name].dominant_weight < 0.2, name
+        assert rows[name].cut >= 10, name
+    # Structural invariants across the suite.
+    for row in result.rows:
+        assert abs(sum(row.weights) - 1.0) < 1e-9
+        assert sum(row.weights[: row.cut]) >= 0.9

@@ -1,0 +1,20 @@
+"""Regenerates Figure 7: instruction distributions of the three run types."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig7, run_fig7
+
+
+def test_fig7(benchmark):
+    result = run_once(benchmark, run_fig7)
+    print()
+    print(render_fig7(result))
+    # Paper: < 1 % error for Regional and Reduced runs, on every
+    # benchmark and category.
+    assert result.max_regional_error_pp < 1.0
+    assert result.max_reduced_error_pp < 1.0
+    # Suite-average whole-run mix ~ 49.1 / 36.7 / 12.9 %.
+    avg = result.average_whole_mix
+    assert abs(avg[0] - 0.491) < 0.02
+    assert abs(avg[1] - 0.367) < 0.02
+    assert abs(avg[2] - 0.129) < 0.02

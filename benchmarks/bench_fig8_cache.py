@@ -1,0 +1,25 @@
+"""Regenerates Figure 8: cache miss rates across the four run types."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig8, run_fig8
+
+
+def test_fig8(benchmark):
+    result = run_once(benchmark, run_fig8)
+    print()
+    print(render_fig8(result))
+    s = result.summary()
+    # Shape claims (paper: +0.18 / +0.10 / +25.16 pp for Regional;
+    # warmup takes L3 from 25.16 to 9.08 pp).  The scaled substrate
+    # amplifies absolute L2/L3 cold deltas; the ordering and the warmup
+    # recovery are the reproduced structure.
+    assert abs(s["regional"]["L1D"]) < 1.0          # L1D error negligible
+    assert s["regional"]["L3"] > 10.0               # L3 cold error large
+    assert s["regional"]["L3"] > abs(s["regional"]["L2"])
+    assert s["regional"]["L3"] > abs(s["regional"]["L1D"])
+    # Reduced behaves like Regional (paper: "very close").
+    assert abs(s["reduced"]["L3"] - s["regional"]["L3"]) < 15.0
+    # Warmup recovers most of the L3 error (paper: ~64 % reduction).
+    assert s["warmup"]["L3"] < s["regional"]["L3"] / 2
+    assert abs(s["warmup"]["L2"]) < abs(s["regional"]["L2"])

@@ -1,0 +1,25 @@
+"""Regenerates Figure 9: error vs execution time across percentiles."""
+
+from conftest import run_once
+
+from repro.experiments import render_fig9, run_fig9
+
+
+def test_fig9(benchmark):
+    result = run_once(benchmark, run_fig9)
+    print()
+    print(render_fig9(result))
+    by_pct = result.by_percentile()
+    # Execution time grows monotonically with the retained percentile.
+    times = [by_pct[p].execution_hours for p in sorted(by_pct)]
+    assert times == sorted(times)
+    # Dropping points costs accuracy: the 50th-percentile L3 error
+    # exceeds the full Regional run's.
+    assert by_pct[0.5].miss_rate_error_pp["L3"] >= \
+        by_pct[1.0].miss_rate_error_pp["L3"] - 1.0
+    assert by_pct[0.5].mix_error_pp >= by_pct[1.0].mix_error_pp - 0.05
+    # Retained point counts shrink toward lower percentiles (paper: the
+    # 90th percentile drops ~20 points to ~12 on average).
+    assert by_pct[0.9].points_retained < by_pct[1.0].points_retained
+    assert 10.0 < by_pct[0.9].points_retained < 13.0
+    assert abs(by_pct[1.0].points_retained - 19.75) < 0.3

@@ -1,0 +1,15 @@
+"""Regenerates Table II: simulation points for all 29 benchmarks."""
+
+from conftest import run_once
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(render_table2(result))
+    # Exact reproduction of the published table.
+    assert result.mismatches == []
+    assert abs(result.average_points - 19.75) < 0.011
+    assert abs(result.average_points_90 - 11.31) < 0.005

@@ -1,0 +1,28 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper at the
+full calibrated configuration, prints the rendered result, and asserts
+the headline shape claims.  Expensive intermediates (pipelines, whole-run
+replays) are shared through ``repro.experiments.common``'s caches, so the
+files cooperate when run together (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic whole-suite sweeps taking seconds to
+    minutes; statistical repetition would only re-measure caching.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _report_header():
+    print("\n=== SPEC CPU2017 sampling-efficacy reproduction: benchmark "
+          "harness ===")
+    yield

@@ -1,0 +1,57 @@
+"""Design-space sweep: choosing MaxK and slice size (paper Section IV-A).
+
+Before trusting simulation points, the paper sweeps the two knobs that
+control their quality — the cluster budget MaxK and the slice length —
+and picks MaxK=35 / 30 M instructions.  This example reruns that sweep on
+``xalancbmk_s`` (the paper's Figure 3 benchmark) and prints both
+sensitivity tables, then demonstrates the accuracy/runtime trade-off of
+dropping low-weight points (Figure 9's percentile sweep).
+
+Run with::
+
+    python examples/design_space_sweep.py
+"""
+
+from repro.experiments import (
+    render_fig3,
+    render_fig9,
+    run_fig3_maxk,
+    run_fig3_slice_size,
+    run_fig9,
+)
+
+BENCHMARK = "623.xalancbmk_s"
+
+
+def main() -> None:
+    print("MaxK sweep (slice fixed at 30 M paper instructions):\n")
+    maxk = run_fig3_maxk(BENCHMARK)
+    print(render_fig3(maxk))
+    starved = maxk.points[0]
+    saturated = maxk.points[-1]
+    print(
+        f"\nMaxK={starved.setting:g} forces {starved.chosen_k} clusters and "
+        f"{starved.mix_error_pp:.2f} pp of mix error; MaxK={saturated.setting:g} "
+        f"captures all {saturated.chosen_k} phases "
+        f"({saturated.mix_error_pp:.3f} pp)."
+    )
+
+    print("\n\nSlice-size sweep (MaxK fixed at 35):\n")
+    slices = run_fig3_slice_size(BENCHMARK)
+    print(render_fig3(slices))
+    small = slices.points[0]
+    large = slices.points[-1]
+    print(
+        f"\n{small.setting:g} M slices leave {small.miss_rate_error_pp['L3']:+.1f} pp "
+        f"of cold L3 error; {large.setting:g} M slices shrink it to "
+        f"{large.miss_rate_error_pp['L3']:+.1f} pp (at coarser phase "
+        f"resolution) — the paper picks 30 M as the balance."
+    )
+
+    print("\n\nAccuracy/runtime trade-off of dropping points (one benchmark):\n")
+    sweep = run_fig9(benchmarks=[BENCHMARK])
+    print(render_fig9(sweep))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""The memory-hierarchy pitfall: why SimPoints need cache warming.
+
+Section IV-D of the paper warns that memory-hierarchy exploration with
+SimPoints can mislead: regional replays start with cold caches, inflating
+LLC miss rates by tens of percentage points, and "studies not taking into
+account these subtle experimental details are bound to make inaccurate
+conclusions."
+
+This example stages exactly that mistake.  An architect compares two L3
+sizes for ``505.mcf_r``:
+
+* using cold regional replays (the naive approach), and
+* using warmed regional replays (the paper's mitigation),
+
+and checks both against ground truth (whole-program simulation).  The
+cold methodology wildly overestimates miss rates at both sizes and can
+distort the *relative* benefit of the bigger cache — the quantity the
+architect actually cares about.
+
+Run with::
+
+    python examples/memory_hierarchy_pitfall.py
+"""
+
+from repro import run_pinpoints
+from repro.config import ALLCACHE_SIM, CacheConfig, CacheHierarchyConfig
+from repro.experiments.common import measure_points, measure_whole
+from repro.experiments.report import format_table
+
+BENCHMARK = "505.mcf_r"
+
+
+def hierarchy_with_l3(l3_bytes: int) -> CacheHierarchyConfig:
+    base = ALLCACHE_SIM
+    return CacheHierarchyConfig(
+        l1i=base.l1i,
+        l1d=base.l1d,
+        l2=base.l2,
+        l3=CacheConfig("L3", size_bytes=l3_bytes, line_size=32,
+                       associativity=1, latency_cycles=30),
+    )
+
+
+def main() -> None:
+    print(f"Evaluating two L3 sizes for {BENCHMARK} ...\n")
+    out = run_pinpoints(BENCHMARK)
+
+    rows = []
+    verdicts = {}
+    for label, l3_bytes in (("small L3 (512 kB)", 512 * 1024),
+                            ("large L3 (2 MB)", 2 * 1024 * 1024)):
+        config = hierarchy_with_l3(l3_bytes)
+        truth = measure_whole(out, config=config).miss_rates["L3"]
+        cold = measure_points(out, out.regional, config=config)
+        warm = measure_points(out, out.regional, with_warmup=True,
+                              config=config)
+        rows.append(
+            (label, f"{truth * 100:.1f}%",
+             f"{cold.miss_rates['L3'] * 100:.1f}%",
+             f"{warm.miss_rates['L3'] * 100:.1f}%")
+        )
+        verdicts[label] = (truth, cold.miss_rates["L3"], warm.miss_rates["L3"])
+
+    print(format_table(
+        ["configuration", "ground truth", "cold SimPoints", "warmed SimPoints"],
+        rows,
+        title="L3 miss rate by methodology",
+    ))
+
+    (truth_s, cold_s, warm_s) = verdicts["small L3 (512 kB)"]
+    (truth_l, cold_l, warm_l) = verdicts["large L3 (2 MB)"]
+    true_gain = truth_s - truth_l
+    cold_gain = cold_s - cold_l
+    warm_gain = warm_s - warm_l
+    print("\nBenefit of the larger L3 (miss-rate drop):")
+    print(f"  ground truth    : {true_gain * 100:+.1f} pp")
+    print(f"  cold SimPoints  : {cold_gain * 100:+.1f} pp")
+    print(f"  warmed SimPoints: {warm_gain * 100:+.1f} pp")
+
+    cold_err = abs(cold_gain - true_gain)
+    warm_err = abs(warm_gain - true_gain)
+    print(f"\nError in the *design decision* metric: "
+          f"cold {cold_err * 100:.1f} pp vs warmed {warm_err * 100:.1f} pp")
+    if warm_err < cold_err:
+        print("Warming the caches before each simulation point gives the "
+              "faithful comparison — the paper's recommendation.")
+    assert cold_s > truth_s  # cold replay inflates the miss rate
+    assert abs(warm_s - truth_s) < abs(cold_s - truth_s)
+
+
+if __name__ == "__main__":
+    main()

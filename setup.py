@@ -1,0 +1,10 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline.
+
+The environment has no ``wheel`` package and no network, so PEP 517
+editable installs (which build a wheel) fail; this shim enables the
+classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Workload-characterization analyses layered on the pipeline.
+
+Two analyses from the paper's related-work lineage:
+
+* benchmark subsetting (Limaye & Adegbija; Panda et al.): PCA over
+  per-benchmark feature vectors plus hierarchical clustering to pick a
+  representative subset of the suite;
+* time-varying behaviour (Sherwood et al.; Wu et al.): per-slice metric
+  timelines and phase-transition detection from BBV distances.
+"""
+
+from repro.analysis.subsetting import (
+    SubsetResult,
+    benchmark_features,
+    hierarchical_clusters,
+    pca,
+    select_subset,
+)
+from repro.analysis.timeseries import (
+    PhaseTimeline,
+    bbv_transition_series,
+    detect_phase_transitions,
+    metric_timeline,
+)
+
+__all__ = [
+    "pca",
+    "hierarchical_clusters",
+    "benchmark_features",
+    "select_subset",
+    "SubsetResult",
+    "bbv_transition_series",
+    "detect_phase_transitions",
+    "metric_timeline",
+    "PhaseTimeline",
+]

@@ -1,0 +1,202 @@
+"""Benchmark subsetting: PCA + hierarchical clustering.
+
+Characterization studies of CPU2017 (Limaye & Adegbija; Panda et al.)
+reduce the suite to a representative subset: build a feature vector per
+benchmark (instruction mix, cache behaviour, branch behaviour, CPI),
+project with PCA, cluster hierarchically, and keep the benchmark closest
+to each cluster centroid.  Both PCA and average-linkage agglomerative
+clustering are implemented from scratch here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.experiments.common import measure_whole, pinpoints_for
+from repro.perf.native import NativeMachine
+
+
+def pca(
+    data: np.ndarray, num_components: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Principal component analysis via the covariance eigendecomposition.
+
+    Features are standardized (zero mean, unit variance; constant columns
+    are left centred) before projection, as in the characterization
+    papers.
+
+    Args:
+        data: ``(n_samples, n_features)`` matrix.
+        num_components: Components to keep (``1 <= k <= n_features``).
+
+    Returns:
+        ``(projected, components, explained_variance_ratio)`` where
+        ``projected`` is ``(n_samples, k)``, ``components`` is
+        ``(k, n_features)``, and the ratio vector sums to <= 1.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < 2:
+        raise SimulationError("PCA needs at least two samples")
+    if not 1 <= num_components <= data.shape[1]:
+        raise SimulationError(
+            f"num_components must be in [1, {data.shape[1]}]"
+        )
+    centred = data - data.mean(axis=0)
+    scale = centred.std(axis=0)
+    scale[scale == 0] = 1.0
+    standardized = centred / scale
+
+    covariance = np.cov(standardized, rowvar=False)
+    covariance = np.atleast_2d(covariance)
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1][:num_components]
+    components = eigenvectors[:, order].T
+    projected = standardized @ components.T
+    total = eigenvalues.sum()
+    ratio = (eigenvalues[order] / total) if total > 0 else \
+        np.zeros(num_components)
+    return projected, components, ratio
+
+
+def hierarchical_clusters(
+    points: np.ndarray, num_clusters: int
+) -> np.ndarray:
+    """Agglomerative clustering with average linkage.
+
+    Starts from singletons and repeatedly merges the pair of clusters
+    with the smallest mean pairwise distance until ``num_clusters``
+    remain.
+
+    Returns:
+        ``(n,)`` dense cluster labels in ``0..num_clusters-1``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if not 1 <= num_clusters <= n:
+        raise SimulationError(f"num_clusters must be in [1, {n}]")
+
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+    clusters: Dict[int, List[int]] = {i: [i] for i in range(n)}
+
+    def average_linkage(a: List[int], b: List[int]) -> float:
+        return float(distances[np.ix_(a, b)].mean())
+
+    while len(clusters) > num_clusters:
+        keys = sorted(clusters)
+        best = None
+        for i, ka in enumerate(keys):
+            for kb in keys[i + 1:]:
+                d = average_linkage(clusters[ka], clusters[kb])
+                if best is None or d < best[0]:
+                    best = (d, ka, kb)
+        _, ka, kb = best
+        clusters[ka] = clusters[ka] + clusters[kb]
+        del clusters[kb]
+
+    labels = np.empty(n, dtype=np.int64)
+    for dense, key in enumerate(sorted(clusters)):
+        labels[clusters[key]] = dense
+    return labels
+
+
+def benchmark_features(
+    benchmarks: Sequence[str], **pinpoints_kwargs
+) -> Tuple[np.ndarray, List[str], List[str]]:
+    """Build the per-benchmark characterization feature matrix.
+
+    Features: the four instruction-class fractions, L1D/L2/L3 miss
+    rates, branch fraction, branch entropy, and native CPI.
+
+    Returns:
+        ``(features, benchmark_names, feature_names)``.
+    """
+    if not benchmarks:
+        raise SimulationError("need at least one benchmark")
+    feature_names = [
+        "no_mem", "mem_r", "mem_w", "mem_rw",
+        "l1d_miss", "l2_miss", "l3_miss",
+        "branch_fraction", "branch_entropy", "cpi",
+    ]
+    rows = []
+    names = []
+    machine = NativeMachine()
+    for name in benchmarks:
+        out = pinpoints_for(name, **pinpoints_kwargs)
+        whole = measure_whole(out)
+        program = out.program
+        branches = sum(p.branch_fraction * p.weight for p in program.phases)
+        entropy = sum(p.branch_entropy * p.weight for p in program.phases)
+        counters = machine.run(program)
+        rows.append(
+            list(whole.mix)
+            + [whole.miss_rates["L1D"], whole.miss_rates["L2"],
+               whole.miss_rates["L3"], branches, entropy, counters.cpi]
+        )
+        names.append(out.benchmark)
+    return np.asarray(rows), names, feature_names
+
+
+@dataclass
+class SubsetResult:
+    """Outcome of suite subsetting.
+
+    Attributes:
+        representatives: Chosen benchmark per cluster.
+        labels: Cluster id per input benchmark.
+        benchmarks: Input benchmark names, aligned with ``labels``.
+        explained_variance: PCA explained-variance ratios.
+    """
+
+    representatives: List[str]
+    labels: np.ndarray
+    benchmarks: List[str]
+    explained_variance: np.ndarray
+
+    def cluster_members(self) -> Dict[int, List[str]]:
+        """Benchmarks grouped by cluster id."""
+        groups: Dict[int, List[str]] = {}
+        for name, label in zip(self.benchmarks, self.labels):
+            groups.setdefault(int(label), []).append(name)
+        return groups
+
+
+def select_subset(
+    benchmarks: Sequence[str],
+    subset_size: int,
+    num_components: int = 4,
+    **pinpoints_kwargs,
+) -> SubsetResult:
+    """Pick a representative subset of the suite.
+
+    Args:
+        benchmarks: Candidate benchmarks.
+        subset_size: Representatives to keep.
+        num_components: PCA components retained before clustering.
+
+    Returns:
+        A :class:`SubsetResult` with one representative per cluster (the
+        member closest to its cluster's centroid in PCA space).
+    """
+    features, names, _ = benchmark_features(benchmarks, **pinpoints_kwargs)
+    components = min(num_components, features.shape[1], len(names) - 1)
+    projected, _, ratio = pca(features, components)
+    labels = hierarchical_clusters(projected, subset_size)
+
+    representatives = []
+    for cluster in range(subset_size):
+        members = np.flatnonzero(labels == cluster)
+        centroid = projected[members].mean(axis=0)
+        deltas = projected[members] - centroid
+        closest = members[int(np.einsum("ij,ij->i", deltas, deltas).argmin())]
+        representatives.append(names[closest])
+    return SubsetResult(
+        representatives=representatives,
+        labels=labels,
+        benchmarks=list(names),
+        explained_variance=ratio,
+    )

@@ -1,0 +1,15 @@
+"""Functional cache simulation substrate.
+
+Replaces the role of Pin's ``allcache`` pintool internals: set-associative
+LRU caches, a vectorized direct-mapped fast path, and a multi-level
+hierarchy with miss filtering between levels (an access only reaches L2 if
+it missed in L1, etc.).  Caches are stateful so cold-start effects — the
+central subject of the paper's Section IV-D — arise naturally when a
+regional checkpoint is replayed in isolation.
+"""
+
+from repro.cache.stats import CacheStats
+from repro.cache.cache import CacheLevel
+from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
+
+__all__ = ["CacheStats", "CacheLevel", "CacheHierarchy", "HierarchyResult"]

@@ -1,0 +1,250 @@
+"""A single cache level with LRU replacement.
+
+Two execution strategies share one external behaviour:
+
+* ``associativity == 1`` (the paper's Table I L2/L3) uses an exact,
+  fully vectorized numpy path: within a batch, an access misses iff the
+  previous access to its set carried a different tag.  This is what makes
+  whole-program simulation tractable in Python.
+* ``associativity > 1`` uses an ordered-dict-per-set LRU loop whose inner
+  operations are all C-level (`in`, ``move_to_end``, ``popitem``).
+
+Both paths are *stateful across batches*, which is essential: replaying a
+regional pinball on a fresh hierarchy reproduces the cold-start misses the
+paper measures, while consecutive slices of a whole run keep each other's
+working sets warm.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.stats import CacheStats
+from repro.config import CacheConfig, TRACE_LINE_BYTES
+from repro.errors import SimulationError
+
+
+class CacheLevel:
+    """One set-associative LRU cache level.
+
+    Trace line addresses are expressed in :data:`TRACE_LINE_BYTES` units;
+    a level whose configured line size is larger coarsens incoming
+    addresses by the appropriate shift, so a 64 B-line hierarchy naturally
+    sees fewer distinct lines than a 32 B-line one.
+
+    Args:
+        config: Geometry of the level.
+        recording: Whether statistics accumulate (turned off for warmup).
+    """
+
+    def __init__(self, config: CacheConfig, recording: bool = True) -> None:
+        if config.line_size < TRACE_LINE_BYTES:
+            raise SimulationError(
+                f"{config.name}: line size below trace granularity "
+                f"({TRACE_LINE_BYTES} B)"
+            )
+        self.config = config
+        self.stats = CacheStats()
+        self.recording = recording
+        self._granularity_shift = (
+            config.line_size // TRACE_LINE_BYTES
+        ).bit_length() - 1
+        self._num_sets = config.num_sets
+        self._set_mask = self._num_sets - 1
+        self._set_shift = self._num_sets.bit_length() - 1
+        self._assoc = config.associativity
+        if self._assoc == 1:
+            # Direct-mapped: one resident tag per set; -1 means empty.
+            self._resident = np.full(self._num_sets, -1, dtype=np.int64)
+            self._dirty = np.zeros(self._num_sets, dtype=bool)
+            self._sets: Optional[List[OrderedDict]] = None
+        else:
+            self._resident = None
+            self._dirty = None
+            # Each set maps tag -> dirty flag, in LRU order (last = MRU).
+            self._sets = [OrderedDict() for _ in range(self._num_sets)]
+
+    @property
+    def name(self) -> str:
+        """Display name of the level ("L1D", "L2", ...)."""
+        return self.config.name
+
+    def reset(self) -> None:
+        """Flush all cached state and zero statistics (a cold cache)."""
+        self.stats.reset()
+        self.flush()
+
+    def flush(self) -> None:
+        """Invalidate every line but keep statistics.
+
+        Dirty contents are dropped, not written back (an invalidate, not
+        a clean).
+        """
+        if self._assoc == 1:
+            self._resident.fill(-1)
+            self._dirty.fill(False)
+        else:
+            for entry in self._sets:
+                entry.clear()
+
+    def resident_line_count(self) -> int:
+        """Number of valid lines currently cached (for tests/inspection)."""
+        if self._assoc == 1:
+            return int((self._resident >= 0).sum())
+        return sum(len(entry) for entry in self._sets)
+
+    def access_many(
+        self, lines: np.ndarray, is_write: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Access a batch of cache-line addresses in program order.
+
+        Args:
+            lines: int64 array of non-negative line addresses.
+            is_write: Optional per-access write flags.  Writes mark lines
+                dirty; evicting a dirty line counts a writeback in the
+                statistics (write-back accounting only — no extra traffic
+                is injected downstream).
+
+        Returns:
+            Boolean array: ``True`` where the access missed.  Missing lines
+            are allocated (write-allocate, no distinction between reads and
+            writes for hit/miss purposes, matching ``allcache``).
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        if lines.size == 0:
+            return np.zeros(0, dtype=bool)
+        if lines.min() < 0:
+            raise SimulationError(f"{self.name}: negative line address in batch")
+        if is_write is None:
+            writes = np.zeros(lines.size, dtype=bool)
+        else:
+            writes = np.asarray(is_write, dtype=bool)
+            if writes.shape != lines.shape:
+                raise SimulationError(
+                    f"{self.name}: is_write must align with lines"
+                )
+        if self._granularity_shift:
+            lines = lines >> self._granularity_shift
+        if self._assoc == 1:
+            miss, writebacks = self._access_direct_mapped(lines, writes)
+        else:
+            miss, writebacks = self._access_associative(lines, writes)
+        if self.recording:
+            self.stats.record(int(lines.size), int(miss.sum()), writebacks)
+        return miss
+
+    def _access_direct_mapped(self, lines: np.ndarray, writes: np.ndarray):
+        set_idx = lines & self._set_mask
+        tags = lines >> self._set_shift
+        order = np.argsort(set_idx, kind="stable")
+        s_sorted = set_idx[order]
+        t_sorted = tags[order]
+        w_sorted = writes[order]
+
+        group_start = np.empty(lines.size, dtype=bool)
+        group_start[0] = True
+        np.not_equal(s_sorted[1:], s_sorted[:-1], out=group_start[1:])
+
+        prev_tag = np.empty_like(t_sorted)
+        prev_tag[1:] = t_sorted[:-1]
+        prev_tag[group_start] = self._resident[s_sorted[group_start]]
+
+        miss_sorted = t_sorted != prev_tag
+        miss = np.empty(lines.size, dtype=bool)
+        miss[order] = miss_sorted
+
+        group_end = np.empty(lines.size, dtype=bool)
+        group_end[-1] = True
+        np.not_equal(s_sorted[1:], s_sorted[:-1], out=group_end[:-1])
+
+        # Write-back accounting.  Occupancy periods: a new period begins
+        # at every miss (fetch); the first access of a set-group that
+        # *hits* continues the pre-batch resident period (carry-in dirty).
+        period_start = group_start | miss_sorted
+        period_id = np.cumsum(period_start) - 1
+        wet = np.bincount(
+            period_id, weights=w_sorted.astype(np.float64)
+        ) > 0
+        continuation = group_start & ~miss_sorted
+        if continuation.any():
+            wet[period_id[continuation]] |= \
+                self._dirty[s_sorted[continuation]]
+
+        writebacks = 0
+        # Evictions within the batch: a miss whose predecessor in the
+        # same set-group existed (the previous period was evicted).
+        mid_batch = np.flatnonzero(miss_sorted & ~group_start)
+        if mid_batch.size:
+            writebacks += int(wet[period_id[mid_batch] - 1].sum())
+        # Evictions of pre-batch residents: a group-start miss over a
+        # valid resident line.
+        lead = miss_sorted & group_start
+        if lead.any():
+            evicted_sets = s_sorted[lead]
+            valid = self._resident[evicted_sets] >= 0
+            writebacks += int(
+                self._dirty[evicted_sets[valid]].sum()
+            )
+
+        self._resident[s_sorted[group_end]] = t_sorted[group_end]
+        self._dirty[s_sorted[group_end]] = wet[period_id[group_end]]
+        return miss, writebacks
+
+    def install(self, lines: np.ndarray) -> None:
+        """Insert lines without accounting (prefetch fills).
+
+        Installed lines become most-recently-used; statistics are not
+        touched regardless of the recording flag.
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        if lines.size == 0:
+            return
+        if self._granularity_shift:
+            lines = lines >> self._granularity_shift
+        if self._assoc == 1:
+            sets = lines & self._set_mask
+            self._resident[sets] = lines >> self._set_shift
+            self._dirty[sets] = False
+            return
+        table = self._sets
+        set_mask = self._set_mask
+        set_shift = self._set_shift
+        assoc = self._assoc
+        for line in lines.tolist():
+            entry = table[line & set_mask]
+            tag = line >> set_shift
+            if tag in entry:
+                entry.move_to_end(tag)
+            else:
+                if len(entry) >= assoc:
+                    entry.popitem(last=False)
+                entry[tag] = False
+
+    def _access_associative(self, lines: np.ndarray, writes: np.ndarray):
+        miss = np.empty(lines.size, dtype=bool)
+        sets = self._sets
+        set_mask = self._set_mask
+        set_shift = self._set_shift
+        assoc = self._assoc
+        writebacks = 0
+        for i, (line, write) in enumerate(
+            zip(lines.tolist(), writes.tolist())
+        ):
+            entry = sets[line & set_mask]
+            tag = line >> set_shift
+            if tag in entry:
+                if write:
+                    entry[tag] = True
+                entry.move_to_end(tag)
+                miss[i] = False
+            else:
+                if len(entry) >= assoc:
+                    _, victim_dirty = entry.popitem(last=False)
+                    if victim_dirty:
+                        writebacks += 1
+                entry[tag] = bool(write)
+                miss[i] = True
+        return miss, writebacks

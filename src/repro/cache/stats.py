@@ -1,0 +1,58 @@
+"""Per-cache-level hit/miss accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level.
+
+    Counters only advance while the owning cache is *recording*; during
+    warmup the cache state updates but statistics stay frozen (this is how
+    the paper's "Warmup Regional Run" is modelled).
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of hits (accesses - misses)."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; 0.0 when the cache was never accessed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def record(self, accesses: int, misses: int, writebacks: int = 0) -> None:
+        """Accumulate a batch of accesses/misses/writebacks."""
+        if misses > accesses or accesses < 0 or misses < 0 or writebacks < 0:
+            raise ValueError(
+                f"invalid batch: {misses} misses, {writebacks} writebacks "
+                f"in {accesses} accesses"
+            )
+        self.accesses += accesses
+        self.misses += misses
+        self.writebacks += writebacks
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter into this one."""
+        self.accesses += other.accesses
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def copy(self) -> "CacheStats":
+        """Return an independent copy of the counters."""
+        return CacheStats(self.accesses, self.misses, self.writebacks)

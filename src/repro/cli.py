@@ -1,0 +1,176 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    repro-spec2017 list
+    repro-spec2017 table2
+    repro-spec2017 fig8 --benchmarks 623.xalancbmk_s 505.mcf_r
+    python -m repro fig12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import experiments
+from repro.workloads.spec2017 import SPEC_CPU2017, benchmark_names
+
+#: Experiment name -> (runner, renderer).
+_EXPERIMENTS = {
+    "table2": (experiments.run_table2, experiments.render_table2),
+    "fig3a": (experiments.run_fig3_maxk, experiments.render_fig3),
+    "fig3b": (experiments.run_fig3_slice_size, experiments.render_fig3),
+    "fig4": (experiments.run_fig4, experiments.render_fig4),
+    "fig5": (experiments.run_fig5, experiments.render_fig5),
+    "fig6": (experiments.run_fig6, experiments.render_fig6),
+    "fig7": (experiments.run_fig7, experiments.render_fig7),
+    "fig8": (experiments.run_fig8, experiments.render_fig8),
+    "fig9": (experiments.run_fig9, experiments.render_fig9),
+    "fig10": (experiments.run_fig10, experiments.render_fig10),
+    "fig12": (experiments.run_fig12, experiments.render_fig12),
+    "baselines": (experiments.run_baselines, experiments.render_baselines),
+    "rate": (experiments.run_rate_scaling, experiments.render_rate_scaling),
+    "turnaround": (experiments.run_turnaround, experiments.render_turnaround),
+    "table2-projected": (
+        experiments.run_future_suite, experiments.render_future_suite,
+    ),
+}
+
+#: Experiments that take a suite subset via --benchmarks.
+_SUITE_EXPERIMENTS = {
+    "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig12", "baselines", "rate", "turnaround", "table2-projected",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spec2017",
+        description=(
+            "Reproduce tables and figures from 'Efficacy of Statistical "
+            "Sampling on Contemporary Workloads: The Case of SPEC CPU2017' "
+            "(IISWC 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the registered benchmarks")
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run PinPoints and save a pinball archive to a directory",
+    )
+    checkpoint.add_argument("benchmark", help="benchmark to checkpoint")
+    checkpoint.add_argument("--out", required=True, metavar="DIR",
+                            help="archive output directory")
+    replay = sub.add_parser(
+        "replay-archive",
+        help="replay an archived pinball set and report its statistics",
+    )
+    replay.add_argument("directory", help="archive directory to replay")
+    for name in _EXPERIMENTS:
+        exp = sub.add_parser(name, help=f"regenerate {name}")
+        if name in _SUITE_EXPERIMENTS:
+            exp.add_argument(
+                "--benchmarks", nargs="+", metavar="NAME",
+                help="subset of benchmarks (default: full Table II suite)",
+            )
+        if name in ("fig3a", "fig3b"):
+            exp.add_argument(
+                "--benchmark", default="623.xalancbmk_s",
+                help="benchmark to sweep (paper: 623.xalancbmk_s)",
+            )
+    return parser
+
+
+def _run_checkpoint(benchmark: str, out_dir: str) -> int:
+    from repro.errors import ReproError
+    from repro.pinball.archive import PinballArchive
+    from repro.pinpoints import run_pinpoints
+
+    try:
+        output = run_pinpoints(benchmark)
+    except ReproError as exc:
+        print(f"checkpoint failed: {exc}", file=sys.stderr)
+        return 2
+    archive = PinballArchive.from_pipeline(output)
+    path = archive.save(out_dir)
+    print(f"archived {output.benchmark}: whole pinball + "
+          f"{len(archive.regional)} regional pinballs -> {path}")
+    return 0
+
+
+def _run_replay_archive(directory: str) -> int:
+    from repro.errors import ReproError
+    from repro.pin import AllCache, LdStMix
+    from repro.pinball.archive import PinballArchive
+    from repro.pinball.replayer import Replayer
+    from repro.stats import weighted_average, weighted_mix
+
+    try:
+        archive = PinballArchive.load(directory)
+    except ReproError as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    replayer = Replayer(archive.whole.recipe.materialize())
+    mixes, weights, rates = [], [], []
+    for pinball in archive.regional:
+        tools = replayer.replay(pinball, [LdStMix(), AllCache()])
+        mixes.append(tools[0].fractions())
+        rates.append(tools[1].miss_rate("L3"))
+        weights.append(pinball.weight)
+    mix = weighted_mix(mixes, weights)
+    l3 = weighted_average(rates, weights)
+    print(f"replayed {archive.benchmark}: {len(archive.regional)} regional "
+          f"pinballs (total weight {archive.total_weight:.3f})")
+    print(f"  instruction mix: NO_MEM {mix[0] * 100:.1f}%  MEM_R "
+          f"{mix[1] * 100:.1f}%  MEM_W {mix[2] * 100:.1f}%  MEM_RW "
+          f"{mix[3] * 100:.1f}%")
+    print(f"  weighted L3 miss rate (cold replay): {l3 * 100:.1f}%")
+    return 0
+
+
+def _run_list() -> str:
+    lines = ["Registered SPEC CPU2017 benchmarks:"]
+    for spec_id, d in SPEC_CPU2017.items():
+        lines.append(
+            f"  {spec_id:18s} {d.suite:3s} {d.variant:5s} "
+            f"points={d.num_phases:2d} 90pct={d.num_90pct:2d} "
+            f"class={d.memory_class}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_run_list())
+        return 0
+    if args.command == "checkpoint":
+        return _run_checkpoint(args.benchmark, args.out)
+    if args.command == "replay-archive":
+        return _run_replay_archive(args.directory)
+
+    runner, renderer = _EXPERIMENTS[args.command]
+    kwargs = {}
+    if args.command in _SUITE_EXPERIMENTS and args.benchmarks:
+        valid = set(benchmark_names())
+        if args.command == "table2-projected":
+            from repro.workloads.future import FUTURE_WORK
+
+            valid |= set(FUTURE_WORK)
+        unknown = [b for b in args.benchmarks if b not in valid]
+        if unknown:
+            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        kwargs["benchmarks"] = args.benchmarks
+    if args.command in ("fig3a", "fig3b"):
+        kwargs["benchmark"] = args.benchmark
+    result = runner(**kwargs)
+    print(renderer(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Clustering substrate used by SimPoint: k-means, BIC, random projection.
+
+Implemented from scratch (no scikit-learn), matching the algorithms in
+SimPoint 3.0: k-means with k-means++ seeding and Lloyd iterations, the
+Bayesian Information Criterion score of Pelleg & Moore for choosing the
+number of clusters, and the random linear projection used to reduce BBVs
+to a low-dimensional space before clustering.
+"""
+
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.bic import bic_score, choose_k
+from repro.clustering.projection import random_projection_matrix, project
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "bic_score",
+    "choose_k",
+    "random_projection_matrix",
+    "project",
+]

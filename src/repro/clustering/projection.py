@@ -1,0 +1,49 @@
+"""Random linear projection of Basic Block Vectors.
+
+Programs have thousands of static basic blocks, so SimPoint projects each
+BBV down to a small number of dimensions (15 in SimPoint 3.0) with a random
+matrix before clustering.  Johnson-Lindenstrauss guarantees pairwise
+distances are approximately preserved, so cluster structure survives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+#: Projection dimensionality used by SimPoint 3.0 and by this reproduction.
+DEFAULT_PROJECTION_DIM = 15
+
+
+def random_projection_matrix(
+    input_dim: int, output_dim: int = DEFAULT_PROJECTION_DIM, seed: int = 0
+) -> np.ndarray:
+    """Create a dense ``(input_dim, output_dim)`` projection matrix.
+
+    Entries are drawn uniformly from [-1, 1] (the SimPoint choice) with a
+    deterministic generator, then scaled by ``1/sqrt(output_dim)`` so
+    projected distances stay comparable across output dimensions.
+    """
+    if input_dim < 1 or output_dim < 1:
+        raise ClusteringError("projection dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(-1.0, 1.0, size=(input_dim, output_dim))
+    return matrix / np.sqrt(output_dim)
+
+
+def project(bbvs: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Project ``(n, input_dim)`` BBVs through ``matrix``.
+
+    Raises:
+        ClusteringError: If the dimensions do not line up.
+    """
+    bbvs = np.asarray(bbvs, dtype=np.float64)
+    if bbvs.ndim != 2:
+        raise ClusteringError("bbvs must be a 2-D matrix")
+    if bbvs.shape[1] != matrix.shape[0]:
+        raise ClusteringError(
+            f"BBV dimension {bbvs.shape[1]} does not match projection "
+            f"input dimension {matrix.shape[0]}"
+        )
+    return bbvs @ matrix

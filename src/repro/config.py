@@ -1,0 +1,234 @@
+"""Configuration dataclasses and the paper's configuration presets.
+
+Two machine configurations appear in the paper:
+
+* **Table I** — the cache hierarchy simulated by the ``allcache`` pintool
+  (32-way 32 kB L1s with 32 B lines, direct-mapped 2 MB L2 and 16 MB L3).
+* **Table III** — the Sniper model of the Intel i7-3770 host used for the
+  native-vs-simulated CPI study (Section IV-E).
+
+Both are exposed as module-level constants so experiments and tests share a
+single definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigError
+
+#: Granularity of the synthetic traces' line addresses.  Table I caches use
+#: 32 B lines, so traces are generated at 32 B-line granularity; hierarchies
+#: with larger lines coarsen addresses on access.
+TRACE_LINE_BYTES = 32
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: Display name ("L1D", "L2", ...).
+        size_bytes: Total capacity in bytes.
+        line_size: Cache line size in bytes.
+        associativity: Ways per set (1 = direct-mapped).
+        latency_cycles: Hit latency, used only by the timing model.
+    """
+
+    name: str
+    size_bytes: int
+    line_size: int
+    associativity: int
+    latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_size <= 0 or self.associativity <= 0:
+            raise ConfigError(f"{self.name}: sizes and associativity must be positive")
+        if not _is_power_of_two(self.line_size):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ConfigError(
+                f"{self.name}: size must be divisible by line_size * associativity"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.num_lines // self.associativity
+
+    def scaled(self, factor: float) -> "CacheConfig":
+        """Return a copy whose capacity is scaled by ``factor``.
+
+        Scaling keeps line size and associativity, shrinking the set count
+        (to the nearest power of two, minimum one set).  Used to keep
+        cache-pressure structure intact when workload footprints are scaled
+        down (see DESIGN.md, "Scale factor").
+        """
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        target_sets = max(1, int(round(self.num_sets * factor)))
+        # Round to the nearest power of two so indexing stays a mask.
+        power = max(0, int(round(math.log2(target_sets))))
+        sets = 2 ** power
+        return CacheConfig(
+            name=self.name,
+            size_bytes=sets * self.associativity * self.line_size,
+            line_size=self.line_size,
+            associativity=self.associativity,
+            latency_cycles=self.latency_cycles,
+        )
+
+
+@dataclass(frozen=True)
+class CacheHierarchyConfig:
+    """A three-level hierarchy: split L1, unified L2 and L3."""
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    l3: CacheConfig
+
+    def levels(self) -> Tuple[CacheConfig, ...]:
+        """All levels in the order (L1I, L1D, L2, L3)."""
+        return (self.l1i, self.l1d, self.l2, self.l3)
+
+    def scaled(self, factor: float) -> "CacheHierarchyConfig":
+        """Scale every level's capacity by ``factor`` (see CacheConfig.scaled)."""
+        return CacheHierarchyConfig(
+            l1i=self.l1i.scaled(factor),
+            l1d=self.l1d.scaled(factor),
+            l2=self.l2.scaled(factor),
+            l3=self.l3.scaled(factor),
+        )
+
+
+#: Table I — cache hierarchy simulated by the ``allcache`` pintool.
+ALLCACHE_TABLE_I = CacheHierarchyConfig(
+    l1i=CacheConfig("L1I", size_bytes=32 * 1024, line_size=32, associativity=32,
+                    latency_cycles=4),
+    l1d=CacheConfig("L1D", size_bytes=32 * 1024, line_size=32, associativity=32,
+                    latency_cycles=4),
+    l2=CacheConfig("L2", size_bytes=2 * 1024 * 1024, line_size=32, associativity=1,
+                   latency_cycles=10),
+    l3=CacheConfig("L3", size_bytes=16 * 1024 * 1024, line_size=32, associativity=1,
+                   latency_cycles=30),
+)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table III subset used by the model)."""
+
+    frequency_ghz: float = 3.4
+    pipeline_stages: int = 19
+    fetch_width: int = 6
+    decode_width: int = 4
+    issue_width: int = 4
+    dispatch_width: int = 6
+    commit_width: int = 4
+    rob_entries: int = 168
+    branch_rob_entries: int = 48
+    branch_misprediction_penalty: int = 8
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigError("core frequency must be positive")
+        if min(self.fetch_width, self.issue_width, self.commit_width) <= 0:
+            raise ConfigError("pipeline widths must be positive")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full machine model: core + cache hierarchy + memory (Table III)."""
+
+    core: CoreConfig
+    caches: CacheHierarchyConfig
+    memory_latency_cycles: int = 200
+    memory_level_parallelism: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.memory_latency_cycles <= 0:
+            raise ConfigError("memory latency must be positive")
+        if self.memory_level_parallelism < 1.0:
+            raise ConfigError("MLP factor must be >= 1")
+
+
+#: Scaled-down Table I hierarchy actually driven by the simulated traces.
+#:
+#: Simulated slices carry ~16 000 memory references instead of the ~10 M
+#: of a 30 M-instruction paper slice, so cache capacities must shrink with
+#: the reference volume to preserve the paper's *structure*: L1/L2 working
+#: sets warm within a small fraction of one slice (making regional
+#: cold-start errors at those levels small), while L3 working sets need
+#: many slices — or explicit warmup — to become resident (making the L3
+#: cold-start error large).  The levels scale non-uniformly for exactly
+#: that reason: L1D shrinks hardest (so its working sets re-warm almost
+#: instantly), L3 the least (so it holds multi-phase footprints the way a
+#: 16 MB LLC does).  Line sizes are kept from Table I.  The scaled L1s
+#: are direct-mapped: at 16 lines, associativity is indistinguishable from
+#: conflict behaviour for the workloads' contiguous hot sets, and the
+#: direct-mapped levels use the exact vectorized simulation path (an
+#: order-of-magnitude throughput difference for whole-suite replays).
+#: See DESIGN.md, "Scale factor".
+ALLCACHE_SIM = CacheHierarchyConfig(
+    l1i=CacheConfig("L1I", size_bytes=2 * 1024, line_size=32, associativity=1,
+                    latency_cycles=4),
+    l1d=CacheConfig("L1D", size_bytes=1024, line_size=32, associativity=1,
+                    latency_cycles=4),
+    l2=CacheConfig("L2", size_bytes=32 * 1024, line_size=32, associativity=1,
+                   latency_cycles=10),
+    l3=CacheConfig("L3", size_bytes=4 * 1024 * 1024, line_size=32, associativity=1,
+                   latency_cycles=30),
+)
+
+
+#: Table III — Sniper model of the 8-core Intel i7-3770 host machine.
+SNIPER_TABLE_III = SystemConfig(
+    core=CoreConfig(),
+    caches=CacheHierarchyConfig(
+        l1i=CacheConfig("L1I", size_bytes=32 * 1024, line_size=64, associativity=8,
+                        latency_cycles=4),
+        l1d=CacheConfig("L1D", size_bytes=32 * 1024, line_size=64, associativity=8,
+                        latency_cycles=4),
+        l2=CacheConfig("L2", size_bytes=256 * 1024, line_size=64, associativity=8,
+                       latency_cycles=10),
+        l3=CacheConfig("L3", size_bytes=8 * 1024 * 1024, line_size=64, associativity=16,
+                       latency_cycles=30),
+    ),
+    memory_latency_cycles=200,
+    memory_level_parallelism=4.0,
+)
+
+
+#: Scaled-down Table III machine driven by the simulated traces (same
+#: rationale and per-level scaling as ALLCACHE_SIM; the L2:L3 capacity
+#: ratio of the i7-3770, 1:32, is preserved).  Line size stays 64 B: the
+#: caches coarsen the 32 B-granularity traces on access.
+SNIPER_SIM = SystemConfig(
+    core=CoreConfig(),
+    caches=CacheHierarchyConfig(
+        l1i=CacheConfig("L1I", size_bytes=2 * 1024, line_size=64, associativity=1,
+                        latency_cycles=4),
+        l1d=CacheConfig("L1D", size_bytes=2048, line_size=64, associativity=1,
+                        latency_cycles=4),
+        l2=CacheConfig("L2", size_bytes=32 * 1024, line_size=64, associativity=8,
+                       latency_cycles=10),
+        l3=CacheConfig("L3", size_bytes=1024 * 1024, line_size=64, associativity=16,
+                       latency_cycles=30),
+    ),
+    memory_latency_cycles=200,
+    memory_level_parallelism=4.0,
+)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class WorkloadError(ReproError):
+    """A workload descriptor or synthetic program is malformed."""
+
+
+class UnknownBenchmarkError(WorkloadError):
+    """The requested benchmark name is not in the SPEC CPU2017 registry."""
+
+    def __init__(self, name: str, known: list) -> None:
+        self.name = name
+        self.known = list(known)
+        super().__init__(
+            f"unknown benchmark {name!r}; known benchmarks: {', '.join(self.known)}"
+        )
+
+
+class ClusteringError(ReproError):
+    """K-means / BIC analysis could not be performed on the given data."""
+
+
+class SimPointError(ReproError):
+    """SimPoint analysis failed or was queried before being run."""
+
+
+class PinballError(ReproError):
+    """A pinball could not be created, serialized, or replayed."""
+
+
+class ReplayMismatchError(PinballError):
+    """A replayed execution diverged from the recorded one."""
+
+
+class SimulationError(ReproError):
+    """The timing or cache simulator was driven with invalid inputs."""

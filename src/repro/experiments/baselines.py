@@ -1,0 +1,135 @@
+"""Extension experiment: SimPoint vs classic sampling baselines.
+
+At an equal slice budget (each baseline gets exactly as many slices as
+SimPoint chose points), compare the sampled instruction mix and cache
+behaviour against the Whole Run.  SimPoint's phase-aware selection should
+beat naive prefix sampling decisively and match or beat random/systematic
+sampling, with far fewer pathological outliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import (
+    measure_points,
+    measure_whole,
+    pinpoints_for,
+    resolve_benchmarks,
+)
+from repro.experiments.report import format_table
+from repro.pinball.logger import PinPlayLogger
+from repro.sampling import (
+    prefix_sample,
+    random_sample,
+    stratified_sample,
+    systematic_sample,
+)
+from repro.stats.compare import max_abs_percentage_points
+
+#: Sampler name -> callable(num_slices, num_points, seed-ish).
+STRATEGIES = ("simpoint", "random", "systematic", "stratified", "prefix")
+
+
+@dataclass
+class BaselineRow:
+    """One benchmark's per-strategy errors vs the Whole Run."""
+
+    benchmark: str
+    budget: int
+    mix_error_pp: Dict[str, float]
+    l3_error_pp: Dict[str, float]
+
+
+@dataclass
+class BaselineResult:
+    """Suite-wide sampling-strategy comparison."""
+
+    rows: List[BaselineRow]
+
+    def average_mix_error(self, strategy: str) -> float:
+        """Suite-average worst-category mix error for one strategy."""
+        return float(np.mean([r.mix_error_pp[strategy] for r in self.rows]))
+
+    def average_l3_error(self, strategy: str) -> float:
+        """Suite-average |L3 miss-rate error| for one strategy."""
+        return float(np.mean([r.l3_error_pp[strategy] for r in self.rows]))
+
+
+def _baseline_points(strategy: str, num_slices: int, budget: int, seed: int):
+    if strategy == "random":
+        return random_sample(num_slices, budget, seed=seed)
+    if strategy == "systematic":
+        return systematic_sample(num_slices, budget)
+    if strategy == "stratified":
+        return stratified_sample(num_slices, budget, seed=seed)
+    if strategy == "prefix":
+        return prefix_sample(num_slices, budget)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def run_baselines(
+    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+) -> BaselineResult:
+    """Compare sampling strategies at SimPoint's slice budget."""
+    rows = []
+    for name in resolve_benchmarks(benchmarks):
+        out = pinpoints_for(name, **pinpoints_kwargs)
+        whole = measure_whole(out)
+        logger = PinPlayLogger(out.benchmark, out.program)
+        budget = out.simpoints.num_points
+
+        mix_errors: Dict[str, float] = {}
+        l3_errors: Dict[str, float] = {}
+        for strategy in STRATEGIES:
+            if strategy == "simpoint":
+                pinballs = out.regional
+            else:
+                points = _baseline_points(
+                    strategy, out.program.num_slices, budget,
+                    seed=out.program.seed,
+                )
+                pinballs = logger.log_regions(points)
+            metrics = measure_points(out, pinballs)
+            mix_errors[strategy] = max_abs_percentage_points(
+                metrics.mix, whole.mix
+            )
+            l3_errors[strategy] = abs(
+                metrics.miss_rates["L3"] - whole.miss_rates["L3"]
+            ) * 100
+        rows.append(
+            BaselineRow(
+                benchmark=out.benchmark,
+                budget=budget,
+                mix_error_pp=mix_errors,
+                l3_error_pp=l3_errors,
+            )
+        )
+    return BaselineResult(rows=rows)
+
+
+def render_baselines(result: BaselineResult) -> str:
+    """Render per-benchmark and suite-average strategy errors."""
+    rows = []
+    for r in result.rows:
+        rows.append(
+            (r.benchmark, r.budget)
+            + tuple(f"{r.mix_error_pp[s]:.3f}" for s in STRATEGIES)
+        )
+    rows.append(
+        ("Average", "")
+        + tuple(f"{result.average_mix_error(s):.3f}" for s in STRATEGIES)
+    )
+    table = format_table(
+        ["Benchmark", "budget"] + [f"{s} (pp)" for s in STRATEGIES],
+        rows,
+        title="Extension -- worst-category instruction-mix error by "
+              "sampling strategy (equal slice budget)",
+    )
+    summary = "\nSuite-average |L3 miss-rate error| (pp): " + ", ".join(
+        f"{s} {result.average_l3_error(s):.2f}" for s in STRATEGIES
+    )
+    return table + summary

@@ -1,0 +1,150 @@
+"""Shared measurement plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import CacheHierarchyConfig
+from repro.pin.tools.allcache import AllCache
+from repro.pin.tools.ldstmix import LdStMix
+from repro.pinball.pinball import RegionalPinball
+from repro.pinpoints.pipeline import PinPointsOutput, run_pinpoints
+from repro.stats.compare import weighted_average, weighted_mix
+from repro.workloads.spec2017 import benchmark_names
+
+#: Cache levels reported throughout the evaluation.
+LEVELS = ("L1D", "L2", "L3")
+
+
+@dataclass
+class RunMetrics:
+    """Per-run profile: instruction mix + cache behaviour.
+
+    Attributes:
+        instructions: Simulated instructions measured.
+        mix: Length-4 instruction-class distribution.
+        miss_rates: Per-level miss rate, keyed by L1D/L2/L3.
+        l3_accesses: Raw number of accesses that reached the L3.
+    """
+
+    instructions: int
+    mix: np.ndarray
+    miss_rates: Dict[str, float]
+    l3_accesses: int
+
+
+def resolve_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    """Default to the full Table II suite when no subset is given."""
+    if benchmarks is None:
+        return benchmark_names()
+    return list(benchmarks)
+
+
+def _metrics_key(out: PinPointsOutput, config, extra=()) -> tuple:
+    levels = None if config is None else tuple(
+        (c.name, c.size_bytes, c.line_size, c.associativity)
+        for c in config.levels()
+    )
+    return (out.benchmark, out.program.slice_size, out.program.num_slices,
+            levels) + tuple(extra)
+
+
+_WHOLE_CACHE: Dict[tuple, RunMetrics] = {}
+_POINTS_CACHE: Dict[tuple, RunMetrics] = {}
+
+
+def measure_whole(
+    out: PinPointsOutput, config: Optional[CacheHierarchyConfig] = None
+) -> RunMetrics:
+    """Profile the Whole Run (full execution, continuously warm caches).
+
+    Results are cached per (benchmark, program shape, hierarchy): whole
+    replays are deterministic and several figures share them.
+    """
+    key = _metrics_key(out, config)
+    if key in _WHOLE_CACHE:
+        return _WHOLE_CACHE[key]
+    cache = AllCache(config)
+    mix = LdStMix()
+    out.replayer().replay(out.whole, [cache, mix])
+    stats = cache.stats()
+    metrics = RunMetrics(
+        instructions=mix.total_instructions,
+        mix=mix.fractions(),
+        miss_rates={lv: stats[lv].miss_rate for lv in LEVELS},
+        l3_accesses=stats["L3"].accesses,
+    )
+    _WHOLE_CACHE[key] = metrics
+    return metrics
+
+
+def measure_points(
+    out: PinPointsOutput,
+    pinballs: Sequence[RegionalPinball],
+    with_warmup: bool = False,
+    config: Optional[CacheHierarchyConfig] = None,
+) -> RunMetrics:
+    """Profile a set of regional pinballs and weight-combine the results.
+
+    Each pinball is replayed in isolation (fresh caches), matching the
+    paper's methodology; ``with_warmup`` replays the warmup prefix with
+    statistics frozen first (the Warmup Regional Run).  Deterministic, so
+    results are cached like :func:`measure_whole`.
+    """
+    key = _metrics_key(
+        out, config,
+        extra=(
+            tuple((p.region_start, p.warmup_slices) for p in pinballs),
+            with_warmup,
+        ),
+    )
+    if key in _POINTS_CACHE:
+        return _POINTS_CACHE[key]
+    replayer = out.replayer()
+    mixes, weights, instructions, l3_accesses = [], [], 0, 0
+    rates: Dict[str, List[float]] = {lv: [] for lv in LEVELS}
+    for pinball in pinballs:
+        cache = AllCache(config)
+        mix = LdStMix()
+        replayer.replay(pinball, [cache, mix], with_warmup=with_warmup)
+        stats = cache.stats()
+        for lv in LEVELS:
+            rates[lv].append(stats[lv].miss_rate)
+        mixes.append(mix.fractions())
+        weights.append(pinball.weight)
+        instructions += mix.total_instructions
+        l3_accesses += stats["L3"].accesses
+    metrics = RunMetrics(
+        instructions=instructions,
+        mix=weighted_mix(mixes, weights),
+        miss_rates={lv: weighted_average(rates[lv], weights) for lv in LEVELS},
+        l3_accesses=l3_accesses,
+    )
+    _POINTS_CACHE[key] = metrics
+    return metrics
+
+
+_PINPOINTS_CACHE: Dict[tuple, PinPointsOutput] = {}
+
+
+def pinpoints_for(benchmark: str, **kwargs) -> PinPointsOutput:
+    """Run (or fetch a cached) PinPoints flow for a benchmark.
+
+    Experiments share whole-pipeline outputs per process so that e.g.
+    Fig 7, Fig 8 and Fig 10 do not re-cluster the same benchmark three
+    times.  The cache key includes all keyword arguments.
+    """
+    key = (benchmark,) + tuple(sorted(kwargs.items()))
+    if key not in _PINPOINTS_CACHE:
+        _PINPOINTS_CACHE[key] = run_pinpoints(benchmark, **kwargs)
+    return _PINPOINTS_CACHE[key]
+
+
+def clear_pinpoints_cache() -> None:
+    """Drop all cached pipeline/measurement results (test isolation)."""
+    _PINPOINTS_CACHE.clear()
+    _WHOLE_CACHE.clear()
+    _POINTS_CACHE.clear()

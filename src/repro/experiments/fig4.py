@@ -1,0 +1,76 @@
+"""Figure 4: average within-cluster variance vs number of clusters.
+
+Forcing fewer clusters than a benchmark has phases makes dissimilar
+slices share clusters; the average per-cluster BBV variance quantifies
+the resulting loss of representativeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.report import format_bar, format_table
+from repro.pin.engine import Engine
+from repro.pin.tools.bbv import BBVProfiler
+from repro.simpoint.simpoints import SimPointAnalysis
+from repro.simpoint.variance import variance_sweep
+from repro.workloads.spec2017 import get_descriptor
+
+#: Cluster counts swept (the paper plots decreasing cluster budgets).
+K_VALUES = (5, 10, 15, 20, 25, 30, 35)
+
+
+@dataclass
+class Fig4Result:
+    """Per-benchmark variance curves."""
+
+    k_values: List[int]
+    curves: Dict[str, Dict[int, float]]
+
+
+def run_fig4(
+    benchmarks: Optional[Sequence[str]] = None,
+    k_values: Sequence[int] = K_VALUES,
+    **pinpoints_kwargs,
+) -> Fig4Result:
+    """Sweep forced cluster counts and record average cluster variance."""
+    curves: Dict[str, Dict[int, float]] = {}
+    for name in resolve_benchmarks(benchmarks):
+        descriptor = get_descriptor(name)
+        out = pinpoints_for(name, **pinpoints_kwargs)
+        profiler = BBVProfiler(out.program.block_sizes)
+        Engine([profiler]).run(out.whole.replay_slices(out.program))
+        analysis = SimPointAnalysis(seed=descriptor.seed)
+        usable = [k for k in k_values if k <= out.program.num_slices]
+        curves[descriptor.spec_id] = variance_sweep(
+            profiler.matrix(), usable, analysis
+        )
+    return Fig4Result(k_values=list(k_values), curves=curves)
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Render the variance curves as a table plus a bar sketch."""
+    headers = ["Benchmark"] + [f"k={k}" for k in result.k_values]
+    rows = []
+    for name, curve in result.curves.items():
+        rows.append(
+            [name] + [
+                f"{curve[k] * 1e3:.3f}" if k in curve else "-"
+                for k in result.k_values
+            ]
+        )
+    table = format_table(
+        headers, rows,
+        title="Figure 4 -- avg within-cluster variance (x1e-3) vs cluster count",
+    )
+    # A small sketch for the first benchmark to show the monotone shape.
+    if result.curves:
+        name, curve = next(iter(result.curves.items()))
+        peak = max(curve.values()) or 1.0
+        sketch = [f"\n{name}:"]
+        for k in sorted(curve):
+            sketch.append(f"  k={k:>2}  {format_bar(curve[k], peak)}")
+        table += "\n".join(sketch)
+    return table

@@ -1,0 +1,108 @@
+"""Figure 8: cache miss rates — Whole / Regional / Reduced / Warmup runs.
+
+The paper's numbers (suite averages, vs the Whole Run): Regional runs are
++0.18 pp (L1D), +0.10 pp (L2) and +25.16 pp (L3); Reduced runs +2.23 /
++0.33 / +25.53 pp; warming the caches for 500 M cycles before each point
+drops the L3 error from 25.16 to 9.08 pp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    LEVELS,
+    RunMetrics,
+    measure_points,
+    measure_whole,
+    pinpoints_for,
+    resolve_benchmarks,
+)
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Fig8Row:
+    """Four run types' cache profiles for one benchmark."""
+
+    benchmark: str
+    whole: RunMetrics
+    regional: RunMetrics
+    reduced: RunMetrics
+    warmup: RunMetrics
+
+    def delta_pp(self, run: str, level: str) -> float:
+        """Miss-rate delta of ``run`` vs the Whole Run, in pp."""
+        metrics: RunMetrics = getattr(self, run)
+        return (metrics.miss_rates[level] - self.whole.miss_rates[level]) * 100
+
+
+@dataclass
+class Fig8Result:
+    """Suite-wide cache miss-rate comparison."""
+
+    rows: List[Fig8Row]
+
+    def average_delta_pp(self, run: str, level: str) -> float:
+        """Suite-average miss-rate delta of ``run`` vs Whole, in pp."""
+        return sum(r.delta_pp(run, level) for r in self.rows) / len(self.rows)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """All suite-average deltas, keyed by run then level."""
+        return {
+            run: {lv: self.average_delta_pp(run, lv) for lv in LEVELS}
+            for run in ("regional", "reduced", "warmup")
+        }
+
+
+def run_fig8(
+    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+) -> Fig8Result:
+    """Measure the four run types on the Table I (scaled) hierarchy."""
+    rows = []
+    for name in resolve_benchmarks(benchmarks):
+        out = pinpoints_for(name, **pinpoints_kwargs)
+        rows.append(
+            Fig8Row(
+                benchmark=out.benchmark,
+                whole=measure_whole(out),
+                regional=measure_points(out, out.regional),
+                reduced=measure_points(out, out.reduced),
+                warmup=measure_points(out, out.regional, with_warmup=True),
+            )
+        )
+    return Fig8Result(rows=rows)
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """Render per-benchmark miss rates and the suite-average deltas."""
+    rows = []
+    for r in result.rows:
+        cells = [r.benchmark]
+        for lv in LEVELS:
+            cells.append(f"{r.whole.miss_rates[lv] * 100:.1f}")
+            cells.append(f"{r.delta_pp('regional', lv):+.2f}")
+            cells.append(f"{r.delta_pp('warmup', lv):+.2f}")
+        rows.append(cells)
+    headers = ["Benchmark"]
+    for lv in LEVELS:
+        headers += [f"{lv} whole%", f"{lv} cold(pp)", f"{lv} warm(pp)"]
+    table = format_table(
+        headers, rows,
+        title="Figure 8 -- cache miss rates vs Whole Run",
+    )
+    s = result.summary()
+    summary = (
+        "\nSuite-average deltas vs Whole (pp):"
+        f"\n  Regional: L1D {s['regional']['L1D']:+.2f},"
+        f" L2 {s['regional']['L2']:+.2f}, L3 {s['regional']['L3']:+.2f}"
+        f"   (paper: +0.18 / +0.10 / +25.16)"
+        f"\n  Reduced : L1D {s['reduced']['L1D']:+.2f},"
+        f" L2 {s['reduced']['L2']:+.2f}, L3 {s['reduced']['L3']:+.2f}"
+        f"   (paper: +2.23 / +0.33 / +25.53)"
+        f"\n  Warmup  : L1D {s['warmup']['L1D']:+.2f},"
+        f" L2 {s['warmup']['L2']:+.2f}, L3 {s['warmup']['L3']:+.2f}"
+        f"   (paper L3: 25.16 -> 9.08)"
+    )
+    return table + summary

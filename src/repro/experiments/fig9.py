@@ -1,0 +1,141 @@
+"""Figure 9: error rates and execution time vs simulation-point percentile.
+
+The paper sweeps the fraction of (descending-weight) simulation points
+executed — 100 % is the Regional Run, 90 % the Reduced Regional Run —
+and shows errors growing and execution time shrinking as points are
+dropped.  Each regional pinball is measured once; percentile subsets are
+then aggregated by weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import (
+    LEVELS,
+    measure_whole,
+    pinpoints_for,
+    resolve_benchmarks,
+)
+from repro.experiments.report import format_table
+from repro.pin.tools.allcache import AllCache
+from repro.pin.tools.ldstmix import LdStMix
+from repro.simpoint.reduction import reduce_to_percentile
+from repro.stats.compare import (
+    max_abs_percentage_points,
+    weighted_average,
+    weighted_mix,
+)
+from repro.timemodel.runtime import reduced_regional_run_cost
+
+#: Percentiles swept (fractions of total weight retained).
+PERCENTILES = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass
+class Fig9Point:
+    """Suite-average errors and time at one percentile."""
+
+    percentile: float
+    mix_error_pp: float
+    miss_rate_error_pp: Dict[str, float]
+    execution_hours: float
+    points_retained: float
+
+
+@dataclass
+class Fig9Result:
+    """The full percentile sweep."""
+
+    points: List[Fig9Point]
+
+    def by_percentile(self) -> Dict[float, Fig9Point]:
+        """Points keyed by percentile."""
+        return {p.percentile: p for p in self.points}
+
+
+def run_fig9(
+    benchmarks: Optional[Sequence[str]] = None,
+    percentiles: Sequence[float] = PERCENTILES,
+    **pinpoints_kwargs,
+) -> Fig9Result:
+    """Sweep the retained-weight percentile across the suite."""
+    names = resolve_benchmarks(benchmarks)
+    per_benchmark = []
+    for name in names:
+        out = pinpoints_for(name, **pinpoints_kwargs)
+        whole = measure_whole(out)
+        replayer = out.replayer()
+        measured = {}
+        for pinball in out.regional:
+            cache = AllCache()
+            mix = LdStMix()
+            replayer.replay(pinball, [cache, mix])
+            stats = cache.stats()
+            measured[pinball.region_start] = (
+                mix.fractions(),
+                {lv: stats[lv].miss_rate for lv in LEVELS},
+            )
+        per_benchmark.append((out, whole, measured))
+
+    points = []
+    for percentile in percentiles:
+        mix_errors, retained, hours = [], [], []
+        level_errors: Dict[str, List[float]] = {lv: [] for lv in LEVELS}
+        for out, whole, measured in per_benchmark:
+            subset = reduce_to_percentile(out.simpoints.points, percentile)
+            weights = [p.weight for p in subset]
+            mixes = [measured[p.slice_index][0] for p in subset]
+            agg_mix = weighted_mix(mixes, weights)
+            mix_errors.append(max_abs_percentage_points(agg_mix, whole.mix))
+            for lv in LEVELS:
+                rates = [measured[p.slice_index][1][lv] for p in subset]
+                level_errors[lv].append(
+                    abs(weighted_average(rates, weights)
+                        - whole.miss_rates[lv]) * 100
+                )
+            pinballs = [
+                pb for pb in out.regional
+                if pb.region_start in {p.slice_index for p in subset}
+            ]
+            hours.append(reduced_regional_run_cost(pinballs).hours)
+            retained.append(len(subset))
+        points.append(
+            Fig9Point(
+                percentile=percentile,
+                mix_error_pp=float(np.mean(mix_errors)),
+                miss_rate_error_pp={
+                    lv: float(np.mean(level_errors[lv])) for lv in LEVELS
+                },
+                execution_hours=float(np.mean(hours)),
+                points_retained=float(np.mean(retained)),
+            )
+        )
+    return Fig9Result(points=points)
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Render the error/time trade-off sweep."""
+    rows = []
+    for p in result.points:
+        rows.append(
+            (
+                f"{p.percentile * 100:.0f}%",
+                f"{p.points_retained:.1f}",
+                f"{p.mix_error_pp:.3f}",
+                f"{p.miss_rate_error_pp['L1D']:.2f}",
+                f"{p.miss_rate_error_pp['L2']:.2f}",
+                f"{p.miss_rate_error_pp['L3']:.2f}",
+                f"{p.execution_hours * 60:.1f}",
+            )
+        )
+    return format_table(
+        ["percentile", "avg points", "mix err(pp)", "L1D err(pp)",
+         "L2 err(pp)", "L3 err(pp)", "exec time (min)"],
+        rows,
+        title="Figure 9 -- error vs execution time across point percentiles"
+              " (100% == Regional, 90% == Reduced)",
+    )

@@ -1,0 +1,117 @@
+"""Extension experiment: SPECrate throughput scaling under LLC contention.
+
+SPEC CPU2017's rate suites run N concurrent copies (paper Section II-A);
+the interesting microarchitecture is the shared LLC.  This experiment
+scales copies on a contended machine and reports per-copy CPI, shared-L3
+miss rate, and SPECrate-style relative throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import (
+    SNIPER_SIM,
+    CacheConfig,
+    CacheHierarchyConfig,
+    SystemConfig,
+)
+from repro.experiments.report import format_table
+from repro.rate.runner import RateResult, SPECrateRunner
+from repro.workloads.spec2017 import build_program
+
+#: Copy counts swept.
+COPY_COUNTS = (1, 2, 4, 8)
+
+#: Default benchmarks: memory-bound (contends) vs compute-bound (scales).
+DEFAULT_BENCHMARKS = ("505.mcf_r", "541.leela_r")
+
+
+def _contended_system(l3_kb: int = 512) -> SystemConfig:
+    """The scaled machine with an LLC small enough for copies to fight."""
+    caches = SNIPER_SIM.caches
+    return SystemConfig(
+        core=SNIPER_SIM.core,
+        caches=CacheHierarchyConfig(
+            l1i=caches.l1i,
+            l1d=caches.l1d,
+            l2=caches.l2,
+            l3=CacheConfig("L3", size_bytes=l3_kb * 1024, line_size=64,
+                           associativity=16, latency_cycles=30),
+        ),
+        memory_latency_cycles=SNIPER_SIM.memory_latency_cycles,
+        memory_level_parallelism=SNIPER_SIM.memory_level_parallelism,
+    )
+
+
+@dataclass
+class RateScalingRow:
+    """One benchmark's scaling curve."""
+
+    benchmark: str
+    results: Dict[int, RateResult]
+
+    def throughput(self, copies: int) -> float:
+        """Relative throughput vs the single-copy run."""
+        return self.results[copies].throughput_vs(self.results[1])
+
+    def efficiency(self, copies: int) -> float:
+        """Throughput divided by the ideal linear scaling."""
+        return self.throughput(copies) / copies
+
+
+@dataclass
+class RateScalingResult:
+    """The full scaling sweep."""
+
+    rows: List[RateScalingRow]
+    copy_counts: List[int]
+
+
+def run_rate_scaling(
+    benchmarks: Optional[Sequence[str]] = None,
+    copy_counts: Sequence[int] = COPY_COUNTS,
+    num_slices: int = 40,
+    slice_size: int = 30_000,
+    total_slices: int = 120,
+) -> RateScalingResult:
+    """Sweep concurrent copy counts per benchmark."""
+    names = list(benchmarks) if benchmarks is not None else \
+        list(DEFAULT_BENCHMARKS)
+    runner = SPECrateRunner(system=_contended_system())
+    rows = []
+    for name in names:
+        program = build_program(
+            name, slice_size=slice_size, total_slices=total_slices
+        )
+        results = {
+            int(n): runner.run(program, int(n), num_slices=num_slices)
+            for n in copy_counts
+        }
+        rows.append(RateScalingRow(benchmark=name, results=results))
+    return RateScalingResult(rows=rows, copy_counts=[int(n) for n in copy_counts])
+
+
+def render_rate_scaling(result: RateScalingResult) -> str:
+    """Render CPI, shared-LLC miss rate, and throughput per copy count."""
+    rows = []
+    for row in result.rows:
+        for copies in result.copy_counts:
+            rate = row.results[copies]
+            rows.append(
+                (
+                    row.benchmark if copies == result.copy_counts[0] else "",
+                    copies,
+                    f"{rate.average_cpi:.3f}",
+                    f"{rate.shared_l3_miss_rate * 100:.1f}%",
+                    f"{row.throughput(copies):.2f}x",
+                    f"{row.efficiency(copies) * 100:.0f}%",
+                )
+            )
+    return format_table(
+        ["Benchmark", "copies", "per-copy CPI", "shared L3 miss",
+         "throughput", "efficiency"],
+        rows,
+        title="Extension -- SPECrate scaling under shared-LLC contention",
+    )

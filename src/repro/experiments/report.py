@@ -1,0 +1,46 @@
+"""ASCII rendering helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render a left-padded ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; non-strings are formatted with ``str``.
+        title: Optional title line above the table.
+    """
+    cells: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A proportional ASCII bar (for figure-style renderings)."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(min(1.0, value / maximum) * width))
+    return "#" * filled
+
+
+def pct(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,19 @@
+"""Turnaround-time models for simulation-campaign strategies."""
+
+from repro.fsa.turnaround import (
+    CampaignCost,
+    SimulationSpeeds,
+    detailed_full_cost,
+    fsa_cost,
+    parallel_replay_cost,
+    serial_replay_cost,
+)
+
+__all__ = [
+    "SimulationSpeeds",
+    "CampaignCost",
+    "detailed_full_cost",
+    "serial_replay_cost",
+    "parallel_replay_cost",
+    "fsa_cost",
+]

@@ -1,0 +1,162 @@
+"""Turnaround time of simulation campaigns under different strategies.
+
+The paper's introduction motivates sampling with simulator speeds (gem5
+~200 KIPS full-system; Sniper ~2 MIPS), and its related work covers the
+alternatives: replaying regional pinballs (serially or in parallel — the
+paper notes each pinball "can be executed independently"), and Full Speed
+Ahead (Sandberg et al.), which fast-forwards between simulation points at
+near-native speed using virtualization.  This module prices a simulation
+campaign — detailed results for every simulation point of a benchmark —
+under each strategy, at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.pinball.pinball import RegionalPinball
+from repro.workloads.scaling import PAPER_SLICE_INSTRUCTIONS
+
+
+@dataclass(frozen=True)
+class SimulationSpeeds:
+    """Execution speeds of the tools involved (instructions/second).
+
+    Defaults follow the paper's quoted numbers: detailed full-system
+    simulation ~200 KIPS (gem5/MARSSx86), Sniper-class detailed
+    simulation ~2 MIPS, pinball replay ~10 MIPS, virtualized
+    fast-forward at ~30 % of native speed on a ~1 GIPS machine.
+    """
+
+    detailed_ips: float = 200e3
+    sampled_detailed_ips: float = 2e6
+    replay_ips: float = 10.09e6
+    fast_forward_ips: float = 0.3e9
+
+    def __post_init__(self) -> None:
+        for field_name in ("detailed_ips", "sampled_detailed_ips",
+                           "replay_ips", "fast_forward_ips"):
+            if getattr(self, field_name) <= 0:
+                raise SimulationError(f"{field_name} must be positive")
+
+
+@dataclass(frozen=True)
+class CampaignCost:
+    """Cost of producing one benchmark's detailed sample results."""
+
+    strategy: str
+    seconds: float
+
+    @property
+    def hours(self) -> float:
+        """Turnaround in hours."""
+        return self.seconds / 3600.0
+
+    @property
+    def days(self) -> float:
+        """Turnaround in days."""
+        return self.seconds / 86400.0
+
+
+def _validate_pinballs(pinballs: Sequence[RegionalPinball]) -> None:
+    if not pinballs:
+        raise SimulationError("campaign needs at least one pinball")
+
+
+def detailed_full_cost(
+    paper_instructions: float, speeds: SimulationSpeeds = SimulationSpeeds()
+) -> CampaignCost:
+    """Simulate the entire benchmark in a detailed simulator (no sampling).
+
+    This is the strawman the paper's introduction prices: trillions of
+    instructions at ~200 KIPS is months-to-years of compute.
+    """
+    if paper_instructions <= 0:
+        raise SimulationError("instruction count must be positive")
+    return CampaignCost(
+        strategy="detailed-full",
+        seconds=paper_instructions / speeds.detailed_ips,
+    )
+
+
+def _pinball_instructions(pinball: RegionalPinball) -> tuple:
+    warmup = pinball.effective_warmup * float(PAPER_SLICE_INSTRUCTIONS)
+    region = pinball.region_length * float(PAPER_SLICE_INSTRUCTIONS)
+    return warmup, region
+
+
+def serial_replay_cost(
+    pinballs: Sequence[RegionalPinball],
+    speeds: SimulationSpeeds = SimulationSpeeds(),
+) -> CampaignCost:
+    """Replay every regional pinball back-to-back on one host.
+
+    Warmup instructions replay functionally (replay speed); regions run
+    under the detailed sampled simulator.
+    """
+    _validate_pinballs(pinballs)
+    seconds = 0.0
+    for pinball in pinballs:
+        warmup, region = _pinball_instructions(pinball)
+        seconds += warmup / speeds.replay_ips
+        seconds += region / speeds.sampled_detailed_ips
+    return CampaignCost(strategy="serial-replay", seconds=seconds)
+
+
+def parallel_replay_cost(
+    pinballs: Sequence[RegionalPinball],
+    hosts: int,
+    speeds: SimulationSpeeds = SimulationSpeeds(),
+) -> CampaignCost:
+    """Replay pinballs across ``hosts`` machines (paper: "executed in
+    parallel to save time").
+
+    Pinballs are greedily assigned longest-first; the campaign finishes
+    when the most loaded host does.
+    """
+    _validate_pinballs(pinballs)
+    if hosts < 1:
+        raise SimulationError("need at least one host")
+    costs = []
+    for pinball in pinballs:
+        warmup, region = _pinball_instructions(pinball)
+        costs.append(
+            warmup / speeds.replay_ips
+            + region / speeds.sampled_detailed_ips
+        )
+    loads = [0.0] * hosts
+    for cost in sorted(costs, reverse=True):
+        loads[loads.index(min(loads))] += cost
+    return CampaignCost(strategy=f"parallel-replay@{hosts}",
+                        seconds=max(loads))
+
+
+def fsa_cost(
+    pinballs: Sequence[RegionalPinball],
+    paper_instructions: float,
+    speeds: SimulationSpeeds = SimulationSpeeds(),
+) -> CampaignCost:
+    """Full Speed Ahead: one pass, virtualized fast-forward between points.
+
+    The whole execution is traversed once: instructions outside the
+    sample regions run at near-native (virtualized) speed, regions run
+    detailed.  No per-point checkpoints are needed, but the pass cannot
+    be shorter than the program.
+    """
+    _validate_pinballs(pinballs)
+    if paper_instructions <= 0:
+        raise SimulationError("instruction count must be positive")
+    region_instr = sum(
+        pinball.region_length * float(PAPER_SLICE_INSTRUCTIONS)
+        for pinball in pinballs
+    )
+    if region_instr > paper_instructions:
+        raise SimulationError("regions exceed the whole execution")
+    fast_forward = paper_instructions - region_instr
+    seconds = (
+        fast_forward / speeds.fast_forward_ips
+        + region_instr / speeds.sampled_detailed_ips
+    )
+    return CampaignCost(strategy="fsa", seconds=seconds)

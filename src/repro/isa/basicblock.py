@@ -1,0 +1,103 @@
+"""Static code structure: basic blocks and code regions.
+
+SimPoint's Basic Block Vectors count, per execution slice, how many times
+each *static* basic block was entered, weighted by the block's instruction
+count.  The synthetic workloads therefore need a static code model: a set of
+basic blocks, grouped into code regions (one region per program phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A static basic block.
+
+    Attributes:
+        block_id: Global, dense identifier of the block within the program.
+        size: Number of instructions in the block (>= 1).
+        mix: Length-4 tuple of per-class instruction probabilities for
+            instructions inside this block, in :class:`InstructionClass`
+            order.  Must sum to 1.
+        code_lines: Number of instruction-cache lines the block spans.
+    """
+
+    block_id: int
+    size: int
+    mix: tuple
+    code_lines: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise WorkloadError(f"basic block {self.block_id} has size {self.size} < 1")
+        if len(self.mix) != 4:
+            raise WorkloadError("block mix must have exactly 4 entries")
+        total = float(sum(self.mix))
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise WorkloadError(f"block mix must sum to 1, got {total}")
+
+    def class_counts(self, executions: int) -> np.ndarray:
+        """Expected per-class instruction counts for ``executions`` runs."""
+        return np.asarray(self.mix, dtype=np.float64) * (self.size * executions)
+
+
+@dataclass
+class CodeRegion:
+    """A group of basic blocks that constitutes one program phase's code.
+
+    Phases in real programs execute mostly-disjoint sets of basic blocks;
+    that disjointness is exactly what makes BBVs separable by k-means, so we
+    model it explicitly.
+
+    Attributes:
+        region_id: Identifier of the region (== phase id).
+        blocks: Basic blocks belonging to this region.
+        frequencies: Relative execution frequency of each block within the
+            region (normalized to sum to 1).
+    """
+
+    region_id: int
+    blocks: Sequence[BasicBlock]
+    frequencies: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise WorkloadError(f"code region {self.region_id} has no blocks")
+        if self.frequencies is None:
+            self.frequencies = np.full(len(self.blocks), 1.0 / len(self.blocks))
+        self.frequencies = np.asarray(self.frequencies, dtype=np.float64)
+        if len(self.frequencies) != len(self.blocks):
+            raise WorkloadError("frequencies length must match number of blocks")
+        total = float(self.frequencies.sum())
+        if total <= 0:
+            raise WorkloadError("block frequencies must have a positive sum")
+        self.frequencies = self.frequencies / total
+
+    @property
+    def block_ids(self) -> np.ndarray:
+        """Dense array of the region's global block ids."""
+        return np.asarray([b.block_id for b in self.blocks], dtype=np.int64)
+
+    @property
+    def instructions_per_entry(self) -> float:
+        """Expected instructions executed per weighted block entry."""
+        sizes = np.asarray([b.size for b in self.blocks], dtype=np.float64)
+        return float(np.dot(sizes, self.frequencies))
+
+    def mix_matrix(self) -> np.ndarray:
+        """(n_blocks, 4) matrix of per-block instruction-class mixes."""
+        return np.asarray([b.mix for b in self.blocks], dtype=np.float64)
+
+    def expected_mix(self) -> np.ndarray:
+        """Region-level expected instruction-class mix (length 4, sums to 1)."""
+        sizes = np.asarray([b.size for b in self.blocks], dtype=np.float64)
+        weights = sizes * self.frequencies
+        mix = self.mix_matrix().T @ weights
+        return mix / mix.sum()

@@ -1,0 +1,46 @@
+"""Instruction classification used throughout the pipeline.
+
+The paper (Section IV-D) breaks the dynamic instruction stream into four
+categories, reported by the ``ldstmix`` pintool:
+
+* ``NO_MEM``  -- instructions that do not reference memory,
+* ``MEM_R``   -- instructions with one or more source operands in memory,
+* ``MEM_W``   -- instructions whose destination operand is in memory,
+* ``MEM_RW``  -- instructions whose source *and* destination are in memory
+  (memory-to-memory instructions such as x86 ``movs``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InstructionClass(enum.IntEnum):
+    """The four-way instruction classification from the paper."""
+
+    NO_MEM = 0
+    MEM_R = 1
+    MEM_W = 2
+    MEM_RW = 3
+
+    @property
+    def reads_memory(self) -> bool:
+        """Whether an instruction of this class performs a memory read."""
+        return self in (InstructionClass.MEM_R, InstructionClass.MEM_RW)
+
+    @property
+    def writes_memory(self) -> bool:
+        """Whether an instruction of this class performs a memory write."""
+        return self in (InstructionClass.MEM_W, InstructionClass.MEM_RW)
+
+    @property
+    def references_memory(self) -> bool:
+        """Whether an instruction of this class touches memory at all."""
+        return self is not InstructionClass.NO_MEM
+
+
+#: Display names in the order used by every figure in the paper.
+INSTRUCTION_CLASS_NAMES = tuple(c.name for c in InstructionClass)
+
+#: Number of instruction classes (length of every mix vector).
+NUM_INSTRUCTION_CLASSES = len(InstructionClass)

@@ -1,0 +1,5 @@
+"""Native-hardware stand-in: ground-truth machine + perf counters."""
+
+from repro.perf.native import NativeMachine, PerfCounters
+
+__all__ = ["NativeMachine", "PerfCounters"]

@@ -1,0 +1,42 @@
+"""Base class for instrumentation tools."""
+
+from __future__ import annotations
+
+from repro.isa.trace import SliceTrace
+
+
+class Pintool:
+    """An analysis tool attached to the instrumentation engine.
+
+    Subclasses override :meth:`process_slice` to accumulate statistics.
+    Tools distinguish *measurement* from *warmup*: during warmup the tool
+    should update any stateful models (caches, predictors) but freeze its
+    reported statistics.  The engine flips :attr:`warmup` around warmup
+    regions; tools that have no state can ignore it because the engine
+    never calls :meth:`process_slice` on stateless tools during warmup.
+    """
+
+    #: Whether the tool keeps microarchitectural state that must be warmed.
+    stateful = False
+
+    def __init__(self) -> None:
+        self.warmup = False
+
+    @property
+    def name(self) -> str:
+        """Tool name (class name by default)."""
+        return type(self).__name__
+
+    def begin(self) -> None:
+        """Called once before the first slice."""
+
+    def process_slice(self, trace: SliceTrace) -> None:
+        """Observe one slice of execution."""
+        raise NotImplementedError
+
+    def end(self) -> None:
+        """Called once after the last slice."""
+
+    def reset(self) -> None:
+        """Return the tool to its just-constructed state."""
+        raise NotImplementedError

@@ -1,0 +1,46 @@
+"""Branch behaviour profiler.
+
+Summarizes the conditional-branch stream: branch counts and the
+entropy-weighted unpredictability that the timing models translate into
+misprediction rates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.trace import SliceTrace
+from repro.pin.pintool import Pintool
+
+
+class BranchProfiler(Pintool):
+    """Accumulates branch counts and mean outcome entropy."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.branches = 0
+        self.instructions = 0
+        self._entropy_weighted = 0.0
+
+    def process_slice(self, trace: SliceTrace) -> None:
+        self.branches += trace.branch_count
+        self.instructions += trace.instruction_count
+        self._entropy_weighted += trace.branch_entropy * trace.branch_count
+
+    @property
+    def branch_fraction(self) -> float:
+        """Branches per instruction."""
+        if self.instructions == 0:
+            raise SimulationError("branch profiler observed no instructions")
+        return self.branches / self.instructions
+
+    @property
+    def mean_entropy(self) -> float:
+        """Branch-count-weighted mean outcome entropy in [0, 1]."""
+        if self.branches == 0:
+            return 0.0
+        return self._entropy_weighted / self.branches
+
+    def reset(self) -> None:
+        self.branches = 0
+        self.instructions = 0
+        self._entropy_weighted = 0.0

@@ -1,0 +1,23 @@
+"""``inscount0`` equivalent: dynamic instruction counting."""
+
+from __future__ import annotations
+
+from repro.isa.trace import SliceTrace
+from repro.pin.pintool import Pintool
+
+
+class InsCount(Pintool):
+    """Counts dynamic instructions and slices observed."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.instructions = 0
+        self.slices = 0
+
+    def process_slice(self, trace: SliceTrace) -> None:
+        self.instructions += trace.instruction_count
+        self.slices += 1
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.slices = 0

@@ -1,0 +1,46 @@
+"""``ldstmix`` equivalent: instruction-class distribution profiling.
+
+Reports the four-way NO_MEM / MEM_R / MEM_W / MEM_RW split of the dynamic
+stream (Figures 3 and 7 of the paper).  Supports the weighted-aggregation
+mode used for simulation points: per-region fractions are combined with
+SimPoint weights by the experiment drivers, so this tool only reports raw
+counts and per-run fractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.trace import SliceTrace
+from repro.pin.pintool import Pintool
+
+
+class LdStMix(Pintool):
+    """Accumulates per-class instruction counts."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.class_counts = np.zeros(4, dtype=np.int64)
+
+    def process_slice(self, trace: SliceTrace) -> None:
+        self.class_counts += trace.class_counts
+
+    @property
+    def total_instructions(self) -> int:
+        """All instructions observed."""
+        return int(self.class_counts.sum())
+
+    def fractions(self) -> np.ndarray:
+        """Length-4 instruction-class fractions (sums to 1).
+
+        Raises:
+            SimulationError: If no instructions were observed yet.
+        """
+        total = self.class_counts.sum()
+        if total == 0:
+            raise SimulationError("ldstmix observed no instructions")
+        return self.class_counts / total
+
+    def reset(self) -> None:
+        self.class_counts = np.zeros(4, dtype=np.int64)

@@ -1,0 +1,22 @@
+"""PinPlay-equivalent checkpointing: pinballs, logger, replayer.
+
+A *pinball* is a self-contained, deterministic capsule of (part of) an
+execution.  Real pinballs store architectural state + nondeterministic
+events; our synthetic programs are deterministic by construction, so a
+pinball stores the recipe to rebuild the program plus the region bounds —
+replay is bit-identical, which is the property the methodology needs.
+"""
+
+from repro.pinball.pinball import Pinball, RegionalPinball, WholePinball
+from repro.pinball.logger import PinPlayLogger
+from repro.pinball.replayer import Replayer
+from repro.pinball.archive import PinballArchive
+
+__all__ = [
+    "Pinball",
+    "WholePinball",
+    "RegionalPinball",
+    "PinPlayLogger",
+    "Replayer",
+    "PinballArchive",
+]

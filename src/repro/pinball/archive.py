@@ -1,0 +1,116 @@
+"""Pinball archives: directories of checkpoints with a manifest.
+
+PinPlay users organize pinballs in per-benchmark directories; gem5 users
+do the same with checkpoint directories.  An archive stores one whole
+pinball plus its regional pinballs and a ``manifest.json`` describing the
+set, so a simulation campaign can be shipped and replayed without the
+pipeline that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+from repro.errors import PinballError
+from repro.pinball.pinball import Pinball, RegionalPinball, WholePinball
+from repro.pinpoints.pipeline import PinPointsOutput
+
+#: Manifest schema version.
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class PinballArchive:
+    """An on-disk set of pinballs for one benchmark.
+
+    Attributes:
+        benchmark: The checkpointed benchmark's name.
+        whole: The whole-execution pinball.
+        regional: Regional pinballs in descending-weight order.
+    """
+
+    benchmark: str
+    whole: WholePinball
+    regional: List[RegionalPinball]
+
+    @classmethod
+    def from_pipeline(cls, output: PinPointsOutput) -> "PinballArchive":
+        """Build an archive from a PinPoints run."""
+        ordered = sorted(output.regional, key=lambda p: -p.weight)
+        return cls(
+            benchmark=output.benchmark, whole=output.whole, regional=ordered
+        )
+
+    def save(self, directory) -> Path:
+        """Write the archive under ``directory`` (created if missing).
+
+        Layout::
+
+            <dir>/manifest.json
+            <dir>/whole.pinball.json
+            <dir>/region_000.pinball.json ...
+
+        Returns:
+            The archive directory path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.whole.save(directory / "whole.pinball.json")
+        region_files = []
+        for i, pinball in enumerate(self.regional):
+            filename = f"region_{i:03d}.pinball.json"
+            pinball.save(directory / filename)
+            region_files.append(filename)
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "benchmark": self.benchmark,
+            "whole": "whole.pinball.json",
+            "regions": region_files,
+            "num_regions": len(region_files),
+            "total_weight": sum(p.weight for p in self.regional),
+        }
+        (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory) -> "PinballArchive":
+        """Read an archive back from disk.
+
+        Raises:
+            PinballError: On a missing/invalid manifest or member files.
+        """
+        directory = Path(directory)
+        manifest_path = directory / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PinballError(
+                f"cannot read archive manifest at {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise PinballError(
+                f"unsupported manifest version "
+                f"{manifest.get('manifest_version')!r}"
+            )
+        whole = Pinball.load(directory / manifest["whole"])
+        if not isinstance(whole, WholePinball):
+            raise PinballError("archive 'whole' entry is not a whole pinball")
+        regional = []
+        for filename in manifest["regions"]:
+            pinball = Pinball.load(directory / filename)
+            if not isinstance(pinball, RegionalPinball):
+                raise PinballError(f"{filename} is not a regional pinball")
+            regional.append(pinball)
+        if len(regional) != manifest.get("num_regions"):
+            raise PinballError("manifest region count mismatch")
+        return cls(
+            benchmark=manifest["benchmark"], whole=whole, regional=regional
+        )
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the regional pinballs' weights."""
+        return sum(p.weight for p in self.regional)

@@ -1,0 +1,198 @@
+"""Pinball checkpoint formats.
+
+Two kinds, mirroring PinPlay usage in the paper:
+
+* :class:`WholePinball` — the entire execution (used for Whole Runs and as
+  the input to PinPoints region selection).
+* :class:`RegionalPinball` — one simulation point's slice, its SimPoint
+  weight, and a warmup prefix (the paper's regional pinballs carry ~500 M
+  instructions of warmup ahead of each 30 M region; Section IV-B/IV-D).
+
+Pinballs serialize to plain JSON dictionaries so they can be stored,
+shipped, and replayed without the original program object — the synthetic
+equivalent of pinballs being runnable without benchmark binaries, inputs,
+or licenses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.errors import PinballError
+from repro.isa.trace import SliceTrace
+from repro.workloads.program import SyntheticProgram
+
+#: Serialization format version, checked on load.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ProgramRecipe:
+    """Everything needed to rebuild the checkpointed program."""
+
+    benchmark: str
+    slice_size: int
+    total_slices: int
+    mean_run_length: int = 25
+
+    def materialize(self) -> SyntheticProgram:
+        """Rebuild the program from the registry."""
+        from repro.workloads.spec2017 import build_program
+
+        return build_program(
+            self.benchmark,
+            slice_size=self.slice_size,
+            total_slices=self.total_slices,
+            mean_run_length=self.mean_run_length,
+        )
+
+
+@dataclass
+class Pinball:
+    """Common pinball machinery: program recipe + a slice region."""
+
+    recipe: ProgramRecipe
+    region_start: int
+    region_length: int
+    kind: str = field(default="pinball", init=False)
+
+    def __post_init__(self) -> None:
+        if self.region_start < 0 or self.region_length < 1:
+            raise PinballError(
+                f"invalid region [{self.region_start}, "
+                f"+{self.region_length}) in pinball"
+            )
+        if self.region_start + self.region_length > self.recipe.total_slices:
+            raise PinballError(
+                "pinball region extends past the end of the execution"
+            )
+
+    # -- replay ----------------------------------------------------------
+
+    def replay_slices(
+        self, program: Optional[SyntheticProgram] = None
+    ) -> Iterator[SliceTrace]:
+        """Yield the region's slice traces, bit-identical to the original.
+
+        Args:
+            program: Optional pre-materialized program (avoids a rebuild
+                when replaying many pinballs of the same execution).
+        """
+        if program is None:
+            program = self.recipe.materialize()
+        return program.iter_slices(self.region_start, self.region_length)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation."""
+        data = asdict(self)
+        data["kind"] = self.kind
+        data["format_version"] = FORMAT_VERSION
+        return data
+
+    def save(self, path) -> None:
+        """Write the pinball to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @staticmethod
+    def load(path) -> "Pinball":
+        """Read a pinball of either kind back from JSON.
+
+        Raises:
+            PinballError: On version or schema mismatch.
+        """
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PinballError(f"cannot read pinball from {path}: {exc}") from exc
+        return Pinball.from_dict(data)
+
+    @staticmethod
+    def from_dict(data: Dict) -> "Pinball":
+        """Rebuild a pinball from :meth:`to_dict` output."""
+        if data.get("format_version") != FORMAT_VERSION:
+            raise PinballError(
+                f"unsupported pinball format {data.get('format_version')!r}"
+            )
+        kind = data.get("kind")
+        recipe = ProgramRecipe(**data["recipe"])
+        if kind == "whole":
+            return WholePinball(recipe=recipe)
+        if kind == "regional":
+            return RegionalPinball(
+                recipe=recipe,
+                region_start=data["region_start"],
+                region_length=data["region_length"],
+                weight=data["weight"],
+                warmup_slices=data["warmup_slices"],
+            )
+        raise PinballError(f"unknown pinball kind {kind!r}")
+
+
+@dataclass
+class WholePinball(Pinball):
+    """Checkpoint of a complete execution."""
+
+    region_start: int = 0
+    region_length: int = 0
+
+    def __post_init__(self) -> None:
+        # The whole pinball always spans the entire execution.
+        self.region_start = 0
+        self.region_length = self.recipe.total_slices
+        super().__post_init__()
+        self.kind = "whole"
+
+    @property
+    def num_slices(self) -> int:
+        """Slices in the whole execution."""
+        return self.region_length
+
+
+@dataclass
+class RegionalPinball(Pinball):
+    """Checkpoint of one simulation point.
+
+    Attributes:
+        weight: SimPoint weight of the represented cluster.
+        warmup_slices: Length of the warmup prefix captured ahead of the
+            region (clamped to the start of the execution).
+    """
+
+    weight: float = 1.0
+    warmup_slices: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.kind = "regional"
+        if not 0.0 < self.weight <= 1.0:
+            raise PinballError(f"weight must be in (0, 1], got {self.weight}")
+        if self.warmup_slices < 0:
+            raise PinballError("warmup_slices cannot be negative")
+
+    @property
+    def warmup_start(self) -> int:
+        """First slice of the (possibly truncated) warmup prefix."""
+        return max(0, self.region_start - self.warmup_slices)
+
+    @property
+    def effective_warmup(self) -> int:
+        """Warmup slices actually available before the region."""
+        return self.region_start - self.warmup_start
+
+    def warmup_traces(
+        self, program: Optional[SyntheticProgram] = None
+    ) -> Iterator[SliceTrace]:
+        """Yield the warmup prefix traces (may be empty)."""
+        if program is None:
+            program = self.recipe.materialize()
+        return program.iter_slices(self.warmup_start, self.effective_warmup)
+
+    @property
+    def total_slices_with_warmup(self) -> int:
+        """Slices replayed when the warmup prefix is executed too."""
+        return self.effective_warmup + self.region_length

@@ -1,0 +1,67 @@
+"""PinPlay replayer: runs pinballs under pintools.
+
+Mirrors the paper's methodology (Section IV-D): each regional pinball is
+replayed individually under the profiling tools, with or without executing
+its warmup prefix first, and per-region statistics are combined by the
+experiment drivers using the SimPoint weights.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PinballError
+from repro.pin.engine import Engine
+from repro.pin.pintool import Pintool
+from repro.pinball.pinball import Pinball, RegionalPinball
+from repro.workloads.program import SyntheticProgram
+
+
+class Replayer:
+    """Replays pinballs through an instrumentation engine.
+
+    Args:
+        program: Optional pre-materialized program shared across replays
+            of pinballs from the same execution (a performance shortcut;
+            correctness is identical because replay is deterministic).
+    """
+
+    def __init__(self, program: SyntheticProgram = None) -> None:
+        self._program = program
+
+    def _resolve(self, pinball: Pinball) -> SyntheticProgram:
+        if self._program is not None:
+            if self._program.num_slices != pinball.recipe.total_slices:
+                raise PinballError(
+                    "shared program does not match the pinball's recipe"
+                )
+            return self._program
+        return pinball.recipe.materialize()
+
+    def replay(
+        self,
+        pinball: Pinball,
+        tools: Sequence[Pintool],
+        with_warmup: bool = False,
+    ) -> Sequence[Pintool]:
+        """Replay one pinball under ``tools`` and return the tools.
+
+        Args:
+            pinball: Whole or regional pinball.
+            tools: Pintools that observe the replay (their state
+                accumulates across calls; pass fresh tools for isolated
+                statistics).
+            with_warmup: For regional pinballs, execute the warmup prefix
+                first with statistics frozen (the paper's Warmup Regional
+                Run).  Ignored for whole pinballs.
+        """
+        program = self._resolve(pinball)
+        engine = Engine(tools)
+        if with_warmup and isinstance(pinball, RegionalPinball):
+            engine.run(
+                pinball.replay_slices(program),
+                warmup=pinball.warmup_traces(program),
+            )
+        else:
+            engine.run(pinball.replay_slices(program))
+        return tools

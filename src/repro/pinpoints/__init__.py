@@ -1,0 +1,5 @@
+"""PinPoints: the end-to-end Pin + SimPoints flow (paper Figure 2)."""
+
+from repro.pinpoints.pipeline import PinPointsOutput, run_pinpoints
+
+__all__ = ["PinPointsOutput", "run_pinpoints"]

@@ -1,0 +1,115 @@
+"""The PinPoints pipeline: program -> whole pinball -> BBVs -> simulation
+points -> regional pinballs.
+
+This is the flow of the paper's Figure 2: the compiled binary is logged
+into a Whole Pinball, the whole pinball is profiled for BBVs, SimPoint
+clusters the BBVs and picks weighted simulation points, and the logger
+captures a Regional Pinball (with warmup prefix) per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.pin.engine import Engine
+from repro.pin.tools.bbv import BBVProfiler
+from repro.pinball.logger import PinPlayLogger
+from repro.pinball.pinball import RegionalPinball, WholePinball
+from repro.pinball.replayer import Replayer
+from repro.simpoint.reduction import reduce_to_percentile
+from repro.simpoint.simpoints import (
+    DEFAULT_MAX_K,
+    SimPointAnalysis,
+    SimPointResult,
+)
+from repro.workloads.program import SyntheticProgram
+from repro.workloads.scaling import (
+    DEFAULT_SLICE_INSTRUCTIONS,
+    DEFAULT_TOTAL_SLICES,
+)
+from repro.workloads.spec2017 import get_descriptor
+
+
+@dataclass
+class PinPointsOutput:
+    """Everything the PinPoints flow produces for one benchmark.
+
+    Attributes:
+        benchmark: Full SPEC id.
+        program: The materialized synthetic program.
+        whole: Checkpoint of the complete execution.
+        simpoints: SimPoint analysis result (points, weights, BIC trace).
+        regional: One regional pinball per simulation point.
+        reduced: The 90th-percentile subset of ``regional``.
+    """
+
+    benchmark: str
+    program: SyntheticProgram
+    whole: WholePinball
+    simpoints: SimPointResult
+    regional: List[RegionalPinball]
+    reduced: List[RegionalPinball]
+
+    def replayer(self) -> Replayer:
+        """A replayer sharing this output's materialized program."""
+        return Replayer(self.program)
+
+
+def run_pinpoints(
+    benchmark: str,
+    slice_size: int = DEFAULT_SLICE_INSTRUCTIONS,
+    total_slices: int = DEFAULT_TOTAL_SLICES,
+    max_k: int = DEFAULT_MAX_K,
+    percentile: float = 0.9,
+    analysis: Optional[SimPointAnalysis] = None,
+    warmup_slices: Optional[int] = None,
+    program: Optional[SyntheticProgram] = None,
+) -> PinPointsOutput:
+    """Run the complete PinPoints flow for one benchmark.
+
+    Args:
+        benchmark: Registered benchmark name (full or short).
+        slice_size: Simulated instructions per slice.
+        total_slices: Simulated slices in the whole execution.
+        max_k: MaxK bound for clustering (paper default 35).
+        percentile: Weight coverage of the reduced point set (paper: 0.9).
+        analysis: Optional pre-configured analysis pipeline; by default
+            one is built with the benchmark's seed and ``max_k``.
+        warmup_slices: Warmup prefix per regional pinball; defaults to the
+            paper's 500 M instructions in slices.
+        program: Optional pre-built program (must match the parameters).
+
+    Returns:
+        A :class:`PinPointsOutput` bundle.
+    """
+    descriptor = get_descriptor(benchmark)
+    if program is None:
+        from repro.workloads.spec2017 import build_program
+
+        program = build_program(
+            descriptor.spec_id, slice_size=slice_size, total_slices=total_slices
+        )
+    if analysis is None:
+        analysis = SimPointAnalysis(max_k=max_k, seed=descriptor.seed)
+
+    logger = PinPlayLogger(descriptor.spec_id, program)
+    whole = logger.log_whole()
+
+    profiler = BBVProfiler(program.block_sizes)
+    Engine([profiler]).run(whole.replay_slices(program))
+    result = analysis.analyze(profiler.matrix(), profiler.slice_indices())
+
+    regional = logger.log_regions(result.points, warmup_slices=warmup_slices)
+    reduced_points = reduce_to_percentile(result.points, percentile)
+    reduced_indices = {p.slice_index for p in reduced_points}
+    reduced = [rp for rp in regional if rp.region_start in reduced_indices]
+
+    return PinPointsOutput(
+        benchmark=descriptor.spec_id,
+        program=program,
+        whole=whole,
+        simpoints=result,
+        regional=regional,
+        reduced=reduced,
+    )

@@ -1,0 +1,5 @@
+"""SPECrate-style multi-copy throughput simulation."""
+
+from repro.rate.runner import CopyStats, RateResult, SPECrateRunner
+
+__all__ = ["SPECrateRunner", "RateResult", "CopyStats"]

@@ -1,0 +1,31 @@
+"""Alternative statistical-sampling baselines.
+
+SimPoint is one member of a family of sampling methodologies (Section V-B
+of the paper discusses SimFlex/SMARTS-style approaches).  This package
+implements the classic baselines so SimPoint's targeted phase selection
+can be compared against them at equal simulation budget:
+
+* random sampling — uniformly drawn slices (SMARTS-style),
+* systematic sampling — every k-th slice (SimFlex/SMARTS),
+* stratified sampling — one slice per contiguous execution stratum,
+* prefix sampling — the first N slices (the classic *bad* baseline that
+  motivated the whole field: early execution is not representative).
+
+All samplers return :class:`~repro.simpoint.simpoints.SimulationPoint`
+lists, so every downstream consumer (pinball logger, replayer, weighted
+aggregation, experiments) works unchanged.
+"""
+
+from repro.sampling.samplers import (
+    prefix_sample,
+    random_sample,
+    stratified_sample,
+    systematic_sample,
+)
+
+__all__ = [
+    "random_sample",
+    "systematic_sample",
+    "stratified_sample",
+    "prefix_sample",
+]

@@ -1,0 +1,100 @@
+"""Baseline slice samplers.
+
+Every sampler selects ``num_points`` slices out of ``num_slices`` and
+assigns them equal weights (the baselines have no cluster structure to
+weight by — that is exactly SimPoint's advantage).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimPointError
+from repro.simpoint.simpoints import SimulationPoint
+
+
+def _validate(num_slices: int, num_points: int) -> None:
+    if num_slices < 1:
+        raise SimPointError("execution must contain at least one slice")
+    if not 1 <= num_points <= num_slices:
+        raise SimPointError(
+            f"cannot select {num_points} of {num_slices} slices"
+        )
+
+
+def _points_from_indices(indices, num_slices: int) -> List[SimulationPoint]:
+    indices = sorted(int(i) for i in indices)
+    weight = 1.0 / len(indices)
+    cluster_size = max(1, num_slices // len(indices))
+    return [
+        SimulationPoint(slice_index=i, cluster=rank, weight=weight,
+                        cluster_size=cluster_size)
+        for rank, i in enumerate(indices)
+    ]
+
+
+def random_sample(
+    num_slices: int, num_points: int, seed: int = 0
+) -> List[SimulationPoint]:
+    """Uniform random sampling without replacement (SMARTS-style)."""
+    _validate(num_slices, num_points)
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(num_slices, size=num_points, replace=False)
+    return _points_from_indices(indices, num_slices)
+
+
+def systematic_sample(
+    num_slices: int, num_points: int, offset: int = 0
+) -> List[SimulationPoint]:
+    """Every k-th slice with a fixed phase offset (SimFlex/SMARTS).
+
+    Args:
+        num_slices: Execution length in slices.
+        num_points: Samples to take.
+        offset: Starting offset within the first period.
+    """
+    _validate(num_slices, num_points)
+    if offset < 0:
+        raise SimPointError("offset cannot be negative")
+    period = num_slices / num_points
+    indices = {
+        min(num_slices - 1, int(offset + i * period) % num_slices)
+        for i in range(num_points)
+    }
+    # Collisions are possible when offset wraps; fill deterministically.
+    cursor = 0
+    while len(indices) < num_points:
+        if cursor not in indices:
+            indices.add(cursor)
+        cursor += 1
+    return _points_from_indices(indices, num_slices)
+
+
+def stratified_sample(
+    num_slices: int, num_points: int, seed: int = 0
+) -> List[SimulationPoint]:
+    """One random slice per contiguous execution stratum.
+
+    Guarantees temporal coverage: the execution is cut into
+    ``num_points`` equal windows and one slice is drawn from each.
+    """
+    _validate(num_slices, num_points)
+    rng = np.random.default_rng(seed)
+    bounds = np.linspace(0, num_slices, num_points + 1).astype(int)
+    indices = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        hi = max(hi, lo + 1)
+        indices.append(int(rng.integers(lo, hi)))
+    return _points_from_indices(set(indices), num_slices)
+
+
+def prefix_sample(num_slices: int, num_points: int) -> List[SimulationPoint]:
+    """The first N slices — fast-forward-free, and badly biased.
+
+    Papers since Sherwood et al. use this as the strawman: program
+    beginnings (initialization) do not represent steady-state behaviour.
+    """
+    _validate(num_slices, num_points)
+    return _points_from_indices(range(num_points), num_slices)

@@ -1,0 +1,23 @@
+"""SimPoint: phase detection and simulation-point selection.
+
+Implements the SimPoint 3.0 pipeline on top of ``repro.clustering``:
+project per-slice BBVs to 15 dimensions, pick the number of clusters with
+BIC up to MaxK, select the slice closest to each centroid as the cluster's
+simulation point, and weight it by the cluster's share of all slices.
+"""
+
+from repro.simpoint.simpoints import (
+    SimPointAnalysis,
+    SimPointResult,
+    SimulationPoint,
+)
+from repro.simpoint.reduction import reduce_to_percentile
+from repro.simpoint.variance import variance_sweep
+
+__all__ = [
+    "SimPointAnalysis",
+    "SimPointResult",
+    "SimulationPoint",
+    "reduce_to_percentile",
+    "variance_sweep",
+]

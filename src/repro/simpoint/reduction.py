@@ -1,0 +1,57 @@
+"""90th-percentile simulation-point reduction (Section IV-C).
+
+The paper observes that a few dominant phases cover most of the execution:
+sorting points by descending weight and keeping them until the cumulative
+weight reaches 90 % drops the average point count from ~20 to ~12 with a
+small accuracy trade-off.  :func:`reduce_to_percentile` implements exactly
+that selection rule for any percentile (the Fig 9 sweep uses several).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SimPointError
+from repro.simpoint.simpoints import SimPointResult, SimulationPoint
+
+
+def reduce_to_percentile(
+    points: Sequence[SimulationPoint], percentile: float = 0.9
+) -> List[SimulationPoint]:
+    """Keep the heaviest points covering ``percentile`` of total weight.
+
+    Points are sorted by descending weight and selected until the running
+    weight sum reaches the threshold (the selected set always includes the
+    point that crosses it).  Original weights are preserved; aggregation
+    helpers renormalize when combining statistics.
+
+    Args:
+        points: Simulation points (e.g. ``result.points``).
+        percentile: Coverage threshold in (0, 1].
+
+    Returns:
+        The selected points in descending weight order.
+
+    Raises:
+        SimPointError: On an empty point list or bad percentile.
+    """
+    if not points:
+        raise SimPointError("cannot reduce an empty simulation-point set")
+    if not 0.0 < percentile <= 1.0:
+        raise SimPointError(f"percentile must be in (0, 1], got {percentile}")
+
+    ordered = sorted(points, key=lambda p: (-p.weight, p.slice_index))
+    total = sum(p.weight for p in ordered)
+    selected: List[SimulationPoint] = []
+    covered = 0.0
+    for point in ordered:
+        selected.append(point)
+        covered += point.weight / total
+        if covered >= percentile - 1e-12:
+            break
+    return selected
+
+
+def reduced_result(result: SimPointResult, percentile: float = 0.9) -> List[SimulationPoint]:
+    """Convenience: reduce a full :class:`SimPointResult`."""
+    return reduce_to_percentile(result.points, percentile)

@@ -1,0 +1,12 @@
+"""Sniper-like interval timing simulator.
+
+The paper uses Sniper to model the i7-3770 (Table III) and measures CPI on
+regional pinballs.  This package provides an interval-style core model on
+top of the cache substrate: cycles are accounted as issue-width-limited
+dispatch plus branch-misprediction penalties plus memory stalls amortized
+by memory-level parallelism.
+"""
+
+from repro.sniper.core import RegionTiming, SniperSimulator, TimingParams
+
+__all__ = ["SniperSimulator", "TimingParams", "RegionTiming"]

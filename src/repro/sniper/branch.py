@@ -1,0 +1,217 @@
+"""Branch outcome synthesis and table-based branch predictors.
+
+The default timing model converts branch entropy to a misprediction rate
+analytically.  For studies that need microarchitectural fidelity, this
+module synthesizes per-slice branch outcome streams consistent with the
+trace's entropy (a two-state Markov chain whose per-branch entropy equals
+the recorded value) and simulates classic predictors over them:
+
+* :class:`StaticTakenPredictor` — predict taken, the floor baseline,
+* :class:`BimodalPredictor` — per-PC 2-bit saturating counters,
+* :class:`GSharePredictor` — global history XOR PC into 2-bit counters.
+
+Outcome synthesis is deterministic in the slice index, so predictor
+results are identical between whole and regional replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.trace import SliceTrace
+
+#: Seed namespace for branch-stream synthesis.
+_STREAM_SEED = 0xB4A9C4
+
+
+def entropy_to_flip_probability(entropy: float) -> float:
+    """Invert the binary entropy function onto [0, 0.5].
+
+    A two-state Markov outcome stream that flips direction with
+    probability ``p`` has per-branch entropy ``H(p)``; solving
+    ``H(p) = entropy`` by bisection yields the flip probability that
+    realizes the trace's recorded unpredictability.
+    """
+    if not 0.0 <= entropy <= 1.0:
+        raise SimulationError(f"entropy must be in [0, 1], got {entropy}")
+    if entropy == 0.0:
+        return 0.0
+    if entropy == 1.0:
+        return 0.5
+
+    def binary_entropy(p: float) -> float:
+        return -(p * np.log2(p) + (1.0 - p) * np.log2(1.0 - p))
+
+    low, high = 1e-12, 0.5
+    for _ in range(80):
+        mid = 0.5 * (low + high)
+        if binary_entropy(mid) < entropy:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+def synthesize_branch_stream(
+    trace: SliceTrace, num_static_branches: int = 64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate the slice's branch outcome stream deterministically.
+
+    Args:
+        trace: The slice whose ``branch_count`` / ``branch_entropy``
+            parameterize the stream.
+        num_static_branches: Distinct static branch PCs to attribute
+            outcomes to.
+
+    Returns:
+        ``(pcs, outcomes)`` — int64 PC ids and boolean taken/not-taken
+        outcomes, both of length ``trace.branch_count``.
+    """
+    count = trace.branch_count
+    if count == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    rng = np.random.default_rng([_STREAM_SEED, trace.index])
+    pcs = rng.integers(0, num_static_branches, size=count).astype(np.int64)
+    flip_p = entropy_to_flip_probability(trace.branch_entropy)
+    flips = rng.random(count) < flip_p
+    initial = rng.random(num_static_branches) < 0.5
+
+    # Each static branch runs its own Markov(flip_p) direction chain:
+    # outcome = initial direction XOR running parity of that PC's flips.
+    # Computed vectorized by grouping the stream by PC (stable sort) and
+    # taking per-group cumulative parities.
+    order = np.argsort(pcs, kind="stable")
+    sorted_flips = flips[order].astype(np.int64)
+    sorted_pcs = pcs[order]
+    cum = np.cumsum(sorted_flips)
+    group_start = np.empty(count, dtype=bool)
+    group_start[0] = True
+    np.not_equal(sorted_pcs[1:], sorted_pcs[:-1], out=group_start[1:])
+    base = np.where(group_start, cum - sorted_flips, 0)
+    np.maximum.accumulate(base, out=base)
+    parity = (cum - base) % 2
+    sorted_outcomes = initial[sorted_pcs] ^ (parity == 1)
+    outcomes = np.empty(count, dtype=bool)
+    outcomes[order] = sorted_outcomes
+    return pcs, outcomes
+
+
+class BranchPredictorSim:
+    """Base class: stateful predictors consuming outcome streams."""
+
+    def predict_stream(self, pcs: np.ndarray, outcomes: np.ndarray) -> int:
+        """Run the stream through the predictor; return mispredictions."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all learned state."""
+        raise NotImplementedError
+
+
+class StaticTakenPredictor(BranchPredictorSim):
+    """Always predicts taken."""
+
+    def predict_stream(self, pcs: np.ndarray, outcomes: np.ndarray) -> int:
+        return int((~outcomes).sum())
+
+    def reset(self) -> None:
+        """Stateless; nothing to forget."""
+
+
+@dataclass
+class _CounterTable:
+    """A table of 2-bit saturating counters (shared by the predictors)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1 or self.size & (self.size - 1):
+            raise SimulationError("predictor table size must be a power of 2")
+        self.counters = np.full(self.size, 2, dtype=np.int8)  # weakly taken
+
+    def predict_and_update(self, index: int, taken: bool) -> bool:
+        counter = self.counters[index]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self.counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self.counters[index] = counter - 1
+        return bool(prediction)
+
+    def reset(self) -> None:
+        self.counters.fill(2)
+
+
+class BimodalPredictor(BranchPredictorSim):
+    """Per-PC 2-bit saturating counters.
+
+    Args:
+        table_size: Number of counters (power of two).
+    """
+
+    def __init__(self, table_size: int = 1024) -> None:
+        self.table = _CounterTable(table_size)
+        self._mask = table_size - 1
+
+    def predict_stream(self, pcs: np.ndarray, outcomes: np.ndarray) -> int:
+        mispredicts = 0
+        table = self.table
+        mask = self._mask
+        for pc, taken in zip(pcs.tolist(), outcomes.tolist()):
+            if table.predict_and_update(pc & mask, taken) != taken:
+                mispredicts += 1
+        return mispredicts
+
+    def reset(self) -> None:
+        self.table.reset()
+
+
+class GSharePredictor(BranchPredictorSim):
+    """Global-history XOR PC indexing into 2-bit counters.
+
+    Args:
+        history_bits: Length of the global branch-history register.
+        table_size: Number of counters (power of two).
+    """
+
+    def __init__(self, history_bits: int = 8, table_size: int = 1024) -> None:
+        if history_bits < 1:
+            raise SimulationError("need at least one history bit")
+        self.table = _CounterTable(table_size)
+        self._mask = table_size - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+
+    def predict_stream(self, pcs: np.ndarray, outcomes: np.ndarray) -> int:
+        mispredicts = 0
+        table = self.table
+        mask = self._mask
+        history_mask = self._history_mask
+        history = self._history
+        for pc, taken in zip(pcs.tolist(), outcomes.tolist()):
+            index = (pc ^ history) & mask
+            if table.predict_and_update(index, taken) != taken:
+                mispredicts += 1
+            history = ((history << 1) | taken) & history_mask
+        self._history = history
+        return mispredicts
+
+    def reset(self) -> None:
+        self.table.reset()
+        self._history = 0
+
+
+def simulate_slice_mispredicts(
+    predictor: BranchPredictorSim, trace: SliceTrace
+) -> int:
+    """Mispredictions of ``predictor`` over one slice's branch stream."""
+    pcs, outcomes = synthesize_branch_stream(trace)
+    if pcs.size == 0:
+        return 0
+    return predictor.predict_stream(pcs, outcomes)

@@ -1,0 +1,17 @@
+"""Statistics helpers: weighted aggregation and error metrics."""
+
+from repro.stats.compare import (
+    mean_abs_percentage_points,
+    max_abs_percentage_points,
+    percent_relative_error,
+    weighted_average,
+    weighted_mix,
+)
+
+__all__ = [
+    "weighted_average",
+    "weighted_mix",
+    "mean_abs_percentage_points",
+    "max_abs_percentage_points",
+    "percent_relative_error",
+]

@@ -1,0 +1,85 @@
+"""Weighted aggregation and comparison metrics.
+
+The paper combines per-simulation-point statistics by SimPoint weight and
+notes the ground rule (Section IV-D): only statistics normalized per
+instruction may be weight-averaged — CPI yes, IPC no.  These helpers
+implement that aggregation plus the error metrics quoted throughout the
+evaluation (percentage-point differences for mixes and miss rates,
+relative errors for CPI).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def weighted_average(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weight-average scalar statistics, renormalizing the weights.
+
+    Renormalization makes reduced point sets (whose weights sum to ~0.9)
+    directly comparable to full sets.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.shape != weights.shape or values.size == 0:
+        raise SimulationError("values and weights must align and be non-empty")
+    total = weights.sum()
+    if total <= 0:
+        raise SimulationError("weights must have a positive sum")
+    return float(np.dot(values, weights) / total)
+
+
+def weighted_mix(
+    mixes: Sequence[np.ndarray], weights: Sequence[float]
+) -> np.ndarray:
+    """Weight-average instruction-class distributions.
+
+    Args:
+        mixes: Per-region length-4 fraction vectors.
+        weights: SimPoint weights (renormalized internally).
+
+    Returns:
+        Length-4 combined distribution summing to 1.
+    """
+    mixes = np.asarray(mixes, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if mixes.ndim != 2 or mixes.shape[0] != weights.size or weights.size == 0:
+        raise SimulationError("mixes and weights must align and be non-empty")
+    total = weights.sum()
+    if total <= 0:
+        raise SimulationError("weights must have a positive sum")
+    combined = mixes.T @ (weights / total)
+    return combined / combined.sum()
+
+
+def mean_abs_percentage_points(a: Sequence[float], b: Sequence[float]) -> float:
+    """Mean |a - b| expressed in percentage points (inputs are fractions)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise SimulationError("distributions must have the same shape")
+    return float(np.abs(a - b).mean() * 100.0)
+
+
+def max_abs_percentage_points(a: Sequence[float], b: Sequence[float]) -> float:
+    """Max |a - b| expressed in percentage points (inputs are fractions)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise SimulationError("distributions must have the same shape")
+    return float(np.abs(a - b).max() * 100.0)
+
+
+def percent_relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| as a percentage.
+
+    Raises:
+        SimulationError: If the reference is zero.
+    """
+    if reference == 0:
+        raise SimulationError("relative error undefined for zero reference")
+    return abs(measured - reference) / abs(reference) * 100.0

@@ -1,0 +1,114 @@
+"""Confidence intervals for sampled estimates.
+
+Statistical sampling gives point estimates (weighted averages over
+simulation points); serious use needs error bars.  With one measurement
+per cluster, the classic tool is the weighted jackknife: re-estimate the
+statistic with each point left out, convert to pseudo-values, and take a
+normal-theory interval over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import SimulationError
+from repro.stats.compare import weighted_average
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width."""
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def jackknife_interval(
+    values: Sequence[float],
+    weights: Sequence[float],
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Delete-one jackknife CI for a weighted average.
+
+    Args:
+        values: Per-simulation-point statistics (e.g. per-point CPI).
+        weights: SimPoint weights (renormalized internally).
+        confidence: Two-sided coverage level in (0, 1).
+
+    Returns:
+        A :class:`ConfidenceInterval`; degenerate (zero-width) when only
+        one point is available.
+
+    Raises:
+        SimulationError: On misaligned inputs or a bad confidence level.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.shape != weights.shape or values.size == 0:
+        raise SimulationError("values and weights must align and be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise SimulationError("confidence must be in (0, 1)")
+
+    estimate = weighted_average(values, weights)
+    n = values.size
+    if n == 1:
+        return ConfidenceInterval(estimate, estimate, estimate, confidence)
+
+    leave_one_out = np.empty(n)
+    for i in range(n):
+        mask = np.ones(n, dtype=bool)
+        mask[i] = False
+        leave_one_out[i] = weighted_average(values[mask], weights[mask])
+    pseudo = n * estimate - (n - 1) * leave_one_out
+    centre = pseudo.mean()
+    spread = pseudo.std(ddof=1) / np.sqrt(n)
+    quantile = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    half = float(quantile * spread)
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=centre - half,
+        high=centre + half,
+        confidence=confidence,
+    )
+
+
+def required_sample_size(
+    pilot_values: Sequence[float],
+    target_relative_error: float,
+    confidence: float = 0.95,
+) -> int:
+    """Sample size needed to hit a target relative error (CLT estimate).
+
+    The SMARTS-style planning formula: given pilot measurements, how many
+    independent samples bound the relative half-width of the confidence
+    interval by ``target_relative_error``?
+
+    Raises:
+        SimulationError: On degenerate pilots or a non-positive target.
+    """
+    pilot = np.asarray(pilot_values, dtype=np.float64)
+    if pilot.size < 2:
+        raise SimulationError("need at least two pilot measurements")
+    if target_relative_error <= 0:
+        raise SimulationError("target relative error must be positive")
+    mean = pilot.mean()
+    if mean == 0:
+        raise SimulationError("pilot mean of zero; relative error undefined")
+    cv = pilot.std(ddof=1) / abs(mean)
+    z = scipy_stats.norm.ppf(0.5 + confidence / 2.0)
+    return int(np.ceil((z * cv / target_relative_error) ** 2))

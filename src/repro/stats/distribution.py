@@ -1,0 +1,96 @@
+"""Formal distribution comparisons for sampled-vs-whole profiles.
+
+The paper eyeballs "<1 %" agreement between instruction distributions;
+this module provides the formal counterparts: total-variation distance,
+KL divergence, and a chi-square goodness-of-fit test that asks whether
+the whole run's class counts are consistent with the sampled
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import SimulationError
+
+
+def _as_distribution(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise SimulationError(f"{name} must be a non-empty vector")
+    if (arr < 0).any():
+        raise SimulationError(f"{name} must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise SimulationError(f"{name} must have positive mass")
+    return arr / total
+
+
+def total_variation_distance(
+    p: Sequence[float], q: Sequence[float]
+) -> float:
+    """TV distance in [0, 1]: half the L1 difference of distributions."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.shape != q.shape:
+        raise SimulationError("distributions must have the same support")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def kl_divergence(
+    p: Sequence[float], q: Sequence[float], epsilon: float = 1e-12
+) -> float:
+    """KL(p || q) in nats, with an epsilon floor against empty bins."""
+    p = _as_distribution(p, "p")
+    q = _as_distribution(q, "q")
+    if p.shape != q.shape:
+        raise SimulationError("distributions must have the same support")
+    p = np.clip(p, epsilon, None)
+    q = np.clip(q, epsilon, None)
+    return float(np.sum(p * np.log(p / q)))
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a goodness-of-fit test."""
+
+    statistic: float
+    p_value: float
+    degrees_of_freedom: int
+
+    def consistent(self, alpha: float = 0.01) -> bool:
+        """Whether the observed counts fit the expected distribution."""
+        return self.p_value >= alpha
+
+
+def chi_square_fit(
+    observed_counts: Sequence[float], expected_fractions: Sequence[float]
+) -> ChiSquareResult:
+    """Chi-square goodness-of-fit of counts against a model distribution.
+
+    Args:
+        observed_counts: Raw category counts (e.g. the whole run's
+            instruction-class counts).
+        expected_fractions: Model distribution (e.g. the weighted
+            simulation-point mix).
+
+    Raises:
+        SimulationError: On shape mismatch or empty inputs.
+    """
+    observed = np.asarray(observed_counts, dtype=np.float64)
+    expected = _as_distribution(expected_fractions, "expected_fractions")
+    if observed.shape != expected.shape:
+        raise SimulationError("counts and fractions must align")
+    if observed.sum() <= 0:
+        raise SimulationError("observed counts must have positive mass")
+    expected_counts = expected * observed.sum()
+    statistic, p_value = scipy_stats.chisquare(observed, expected_counts)
+    return ChiSquareResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        degrees_of_freedom=int(observed.size - 1),
+    )

@@ -1,0 +1,23 @@
+"""Execution-time model for whole/regional/reduced runs."""
+
+from repro.timemodel.runtime import (
+    LOGGER_SLOWDOWN,
+    NATIVE_GIPS,
+    REPLAY_MIPS,
+    RunCost,
+    logging_cost,
+    reduced_regional_run_cost,
+    regional_run_cost,
+    whole_run_cost,
+)
+
+__all__ = [
+    "RunCost",
+    "whole_run_cost",
+    "regional_run_cost",
+    "reduced_regional_run_cost",
+    "logging_cost",
+    "REPLAY_MIPS",
+    "NATIVE_GIPS",
+    "LOGGER_SLOWDOWN",
+]

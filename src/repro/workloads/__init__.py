@@ -1,0 +1,46 @@
+"""Synthetic SPEC CPU2017 workload substrate.
+
+SPEC binaries and reference inputs are proprietary, so this package stands
+in for them (see DESIGN.md "Substitutions"): each of the paper's 30
+benchmarks is modelled as a phase-structured synthetic program whose latent
+phase count, phase-weight skew, instruction mix, and memory behaviour are
+calibrated to Table II / Figures 6-8 of the paper.  Everything downstream
+(clustering, point selection, miss rates, CPI) is *measured* from these
+programs, never asserted.
+"""
+
+from repro.workloads.scaling import (
+    DEFAULT_SLICE_INSTRUCTIONS,
+    DEFAULT_TOTAL_SLICES,
+    PAPER_SLICE_INSTRUCTIONS,
+    PAPER_WARMUP_INSTRUCTIONS,
+    ScaleModel,
+)
+from repro.workloads.phases import PhaseSpec, geometric_phase_weights, phase_slice_counts
+from repro.workloads.schedule import PhaseSchedule
+from repro.workloads.program import SyntheticProgram
+from repro.workloads.spec2017 import (
+    BenchmarkDescriptor,
+    SPEC_CPU2017,
+    benchmark_names,
+    build_program,
+    get_descriptor,
+)
+
+__all__ = [
+    "ScaleModel",
+    "PAPER_SLICE_INSTRUCTIONS",
+    "PAPER_WARMUP_INSTRUCTIONS",
+    "DEFAULT_SLICE_INSTRUCTIONS",
+    "DEFAULT_TOTAL_SLICES",
+    "PhaseSpec",
+    "geometric_phase_weights",
+    "phase_slice_counts",
+    "PhaseSchedule",
+    "SyntheticProgram",
+    "BenchmarkDescriptor",
+    "SPEC_CPU2017",
+    "benchmark_names",
+    "get_descriptor",
+    "build_program",
+]

@@ -1,0 +1,222 @@
+"""Phase specifications and the Table II weight calibration solver.
+
+A benchmark is a set of latent *phases*.  Table II of the paper pins two
+observable properties per benchmark: the number of phases (simulation
+points found at MaxK=35) and how many of them cover 90 % of execution.
+:func:`geometric_phase_weights` constructs a weight vector with exactly
+that 90th-percentile structure by solving for the ratio of a geometric
+distribution, and :func:`phase_slice_counts` turns the weights into integer
+slice counts that preserve the cut after rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Static description of one latent phase.
+
+    Attributes:
+        phase_id: Phase index within the benchmark.
+        weight: Fraction of all slices belonging to this phase.
+        mix: Length-4 instruction-class probabilities (sums to 1).
+        mem_fractions: Length-5 probabilities over memory access targets:
+            (L1-resident hot set, L2-sized set, hot L3 set, cold L3 set,
+            streaming).  The hot/cold L3 split models reuse locality: hot
+            L3 lines are re-referenced often enough that cache warming
+            recovers them, cold L3 lines are touched rarely.
+        ws_lines: Length-4 working-set sizes in cache lines for the four
+            resident sets.
+        branch_fraction: Fraction of instructions that are branches.
+        branch_entropy: Outcome entropy per branch, in [0, 1].
+        num_blocks: Static basic blocks owned by the phase.
+        code_lines: Instruction-cache lines the phase's code spans.
+    """
+
+    phase_id: int
+    weight: float
+    mix: Tuple[float, float, float, float]
+    mem_fractions: Tuple[float, float, float, float, float]
+    ws_lines: Tuple[int, int, int, int]
+    branch_fraction: float
+    branch_entropy: float
+    num_blocks: int
+    code_lines: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise WorkloadError(f"phase {self.phase_id}: weight must be in (0, 1]")
+        for name, vec, length in (
+            ("mix", self.mix, 4),
+            ("mem_fractions", self.mem_fractions, 5),
+        ):
+            if len(vec) != length or any(v < 0 for v in vec):
+                raise WorkloadError(f"phase {self.phase_id}: bad {name}")
+            if not np.isclose(sum(vec), 1.0, atol=1e-6):
+                raise WorkloadError(f"phase {self.phase_id}: {name} must sum to 1")
+        if len(self.ws_lines) != 4:
+            raise WorkloadError(f"phase {self.phase_id}: need 4 working-set sizes")
+        if any(w < 1 for w in self.ws_lines):
+            raise WorkloadError(f"phase {self.phase_id}: working sets must be >= 1 line")
+        if not 0.0 <= self.branch_fraction < 1.0:
+            raise WorkloadError(f"phase {self.phase_id}: bad branch fraction")
+        if not 0.0 <= self.branch_entropy <= 1.0:
+            raise WorkloadError(f"phase {self.phase_id}: bad branch entropy")
+        if self.num_blocks < 1 or self.code_lines < 1:
+            raise WorkloadError(f"phase {self.phase_id}: code structure must be non-empty")
+
+
+def _geometric_cumulative(ratio: float, m: int, n: int) -> float:
+    """Cumulative weight of the top ``m`` of ``n`` geometric weights."""
+    if abs(1.0 - ratio) < 1e-12:
+        return m / n
+    return (1.0 - ratio ** m) / (1.0 - ratio ** n)
+
+
+def geometric_phase_weights(
+    num_phases: int, num_90pct: int, margin: float = 0.02
+) -> np.ndarray:
+    """Weights whose 90 %-coverage cut lands exactly at ``num_90pct`` phases.
+
+    Weights are proportional to ``r^i``; the ratio ``r`` is found by
+    bisection so that the top ``num_90pct`` weights sum to ``0.9 + margin``
+    (the margin keeps the cut robust to integer rounding of slice counts).
+
+    Args:
+        num_phases: Total number of phases (Table II column 2).
+        num_90pct: Phases needed to cover 90 % of execution (column 3);
+            must satisfy ``1 <= num_90pct < num_phases`` and
+            ``num_90pct / num_phases < 0.9 + margin``.
+        margin: Safety margin above the 0.9 threshold.
+
+    Returns:
+        Descending weight vector of length ``num_phases`` summing to 1.
+    """
+    if num_phases < 2:
+        raise WorkloadError("need at least two phases for a weight profile")
+    if not 1 <= num_90pct < num_phases:
+        raise WorkloadError(
+            f"num_90pct must be in [1, {num_phases - 1}], got {num_90pct}"
+        )
+    # Flat profiles (num_90pct close to 0.9 * num_phases) leave little room
+    # above the threshold, so shrink the margin until the cut is valid.
+    candidates = [margin, 0.012, 0.008, 0.005, 0.003, 0.0015, 0.0008]
+    last = (0.0, 0.0)
+    for candidate in candidates:
+        target = 0.9 + candidate
+        if num_90pct / num_phases >= target:
+            continue
+        low, high = 1e-6, 1.0 - 1e-9
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if _geometric_cumulative(mid, num_90pct, num_phases) > target:
+                low = mid
+            else:
+                high = mid
+        ratio = 0.5 * (low + high)
+        weights = ratio ** np.arange(num_phases, dtype=np.float64)
+        weights /= weights.sum()
+        top = float(weights[:num_90pct].sum())
+        below = float(weights[: num_90pct - 1].sum())
+        last = (below, top)
+        if below < 0.9 <= top:
+            return weights
+    raise WorkloadError(
+        f"weight solve failed for ({num_phases}, {num_90pct}): "
+        f"cum({num_90pct - 1})={last[0]:.4f}, cum({num_90pct})={last[1]:.4f}"
+    )
+
+
+def ninety_percentile_count(weights: np.ndarray, threshold: float = 0.9) -> int:
+    """Number of phases covering ``threshold`` of the total weight.
+
+    Implements the paper's rule: sort descending, select until the running
+    sum reaches the threshold.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0 or weights.sum() <= 0:
+        raise WorkloadError("weights must be non-empty with a positive sum")
+    ordered = np.sort(weights)[::-1] / weights.sum()
+    cumulative = np.cumsum(ordered)
+    return int(np.searchsorted(cumulative, threshold - 1e-12) + 1)
+
+
+def phase_slice_counts(
+    weights: np.ndarray, total_slices: int, num_90pct: int
+) -> np.ndarray:
+    """Integer slice counts realizing ``weights`` with the Table II cut intact.
+
+    Uses largest-remainder rounding with a one-slice minimum per phase,
+    then repairs the counts (moving single slices between phases) until the
+    90 %-coverage cut computed from the *integer* counts equals
+    ``num_90pct``.
+
+    Raises:
+        WorkloadError: If ``total_slices`` is too small to represent the
+            profile or the repair loop cannot converge.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.size
+    if total_slices < 2 * n:
+        raise WorkloadError(
+            f"{total_slices} slices cannot represent {n} phases; "
+            f"need at least {2 * n}"
+        )
+    # Feasibility: every phase needs >= 1 slice, so the top num_90pct
+    # phases can hold at most total - (n - num_90pct) slices; that must
+    # reach the 90 % threshold.
+    if 10 * (total_slices - (n - num_90pct)) < 9 * total_slices:
+        raise WorkloadError(
+            f"cut {num_90pct}/{n} infeasible with {total_slices} slices: "
+            f"the {n - num_90pct} tail phases alone exceed 10% of execution"
+        )
+
+    raw = weights / weights.sum() * total_slices
+    counts = np.floor(raw).astype(np.int64)
+    counts = np.maximum(counts, 1)
+    # Largest-remainder distribution of the leftover slices.
+    while counts.sum() < total_slices:
+        remainders = raw - counts
+        counts[int(remainders.argmax())] += 1
+    while counts.sum() > total_slices:
+        # Shrink the most over-represented phase that can spare a slice.
+        excess = counts - raw
+        candidates = np.where(counts > 1)[0]
+        victim = candidates[int(excess[candidates].argmax())]
+        counts[victim] -= 1
+
+    for _ in range(4 * total_slices):
+        order = np.argsort(-counts, kind="stable")
+        top = int(counts[order[:num_90pct]].sum())
+        below = top - int(counts[order[num_90pct - 1]])
+        # Integer-exact threshold test: cum >= 0.9 <=> 10 * sum >= 9 * S.
+        head_heavy = 10 * below >= 9 * total_slices
+        head_light = 10 * top < 9 * total_slices
+        if not head_heavy and not head_light:
+            break
+        if head_heavy:
+            counts[order[0]] -= 1
+            counts[order[-1]] += 1
+        else:
+            donors = [i for i in order[num_90pct:] if counts[i] > 1]
+            if donors:
+                counts[donors[-1]] -= 1
+            else:
+                counts[order[0]] -= 1
+            counts[order[num_90pct - 1]] += 1
+    else:
+        raise WorkloadError(
+            f"could not realize 90th-percentile cut {num_90pct} "
+            f"with {total_slices} slices over {n} phases"
+        )
+
+    if counts.min() < 1:
+        raise WorkloadError("slice-count repair produced an empty phase")
+    return counts

@@ -1,0 +1,311 @@
+"""The synthetic program: deterministic slice-trace generation.
+
+A :class:`SyntheticProgram` turns phase specifications plus a schedule into
+a stream of :class:`~repro.isa.trace.SliceTrace` objects.  The critical
+property is *per-slice determinism*: slice ``i`` is generated from an RNG
+seeded by ``(program_seed, i)`` and from offsets that are pure functions of
+``i``, so the trace of slice ``i`` is bit-identical whether it is produced
+during a whole-program run or replayed in isolation from a regional
+pinball.  This is the synthetic equivalent of PinPlay's deterministic
+checkpoint replay — and it means any whole-vs-regional statistical
+difference is *purely* a cache/sampling effect, never generation noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.isa.basicblock import BasicBlock, CodeRegion
+from repro.isa.trace import SliceTrace
+from repro.workloads.phases import PhaseSpec
+from repro.workloads.schedule import PhaseSchedule
+
+# Address-space layout (in units of cache lines).  Each phase owns a large
+# private arena; regions inside the arena are spaced far apart so working
+# sets, streams, and code can never overlap.  Every region base is further
+# jittered by a random sub-offset: power-of-two-aligned bases would alias
+# all phases' working sets onto the same low cache sets of a direct-mapped
+# cache (base mod num_sets == 0 for every phase), which is not how real
+# allocators lay out heaps.
+_ARENA_SHIFT = 38
+_WS2_OFFSET = 1 << 30
+_WS3HOT_OFFSET = 1 << 31
+_WS3COLD_OFFSET = 1 << 32
+_STREAM_OFFSET = 1 << 34
+_CODE_OFFSET = 1 << 35
+_BASE_JITTER_LINES = 1 << 24
+#: Maximum streaming references one slice may emit (address window size).
+STREAM_WINDOW_LINES = 1 << 13
+
+
+class _RuntimePhase:
+    """Precomputed per-phase generation state."""
+
+    def __init__(
+        self,
+        spec: PhaseSpec,
+        block_offset: int,
+        shared_ids: np.ndarray,
+        shared_sizes: np.ndarray,
+        shared_fraction: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.spec = spec
+        self.block_ids = np.arange(
+            block_offset, block_offset + spec.num_blocks, dtype=np.int64
+        )
+        self.block_sizes = rng.integers(3, 9, size=spec.num_blocks).astype(np.int64)
+        own_freqs = rng.dirichlet(np.full(spec.num_blocks, 0.8))
+        # Every phase also exercises the shared "library" blocks a little,
+        # like real programs share libc; this keeps BBVs realistic without
+        # collapsing cluster separation.
+        if shared_ids.size and shared_fraction > 0:
+            shared_freqs = np.full(shared_ids.size, shared_fraction / shared_ids.size)
+            self.entry_ids = np.concatenate([shared_ids, self.block_ids])
+            self.entry_sizes = np.concatenate([shared_sizes, self.block_sizes])
+            self.entry_freqs = np.concatenate(
+                [shared_freqs, own_freqs * (1.0 - shared_fraction)]
+            )
+        else:
+            self.entry_ids = self.block_ids
+            self.entry_sizes = self.block_sizes
+            self.entry_freqs = own_freqs
+        self.entry_freqs = self.entry_freqs / self.entry_freqs.sum()
+        self.instructions_per_entry = float(
+            np.dot(self.entry_sizes, self.entry_freqs)
+        )
+
+        arena = (spec.phase_id + 1) << _ARENA_SHIFT
+
+        def place(offset: int) -> int:
+            return arena + offset + int(rng.integers(0, _BASE_JITTER_LINES))
+
+        self.ws_bases = (
+            place(0),
+            place(_WS2_OFFSET),
+            place(_WS3HOT_OFFSET),
+            place(_WS3COLD_OFFSET),
+        )
+        self.ws_sizes = spec.ws_lines
+        self.stream_base = place(_STREAM_OFFSET)
+        self.code_base = place(_CODE_OFFSET)
+        self.mix = np.asarray(spec.mix, dtype=np.float64)
+        self.mem_fractions = np.asarray(spec.mem_fractions, dtype=np.float64)
+
+    def code_region(self) -> CodeRegion:
+        """Static code view of this phase (for inspection and tests)."""
+        blocks = [
+            BasicBlock(
+                block_id=int(bid),
+                size=int(size),
+                mix=tuple(self.mix),
+                code_lines=max(1, int(size) // 4),
+            )
+            for bid, size in zip(self.block_ids, self.block_sizes)
+        ]
+        own = self.entry_freqs[-len(blocks):]
+        return CodeRegion(self.spec.phase_id, blocks, frequencies=own)
+
+
+class SyntheticProgram:
+    """A deterministic, phase-structured synthetic workload.
+
+    Args:
+        name: Benchmark name (display only).
+        phases: One :class:`PhaseSpec` per latent phase, ids ``0..n-1``.
+        schedule: Slice-to-phase mapping.
+        slice_size: Target instructions per slice.
+        seed: Master seed; all generation derives from it.
+        shared_blocks: Number of library blocks shared by all phases.
+        shared_fraction: Fraction of block entries hitting shared blocks.
+        block_model: How block entries are drawn within a slice:
+            ``"multinomial"`` (default; i.i.d. draws from the phase's
+            block frequencies) or ``"markov"`` (a self-loop-biased Markov
+            walk whose stationary distribution equals those frequencies —
+            real control flow revisits the same block in bursts, which
+            raises within-phase BBV variance realistically).
+        markov_self_loop: Stay probability of the Markov walk.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[PhaseSpec],
+        schedule: PhaseSchedule,
+        slice_size: int,
+        seed: int,
+        shared_blocks: int = 6,
+        shared_fraction: float = 0.05,
+        block_model: str = "multinomial",
+        markov_self_loop: float = 0.45,
+    ) -> None:
+        if slice_size < 100:
+            raise WorkloadError("slice_size must be at least 100 instructions")
+        if block_model not in ("multinomial", "markov"):
+            raise WorkloadError(f"unknown block model {block_model!r}")
+        if not 0.0 <= markov_self_loop < 1.0:
+            raise WorkloadError("markov_self_loop must be in [0, 1)")
+        if schedule.num_phases != len(phases):
+            raise WorkloadError(
+                f"schedule has {schedule.num_phases} phases, specs have {len(phases)}"
+            )
+        ids = [p.phase_id for p in phases]
+        if ids != list(range(len(phases))):
+            raise WorkloadError("phase ids must be dense and ordered 0..n-1")
+
+        self.name = name
+        self.phases = list(phases)
+        self.schedule = schedule
+        self.slice_size = int(slice_size)
+        self.seed = int(seed)
+        self.block_model = block_model
+        self.markov_self_loop = float(markov_self_loop)
+
+        build_rng = np.random.default_rng([self.seed, 0xB10C])
+        shared_ids = np.arange(shared_blocks, dtype=np.int64)
+        shared_sizes = build_rng.integers(3, 9, size=shared_blocks).astype(np.int64)
+        self._runtime: List[_RuntimePhase] = []
+        offset = shared_blocks
+        for spec in self.phases:
+            phase = _RuntimePhase(
+                spec, offset, shared_ids, shared_sizes, shared_fraction, build_rng
+            )
+            self._runtime.append(phase)
+            offset += spec.num_blocks
+        self.num_blocks = offset
+        self.block_sizes = np.empty(offset, dtype=np.int64)
+        self.block_sizes[:shared_blocks] = shared_sizes
+        for phase in self._runtime:
+            self.block_sizes[phase.block_ids[0] : phase.block_ids[-1] + 1] = (
+                phase.block_sizes
+            )
+
+    @property
+    def num_slices(self) -> int:
+        """Total slices in the whole execution."""
+        return len(self.schedule)
+
+    @property
+    def num_phases(self) -> int:
+        """Number of latent phases (ground truth, hidden from analysis)."""
+        return len(self.phases)
+
+    def phase_of_slice(self, slice_index: int) -> int:
+        """Ground-truth phase id of a slice (for validation only)."""
+        return self.schedule[slice_index]
+
+    def code_regions(self) -> List[CodeRegion]:
+        """Static code regions, one per phase."""
+        return [phase.code_region() for phase in self._runtime]
+
+    def generate_slice(self, slice_index: int) -> SliceTrace:
+        """Generate the trace of slice ``slice_index`` deterministically.
+
+        Raises:
+            WorkloadError: If the index is out of range.
+        """
+        if not 0 <= slice_index < self.num_slices:
+            raise WorkloadError(
+                f"slice {slice_index} out of range [0, {self.num_slices})"
+            )
+        phase_id = self.schedule[slice_index]
+        phase = self._runtime[phase_id]
+        rng = np.random.default_rng([self.seed, 1 + slice_index])
+
+        entries = max(1, int(round(self.slice_size / phase.instructions_per_entry)))
+        if self.block_model == "markov":
+            entry_counts = self._markov_entry_counts(phase, entries, rng)
+        else:
+            entry_counts = rng.multinomial(entries, phase.entry_freqs)
+        block_counts = np.zeros(self.num_blocks, dtype=np.int64)
+        block_counts[phase.entry_ids] = entry_counts
+        instruction_count = int(np.dot(entry_counts, phase.entry_sizes))
+        if instruction_count == 0:
+            # Degenerate multinomial draw (all mass on zero-size entries is
+            # impossible since sizes >= 4, but keep a hard floor anyway).
+            instruction_count = self.slice_size
+
+        class_counts = rng.multinomial(instruction_count, phase.mix)
+        num_refs = int(class_counts[1] + class_counts[2] + 2 * class_counts[3])
+        if num_refs > 0:
+            targets = rng.multinomial(num_refs, phase.mem_fractions)
+            parts = []
+            for region in range(4):
+                if targets[region] > 0:
+                    parts.append(
+                        phase.ws_bases[region]
+                        + rng.integers(
+                            0, phase.ws_sizes[region], size=targets[region]
+                        )
+                    )
+            stream_count = min(int(targets[4]), STREAM_WINDOW_LINES)
+            if stream_count > 0:
+                start = phase.stream_base + slice_index * STREAM_WINDOW_LINES
+                parts.append(np.arange(start, start + stream_count, dtype=np.int64))
+            mem_lines = np.concatenate(parts) if parts else np.empty(0, np.int64)
+            mem_lines = mem_lines[rng.permutation(mem_lines.size)]
+            write_prob = (class_counts[2] + class_counts[3]) / num_refs
+            mem_is_write = rng.random(mem_lines.size) < write_prob
+        else:
+            mem_lines = np.empty(0, dtype=np.int64)
+            mem_is_write = np.empty(0, dtype=bool)
+
+        fetch_count = int(np.clip(instruction_count // 40, 32, 512))
+        ifetch_lines = phase.code_base + rng.integers(
+            0, phase.spec.code_lines, size=fetch_count
+        )
+        branch_count = int(instruction_count * phase.spec.branch_fraction)
+
+        return SliceTrace(
+            index=slice_index,
+            phase_id=phase_id,
+            instruction_count=instruction_count,
+            block_counts=block_counts,
+            class_counts=class_counts.astype(np.int64),
+            mem_lines=mem_lines.astype(np.int64),
+            mem_is_write=mem_is_write,
+            ifetch_lines=ifetch_lines.astype(np.int64),
+            branch_count=branch_count,
+            branch_entropy=phase.spec.branch_entropy,
+        )
+
+    def _markov_entry_counts(
+        self, phase: _RuntimePhase, entries: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Block-entry counts from a self-loop-biased Markov walk.
+
+        The chain either stays on the current block (probability
+        ``markov_self_loop``) or jumps to a block drawn from the phase's
+        entry frequencies.  For that mixture the stationary distribution
+        is exactly the frequency vector, so long-run behaviour matches
+        the multinomial model while short-run behaviour is bursty.
+        Implemented vectorized via forward-filling jump targets.
+        """
+        stay = self.markov_self_loop
+        jumps = rng.random(entries) >= stay
+        jumps[0] = True
+        targets = rng.choice(
+            phase.entry_freqs.size, size=int(jumps.sum()),
+            p=phase.entry_freqs,
+        )
+        # Forward-fill: every entry carries the most recent jump's target.
+        jump_index = np.cumsum(jumps) - 1
+        walk = targets[jump_index]
+        return np.bincount(walk, minlength=phase.entry_freqs.size)
+
+    def iter_slices(
+        self, start: int = 0, count: Optional[int] = None
+    ) -> Iterator[SliceTrace]:
+        """Yield slice traces ``start .. start+count`` in program order."""
+        if count is None:
+            count = self.num_slices - start
+        if start < 0 or count < 0 or start + count > self.num_slices:
+            raise WorkloadError(
+                f"range [{start}, {start + count}) outside execution "
+                f"of {self.num_slices} slices"
+            )
+        for index in range(start, start + count):
+            yield self.generate_slice(index)

@@ -1,0 +1,156 @@
+"""PCA, hierarchical clustering, suite subsetting, and timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bbv_transition_series,
+    benchmark_features,
+    detect_phase_transitions,
+    hierarchical_clusters,
+    metric_timeline,
+    pca,
+    select_subset,
+)
+from repro.errors import SimulationError
+
+from conftest import QUICK
+
+
+class TestPca:
+    def test_shapes_and_ordering(self, rng):
+        data = rng.normal(size=(30, 6))
+        projected, components, ratio = pca(data, 3)
+        assert projected.shape == (30, 3)
+        assert components.shape == (3, 6)
+        assert (np.diff(ratio) <= 1e-12).all()  # descending variance
+
+    def test_first_component_captures_correlated_features(self, rng):
+        # Features are standardized, so dominance comes from correlation:
+        # two copies of the same signal share one component.
+        signal = rng.normal(size=(100, 1))
+        data = np.hstack([
+            signal,
+            signal + rng.normal(0, 0.01, size=(100, 1)),
+            rng.normal(size=(100, 2)),
+        ])
+        _, _, ratio = pca(data, 2)
+        assert ratio[0] > 0.4          # ~2 of 4 units of variance
+        assert ratio[0] > 1.5 * ratio[1]
+
+    def test_projection_separates_groups(self, rng):
+        a = rng.normal(0, 0.1, size=(20, 5))
+        b = rng.normal(4, 0.1, size=(20, 5))
+        projected, _, _ = pca(np.vstack([a, b]), 2)
+        assert abs(projected[:20, 0].mean() - projected[20:, 0].mean()) > 1.0
+
+    def test_constant_feature_handled(self, rng):
+        data = rng.normal(size=(15, 3))
+        data[:, 1] = 7.0
+        projected, _, _ = pca(data, 2)
+        assert np.isfinite(projected).all()
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(SimulationError):
+            pca(rng.normal(size=(1, 4)), 1)
+        with pytest.raises(SimulationError):
+            pca(rng.normal(size=(5, 4)), 5)
+
+
+class TestHierarchicalClustering:
+    def test_recovers_separated_groups(self, rng):
+        a = rng.normal(0, 0.1, size=(8, 3))
+        b = rng.normal(5, 0.1, size=(6, 3))
+        c = rng.normal(-5, 0.1, size=(4, 3))
+        labels = hierarchical_clusters(np.vstack([a, b, c]), 3)
+        groups = [labels[:8], labels[8:14], labels[14:]]
+        for group in groups:
+            assert len(set(group.tolist())) == 1
+        assert len({g[0] for g in groups}) == 3
+
+    def test_k_one(self, rng):
+        labels = hierarchical_clusters(rng.normal(size=(6, 2)), 1)
+        assert (labels == 0).all()
+
+    def test_k_equals_n(self, rng):
+        labels = hierarchical_clusters(rng.normal(size=(5, 2)), 5)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_labels_dense(self, rng):
+        labels = hierarchical_clusters(rng.normal(size=(12, 3)), 4)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(SimulationError):
+            hierarchical_clusters(rng.normal(size=(4, 2)), 0)
+        with pytest.raises(SimulationError):
+            hierarchical_clusters(rng.normal(size=(4, 2)), 5)
+
+
+class TestSubsetting:
+    BENCHMARKS = ["620.omnetpp_s", "557.xz_r", "541.leela_r"]
+
+    def test_features_shape(self):
+        features, names, feature_names = benchmark_features(
+            self.BENCHMARKS, **QUICK
+        )
+        assert features.shape == (3, len(feature_names))
+        assert names == ["620.omnetpp_s", "557.xz_r", "541.leela_r"]
+        assert np.isfinite(features).all()
+
+    def test_select_subset(self):
+        result = select_subset(self.BENCHMARKS, subset_size=2, **QUICK)
+        assert len(result.representatives) == 2
+        assert set(result.representatives) <= set(result.benchmarks)
+        assert result.labels.size == 3
+        members = result.cluster_members()
+        assert sum(len(v) for v in members.values()) == 3
+
+    def test_representative_is_cluster_member(self):
+        result = select_subset(self.BENCHMARKS, subset_size=2, **QUICK)
+        members = result.cluster_members()
+        for cluster, representative in enumerate(result.representatives):
+            assert representative in members[cluster]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            benchmark_features([])
+
+
+class TestTimeseries:
+    def test_transition_series_shape(self, small_program):
+        distances = bbv_transition_series(small_program)
+        assert distances.shape == (small_program.num_slices - 1,)
+        assert (distances >= 0).all()
+        assert (distances <= 2.0 + 1e-9).all()
+
+    def test_transitions_match_schedule(self, small_program):
+        timeline = metric_timeline(
+            small_program,
+            metric=lambda t: t.memory_reference_count / t.instruction_count,
+        )
+        # Every schedule boundary produces a BBV distance spike.
+        assert timeline.detection_recall(tolerance=0) == 1.0
+        # And no spurious transitions inside phases.
+        detected = set(timeline.transitions.tolist())
+        true = set(timeline.true_transitions.tolist())
+        assert detected == true
+
+    def test_metric_values_track_phases(self, small_program):
+        timeline = metric_timeline(
+            small_program, metric=lambda t: float(t.phase_id)
+        )
+        assert timeline.values.shape == (small_program.num_slices,)
+        assert set(np.unique(timeline.values)) == {0.0, 1.0, 2.0}
+
+    def test_threshold_validation(self, small_program):
+        distances = bbv_transition_series(small_program)
+        with pytest.raises(SimulationError):
+            detect_phase_transitions(distances, threshold=0.0)
+        with pytest.raises(SimulationError):
+            detect_phase_transitions(np.array([]), threshold=0.5)
+
+    def test_high_threshold_finds_nothing(self, small_program):
+        distances = bbv_transition_series(small_program)
+        transitions = detect_phase_transitions(distances, threshold=1.99)
+        assert transitions.size == 0

@@ -1,0 +1,186 @@
+"""Branch stream synthesis and table-based predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sniper import SniperSimulator
+from repro.sniper.branch import (
+    BimodalPredictor,
+    GSharePredictor,
+    StaticTakenPredictor,
+    entropy_to_flip_probability,
+    simulate_slice_mispredicts,
+    synthesize_branch_stream,
+)
+from repro.workloads.schedule import PhaseSchedule
+from repro.workloads.program import SyntheticProgram
+
+from conftest import make_phase
+
+
+def _binary_entropy(p):
+    if p in (0.0, 1.0):
+        return 0.0
+    return -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+
+
+class TestEntropyInversion:
+    def test_endpoints(self):
+        assert entropy_to_flip_probability(0.0) == 0.0
+        assert entropy_to_flip_probability(1.0) == 0.5
+
+    @pytest.mark.parametrize("entropy", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_roundtrip(self, entropy):
+        p = entropy_to_flip_probability(entropy)
+        assert _binary_entropy(p) == pytest.approx(entropy, abs=1e-6)
+        assert 0.0 < p <= 0.5
+
+    def test_monotone(self):
+        ps = [entropy_to_flip_probability(h) for h in (0.1, 0.4, 0.8)]
+        assert ps == sorted(ps)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            entropy_to_flip_probability(1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(entropy=st.floats(0.0, 1.0))
+    def test_property_inverse(self, entropy):
+        p = entropy_to_flip_probability(entropy)
+        assert _binary_entropy(p) == pytest.approx(entropy, abs=1e-5)
+
+
+def make_trace(entropy, branches=2000, index=0):
+    program_trace = None
+
+    from repro.isa.trace import SliceTrace
+
+    return SliceTrace(
+        index=index,
+        phase_id=0,
+        instruction_count=10_000,
+        block_counts=np.array([1], dtype=np.int64),
+        class_counts=np.array([10_000, 0, 0, 0], dtype=np.int64),
+        mem_lines=np.empty(0, dtype=np.int64),
+        mem_is_write=np.empty(0, dtype=bool),
+        ifetch_lines=np.array([0], dtype=np.int64),
+        branch_count=branches,
+        branch_entropy=entropy,
+    )
+
+
+class TestStreamSynthesis:
+    def test_deterministic_in_slice_index(self):
+        trace = make_trace(0.4, index=7)
+        a = synthesize_branch_stream(trace)
+        b = synthesize_branch_stream(trace)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_slices_differ(self):
+        a = synthesize_branch_stream(make_trace(0.4, index=1))
+        b = synthesize_branch_stream(make_trace(0.4, index=2))
+        assert not np.array_equal(a[1], b[1])
+
+    @staticmethod
+    def _per_pc_transition_rate(pcs, outcomes):
+        transitions = total = 0
+        for pc in np.unique(pcs):
+            stream = outcomes[pcs == pc].astype(int)
+            transitions += np.count_nonzero(np.diff(stream))
+            total += max(0, stream.size - 1)
+        return transitions / total
+
+    def test_low_entropy_streams_are_stable_per_pc(self):
+        pcs, outcomes = synthesize_branch_stream(
+            make_trace(0.02, branches=5000)
+        )
+        assert self._per_pc_transition_rate(pcs, outcomes) < 0.02
+
+    def test_high_entropy_streams_flip_often_per_pc(self):
+        pcs, outcomes = synthesize_branch_stream(
+            make_trace(1.0, branches=5000)
+        )
+        assert self._per_pc_transition_rate(pcs, outcomes) > 0.4
+
+    def test_zero_branches(self):
+        pcs, outcomes = synthesize_branch_stream(make_trace(0.5, branches=0))
+        assert pcs.size == 0 and outcomes.size == 0
+
+
+class TestPredictors:
+    def test_bimodal_learns_stable_stream(self):
+        trace = make_trace(0.02, branches=4000)
+        mispredicts = simulate_slice_mispredicts(BimodalPredictor(), trace)
+        assert mispredicts / trace.branch_count < 0.08
+
+    def test_bimodal_beats_static_on_biased_stream(self):
+        trace = make_trace(0.15, branches=4000)
+        bimodal = simulate_slice_mispredicts(BimodalPredictor(), trace)
+        static = simulate_slice_mispredicts(StaticTakenPredictor(), trace)
+        assert bimodal <= static
+
+    def test_predictors_track_entropy(self):
+        for predictor_cls in (BimodalPredictor, GSharePredictor):
+            calm = simulate_slice_mispredicts(
+                predictor_cls(), make_trace(0.05, branches=4000)
+            )
+            noisy = simulate_slice_mispredicts(
+                predictor_cls(), make_trace(0.95, branches=4000)
+            )
+            assert noisy > calm
+
+    def test_gshare_reset(self):
+        predictor = GSharePredictor()
+        trace = make_trace(0.5, branches=1000)
+        first = simulate_slice_mispredicts(predictor, trace)
+        predictor.reset()
+        again = simulate_slice_mispredicts(predictor, trace)
+        assert first == again
+
+    def test_bad_table_size_rejected(self):
+        with pytest.raises(SimulationError):
+            BimodalPredictor(table_size=1000)
+
+    def test_bad_history_rejected(self):
+        with pytest.raises(SimulationError):
+            GSharePredictor(history_bits=0)
+
+    def test_mispredicts_bounded_by_branches(self):
+        trace = make_trace(1.0, branches=3000)
+        for predictor in (StaticTakenPredictor(), BimodalPredictor(),
+                          GSharePredictor()):
+            mispredicts = simulate_slice_mispredicts(predictor, trace)
+            assert 0 <= mispredicts <= trace.branch_count
+
+
+class TestSniperWithPredictor:
+    def _program(self, entropy):
+        phases = [make_phase(0, weight=1.0, branch_entropy=entropy)]
+        schedule = PhaseSchedule.from_counts([10], seed=1)
+        # Long slices: table predictors need thousands of branches per
+        # static branch context before their counters are trained.
+        return SyntheticProgram("t", phases, schedule, 30_000, seed=3)
+
+    def test_predictor_mode_runs(self):
+        program = self._program(0.3)
+        simulator = SniperSimulator(predictor=BimodalPredictor())
+        timing = simulator.run_region(program.iter_slices())
+        assert timing.cpi > 0
+        assert timing.branch_mispredicts > 0
+
+    def test_predictor_mode_tracks_entropy_like_analytic(self):
+        for entropy_lo, entropy_hi in ((0.05, 0.8),):
+            simulator = SniperSimulator(predictor=GSharePredictor())
+            calm = simulator.run_region(
+                self._program(entropy_lo).iter_slices()
+            )
+            simulator = SniperSimulator(predictor=GSharePredictor())
+            noisy = simulator.run_region(
+                self._program(entropy_hi).iter_slices()
+            )
+            assert noisy.branch_mispredicts > calm.branch_mispredicts
+            assert noisy.cpi > calm.cpi

@@ -1,0 +1,251 @@
+"""Cache level, hierarchy, and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheHierarchy, CacheLevel, CacheStats
+from repro.config import CacheConfig, CacheHierarchyConfig
+from repro.errors import SimulationError
+
+
+def reference_lru_misses(lines, num_sets, associativity, granularity_shift=0):
+    """Straightforward LRU model to check the optimized paths against."""
+    sets = {}
+    misses = []
+    for line in lines:
+        line = int(line) >> granularity_shift
+        idx = line % num_sets
+        tag = line // num_sets
+        entry = sets.setdefault(idx, [])
+        if tag in entry:
+            entry.remove(tag)
+            entry.append(tag)
+            misses.append(False)
+        else:
+            if len(entry) >= associativity:
+                entry.pop(0)
+            entry.append(tag)
+            misses.append(True)
+    return np.array(misses)
+
+
+def make_level(size=1024, line=32, assoc=4, record=True):
+    return CacheLevel(
+        CacheConfig("T", size_bytes=size, line_size=line, associativity=assoc),
+        recording=record,
+    )
+
+
+class TestCacheLevelBasics:
+    def test_first_access_misses(self):
+        level = make_level()
+        assert level.access_many(np.array([42]))[0]
+
+    def test_second_access_hits(self):
+        level = make_level()
+        level.access_many(np.array([42]))
+        assert not level.access_many(np.array([42]))[0]
+
+    def test_stats_accumulate(self):
+        level = make_level()
+        level.access_many(np.array([1, 2, 1, 2]))
+        assert level.stats.accesses == 4
+        assert level.stats.misses == 2
+        assert level.stats.miss_rate == pytest.approx(0.5)
+
+    def test_recording_off_freezes_stats_but_updates_state(self):
+        level = make_level(record=False)
+        level.access_many(np.array([7]))
+        assert level.stats.accesses == 0
+        level.recording = True
+        assert not level.access_many(np.array([7]))[0]
+
+    def test_reset_flushes(self):
+        level = make_level()
+        level.access_many(np.array([7]))
+        level.reset()
+        assert level.stats.accesses == 0
+        assert level.access_many(np.array([7]))[0]
+
+    def test_flush_keeps_stats(self):
+        level = make_level()
+        level.access_many(np.array([7]))
+        level.flush()
+        assert level.stats.accesses == 1
+        assert level.resident_line_count() == 0
+
+    def test_empty_batch(self):
+        level = make_level()
+        assert level.access_many(np.array([], dtype=np.int64)).size == 0
+
+    def test_negative_address_rejected(self):
+        level = make_level()
+        with pytest.raises(SimulationError):
+            level.access_many(np.array([-1]))
+
+    def test_line_below_trace_granularity_rejected(self):
+        with pytest.raises(SimulationError):
+            make_level(line=16)
+
+    def test_resident_count_bounded_by_capacity(self):
+        level = make_level(size=256, assoc=2)  # 8 lines
+        level.access_many(np.arange(100, dtype=np.int64))
+        assert level.resident_line_count() == 8
+
+
+class TestLruEviction:
+    def test_lru_victim_selected(self):
+        # 2 lines capacity in one set: access A, B, A, then C evicts B.
+        level = make_level(size=64, assoc=2)  # 2 lines, 1 set
+        a, b, c = 0, 1, 2
+        level.access_many(np.array([a, b, a, c]))
+        miss = level.access_many(np.array([a, b]))
+        assert not miss[0]  # A stayed (recently used)
+        assert miss[1]      # B was the LRU victim
+
+    def test_direct_mapped_conflict(self):
+        level = make_level(size=64, line=32, assoc=1)  # 2 sets
+        # Lines 0 and 2 share set 0; they evict each other.
+        level.access_many(np.array([0, 2]))
+        assert level.access_many(np.array([0]))[0]
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 16])
+    def test_matches_reference_model(self, assoc, rng):
+        level = make_level(size=2048, assoc=assoc)  # 64 lines
+        lines = rng.integers(0, 200, size=3000)
+        expected = reference_lru_misses(lines, level.config.num_sets, assoc)
+        got = level.access_many(lines)
+        assert np.array_equal(got, expected)
+
+    def test_direct_mapped_cross_batch_state(self, rng):
+        level = make_level(size=1024, assoc=1)
+        all_lines = rng.integers(0, 100, size=2000)
+        expected = reference_lru_misses(all_lines, level.config.num_sets, 1)
+        got = np.concatenate(
+            [level.access_many(chunk) for chunk in np.array_split(all_lines, 7)]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_granularity_shift(self, rng):
+        level = make_level(size=2048, line=64, assoc=2)
+        lines = rng.integers(0, 500, size=1000)
+        expected = reference_lru_misses(
+            lines, level.config.num_sets, 2, granularity_shift=1
+        )
+        assert np.array_equal(level.access_many(lines), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lines=st.lists(st.integers(0, 255), min_size=1, max_size=400),
+        assoc_pow=st.integers(0, 3),
+    )
+    def test_property_matches_reference(self, lines, assoc_pow):
+        assoc = 2 ** assoc_pow
+        level = CacheLevel(
+            CacheConfig("T", size_bytes=32 * 16 * assoc, line_size=32,
+                        associativity=assoc)
+        )
+        arr = np.array(lines, dtype=np.int64)
+        expected = reference_lru_misses(arr, level.config.num_sets, assoc)
+        assert np.array_equal(level.access_many(arr), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(lines=st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_property_no_capacity_misses_when_everything_fits(self, lines):
+        # 64-line fully-sized cache: every line misses at most once.
+        level = make_level(size=64 * 32, assoc=4)
+        arr = np.array(lines, dtype=np.int64)
+        misses = level.access_many(arr)
+        assert misses.sum() == len(set(lines))
+
+
+class TestCacheStats:
+    def test_hits_property(self):
+        stats = CacheStats(accesses=10, misses=3)
+        assert stats.hits == 7
+
+    def test_zero_access_miss_rate(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_record_validation(self):
+        stats = CacheStats()
+        with pytest.raises(ValueError):
+            stats.record(accesses=1, misses=2)
+
+    def test_merge_and_copy(self):
+        a = CacheStats(10, 4)
+        b = a.copy()
+        b.merge(CacheStats(5, 1))
+        assert (b.accesses, b.misses) == (15, 5)
+        assert (a.accesses, a.misses) == (10, 4)
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        CacheHierarchyConfig(
+            l1i=CacheConfig("L1I", 256, 32, 1),
+            l1d=CacheConfig("L1D", 256, 32, 1),
+            l2=CacheConfig("L2", 1024, 32, 1),
+            l3=CacheConfig("L3", 4096, 32, 1),
+        )
+    )
+
+
+class TestHierarchy:
+    def test_miss_filtering(self):
+        h = small_hierarchy()
+        lines = np.arange(100, dtype=np.int64)
+        h.access_data(lines)
+        snap = h.snapshot()
+        assert snap.accesses("L1D") == 100
+        # Everything misses L1D (8 lines) so everything reaches L2, etc.
+        assert snap.accesses("L2") == 100
+        assert snap.accesses("L3") == 100
+
+    def test_l2_sees_only_l1_misses(self):
+        h = small_hierarchy()
+        lines = np.zeros(50, dtype=np.int64)
+        h.access_data(lines)
+        snap = h.snapshot()
+        assert snap.accesses("L1D") == 50
+        assert snap.accesses("L2") == 1  # only the first (cold) access
+
+    def test_ifetch_goes_through_l1i(self):
+        h = small_hierarchy()
+        h.access_ifetch(np.array([1, 2, 1], dtype=np.int64))
+        snap = h.snapshot()
+        assert snap.accesses("L1I") == 3
+        assert snap.accesses("L1D") == 0
+
+    def test_unified_l2_shared_by_code_and_data(self):
+        h = small_hierarchy()
+        h.access_ifetch(np.array([77], dtype=np.int64))
+        h.access_data(np.array([77], dtype=np.int64))
+        snap = h.snapshot()
+        # The data access misses L1D but hits L2 (fetched by the ifetch).
+        assert snap.levels["L2"].misses == 1
+        assert snap.levels["L2"].accesses == 2
+
+    def test_recording_toggle(self):
+        h = small_hierarchy()
+        h.set_recording(False)
+        h.access_data(np.arange(20, dtype=np.int64))
+        assert h.snapshot().accesses("L1D") == 0
+        h.set_recording(True)
+        h.access_data(np.arange(20, dtype=np.int64))
+        snap = h.snapshot()
+        assert snap.accesses("L1D") == 20
+        # L2 was fully warmed during the non-recording pass.
+        assert snap.levels["L2"].misses == 0
+
+    def test_reset(self):
+        h = small_hierarchy()
+        h.access_data(np.arange(10, dtype=np.int64))
+        h.reset()
+        snap = h.snapshot()
+        assert snap.accesses("L1D") == 0
+        assert all(level.resident_line_count() == 0 for level in h.levels)

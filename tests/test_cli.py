@@ -1,0 +1,43 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "623.xalancbmk_s" in out
+        assert "503.bwaves_r" in out
+
+    def test_experiment_with_subset(self, capsys):
+        assert main(["fig6", "--benchmarks", "620.omnetpp_s"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "620.omnetpp_s" in out
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        assert main(["fig6", "--benchmarks", "999.bogus"]) == 2
+        assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_turnaround_with_subset(self, capsys):
+        assert main(["turnaround", "--benchmarks", "620.omnetpp_s"]) == 0
+        out = capsys.readouterr().out
+        assert "detailed full" in out
+        assert "FSA" in out
+
+    def test_rate_with_subset(self, capsys):
+        assert main(["rate", "--benchmarks", "620.omnetpp_s"]) == 0
+        out = capsys.readouterr().out
+        assert "SPECrate" in out
+        assert "throughput" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

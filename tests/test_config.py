@@ -1,0 +1,163 @@
+"""Configuration presets (Tables I and III) and geometry validation."""
+
+import pytest
+
+from repro.config import (
+    ALLCACHE_SIM,
+    ALLCACHE_TABLE_I,
+    SNIPER_SIM,
+    SNIPER_TABLE_III,
+    CacheConfig,
+    CacheHierarchyConfig,
+    CoreConfig,
+    SystemConfig,
+    TRACE_LINE_BYTES,
+)
+from repro.errors import ConfigError
+
+
+class TestTableI:
+    """The allcache configuration must match the paper's Table I."""
+
+    def test_l1i_geometry(self):
+        assert ALLCACHE_TABLE_I.l1i.size_bytes == 32 * 1024
+        assert ALLCACHE_TABLE_I.l1i.associativity == 32
+        assert ALLCACHE_TABLE_I.l1i.line_size == 32
+
+    def test_l1d_geometry(self):
+        assert ALLCACHE_TABLE_I.l1d.size_bytes == 32 * 1024
+        assert ALLCACHE_TABLE_I.l1d.associativity == 32
+        assert ALLCACHE_TABLE_I.l1d.line_size == 32
+
+    def test_l2_direct_mapped_2mb(self):
+        assert ALLCACHE_TABLE_I.l2.size_bytes == 2 * 1024 * 1024
+        assert ALLCACHE_TABLE_I.l2.associativity == 1
+
+    def test_l3_direct_mapped_16mb(self):
+        assert ALLCACHE_TABLE_I.l3.size_bytes == 16 * 1024 * 1024
+        assert ALLCACHE_TABLE_I.l3.associativity == 1
+
+    def test_line_sizes_all_32b(self):
+        assert all(c.line_size == 32 for c in ALLCACHE_TABLE_I.levels())
+
+
+class TestTableIII:
+    """The Sniper machine must match the paper's Table III."""
+
+    def test_core(self):
+        core = SNIPER_TABLE_III.core
+        assert core.frequency_ghz == pytest.approx(3.4)
+        assert core.pipeline_stages == 19
+        assert core.fetch_width == 6
+        assert core.issue_width == 4
+        assert core.commit_width == 4
+        assert core.rob_entries == 168
+        assert core.branch_rob_entries == 48
+        assert core.branch_misprediction_penalty == 8
+
+    def test_caches(self):
+        caches = SNIPER_TABLE_III.caches
+        assert caches.l1d.size_bytes == 32 * 1024
+        assert caches.l1d.associativity == 8
+        assert caches.l2.size_bytes == 256 * 1024
+        assert caches.l2.associativity == 8
+        assert caches.l3.size_bytes == 8 * 1024 * 1024
+        assert caches.l3.associativity == 16
+        assert all(c.line_size == 64 for c in caches.levels())
+
+    def test_latencies(self):
+        caches = SNIPER_TABLE_III.caches
+        assert caches.l1d.latency_cycles == 4
+        assert caches.l2.latency_cycles == 10
+        assert caches.l3.latency_cycles == 30
+
+
+class TestScaledPresets:
+    """Scaled hierarchies must preserve the structural relationships."""
+
+    def test_allcache_sim_ordering(self):
+        sim = ALLCACHE_SIM
+        assert sim.l1d.num_lines < sim.l2.num_lines < sim.l3.num_lines
+
+    def test_sniper_sim_l2_l3_ratio_preserved(self):
+        # Table III has a 1:32 L2:L3 ratio; the scaled machine keeps it.
+        full = SNIPER_TABLE_III.caches
+        sim = SNIPER_SIM.caches
+        assert full.l3.size_bytes // full.l2.size_bytes == 32
+        assert sim.l3.size_bytes // sim.l2.size_bytes == 32
+
+    def test_line_sizes_kept(self):
+        assert all(c.line_size == 32 for c in ALLCACHE_SIM.levels())
+        assert all(c.line_size == 64 for c in SNIPER_SIM.caches.levels())
+
+
+class TestCacheConfig:
+    def test_num_sets_and_lines(self):
+        cfg = CacheConfig("X", size_bytes=4096, line_size=32, associativity=4)
+        assert cfg.num_lines == 128
+        assert cfg.num_sets == 32
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", size_bytes=4096, line_size=48, associativity=1)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", size_bytes=5000, line_size=32, associativity=4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", size_bytes=0, line_size=32, associativity=1)
+        with pytest.raises(ConfigError):
+            CacheConfig("X", size_bytes=4096, line_size=32, associativity=0)
+
+    def test_scaled_halving(self):
+        cfg = CacheConfig("X", size_bytes=4096, line_size=32, associativity=4)
+        half = cfg.scaled(0.5)
+        assert half.num_sets == 16
+        assert half.associativity == 4
+        assert half.line_size == 32
+
+    def test_scaled_rejects_non_positive_factor(self):
+        cfg = CacheConfig("X", size_bytes=4096, line_size=32, associativity=4)
+        with pytest.raises(ConfigError):
+            cfg.scaled(0.0)
+
+    def test_scaled_never_below_one_set(self):
+        cfg = CacheConfig("X", size_bytes=4096, line_size=32, associativity=4)
+        tiny = cfg.scaled(1e-9)
+        assert tiny.num_sets == 1
+
+    def test_trace_line_granularity_constant(self):
+        assert TRACE_LINE_BYTES == 32
+
+
+class TestCoreAndSystemConfig:
+    def test_core_rejects_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(frequency_ghz=0.0)
+
+    def test_core_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=0)
+
+    def test_system_rejects_bad_memory_latency(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                core=CoreConfig(),
+                caches=SNIPER_TABLE_III.caches,
+                memory_latency_cycles=0,
+            )
+
+    def test_system_rejects_mlp_below_one(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                core=CoreConfig(),
+                caches=SNIPER_TABLE_III.caches,
+                memory_level_parallelism=0.5,
+            )
+
+    def test_hierarchy_scaled(self):
+        scaled = ALLCACHE_TABLE_I.scaled(0.25)
+        assert isinstance(scaled, CacheHierarchyConfig)
+        assert scaled.l2.num_sets == ALLCACHE_TABLE_I.l2.num_sets // 4

@@ -1,0 +1,105 @@
+"""Distribution-comparison statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.stats.distribution import (
+    chi_square_fit,
+    kl_divergence,
+    total_variation_distance,
+)
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_one(self):
+        assert total_variation_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p, q = [0.7, 0.2, 0.1], [0.4, 0.4, 0.2]
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    def test_unnormalized_inputs(self):
+        assert total_variation_distance([7, 3], [70, 30]) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            total_variation_distance([1, 0], [1, 0, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            total_variation_distance([1, -1], [0.5, 0.5])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.01, 10), min_size=2, max_size=8),
+           st.lists(st.floats(0.01, 10), min_size=2, max_size=8))
+    def test_property_bounds(self, p, q):
+        size = min(len(p), len(q))
+        d = total_variation_distance(p[:size], q[:size])
+        assert 0.0 <= d <= 1.0
+
+
+class TestKl:
+    def test_identical_zero(self):
+        assert kl_divergence([0.3, 0.7], [0.3, 0.7]) == pytest.approx(0.0)
+
+    def test_nonnegative(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0
+
+    def test_asymmetric(self):
+        a = kl_divergence([0.9, 0.1], [0.5, 0.5])
+        b = kl_divergence([0.5, 0.5], [0.9, 0.1])
+        assert a != pytest.approx(b)
+
+    def test_handles_zero_bins(self):
+        assert np.isfinite(kl_divergence([1.0, 0.0], [0.5, 0.5]))
+
+
+class TestChiSquare:
+    def test_perfect_fit(self):
+        result = chi_square_fit([500, 300, 200], [0.5, 0.3, 0.2])
+        assert result.statistic == pytest.approx(0.0)
+        assert result.consistent()
+
+    def test_gross_mismatch_rejected(self):
+        result = chi_square_fit([900, 50, 50], [0.3, 0.4, 0.3])
+        assert not result.consistent()
+        assert result.p_value < 1e-6
+
+    def test_degrees_of_freedom(self):
+        result = chi_square_fit([10, 10, 10, 10], [0.25] * 4)
+        assert result.degrees_of_freedom == 3
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            chi_square_fit([1, 2], [0.5, 0.3, 0.2])
+        with pytest.raises(SimulationError):
+            chi_square_fit([0, 0], [0.5, 0.5])
+
+    def test_sampled_mix_consistent_with_whole(self, quick_pinpoints):
+        """End-to-end: the whole run's class counts fit the weighted
+        simulation-point distribution at any sane significance level."""
+        from repro.experiments.common import measure_points, measure_whole
+        from repro.pin import Engine, LdStMix
+
+        out = quick_pinpoints
+        mix_tool = LdStMix()
+        Engine([mix_tool]).run(out.whole.replay_slices(out.program))
+        sampled = measure_points(out, out.regional)
+        # Scale counts down: chi-square power grows with n, and our
+        # sampled estimate is a model, not the true generator.  TV
+        # distance is the primary closeness claim.
+        counts = mix_tool.class_counts / 100
+        result = chi_square_fit(counts, sampled.mix)
+        tv = total_variation_distance(
+            mix_tool.class_counts, sampled.mix
+        )
+        assert tv < 0.01
+        assert result.consistent(alpha=1e-4)

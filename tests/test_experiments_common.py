@@ -1,0 +1,105 @@
+"""Shared experiment plumbing: measurement caching and resolution."""
+
+import numpy as np
+import pytest
+
+from repro.config import ALLCACHE_SIM, ALLCACHE_TABLE_I
+from repro.experiments.common import (
+    clear_pinpoints_cache,
+    measure_points,
+    measure_whole,
+    pinpoints_for,
+    resolve_benchmarks,
+)
+from repro.workloads.spec2017 import benchmark_names
+
+from conftest import QUICK
+
+
+class TestResolveBenchmarks:
+    def test_default_is_full_suite(self):
+        assert resolve_benchmarks(None) == benchmark_names()
+
+    def test_subset_passthrough(self):
+        assert resolve_benchmarks(["a", "b"]) == ["a", "b"]
+
+    def test_copies_input(self):
+        names = ["x"]
+        resolved = resolve_benchmarks(names)
+        resolved.append("y")
+        assert names == ["x"]
+
+
+class TestPinpointsCache:
+    def test_same_kwargs_same_object(self):
+        clear_pinpoints_cache()
+        a = pinpoints_for("620.omnetpp_s", **QUICK)
+        b = pinpoints_for("620.omnetpp_s", **QUICK)
+        assert a is b
+
+    def test_different_kwargs_different_objects(self):
+        clear_pinpoints_cache()
+        a = pinpoints_for("620.omnetpp_s", **QUICK)
+        b = pinpoints_for("620.omnetpp_s", slice_size=3000,
+                          total_slices=140)
+        assert a is not b
+
+    def test_clear(self):
+        a = pinpoints_for("620.omnetpp_s", **QUICK)
+        clear_pinpoints_cache()
+        b = pinpoints_for("620.omnetpp_s", **QUICK)
+        assert a is not b
+
+
+class TestMeasurementCache:
+    def test_whole_metrics_cached(self):
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        a = measure_whole(out)
+        b = measure_whole(out)
+        assert a is b
+
+    def test_config_distinguishes_entries(self):
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        scaled = measure_whole(out)
+        full = measure_whole(out, config=ALLCACHE_TABLE_I)
+        assert scaled is not full
+        # The full-size Table I L1D swallows the scaled working sets, so
+        # its miss rate collapses (and the L3, seeing only compulsory
+        # traffic, rises toward 100 %).
+        assert full.miss_rates["L1D"] < scaled.miss_rates["L1D"]
+        assert full.miss_rates["L3"] > scaled.miss_rates["L3"]
+
+    def test_points_cache_keyed_on_warmup(self):
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        cold = measure_points(out, out.regional)
+        warm = measure_points(out, out.regional, with_warmup=True)
+        assert cold is not warm
+        assert warm.miss_rates["L3"] <= cold.miss_rates["L3"]
+
+    def test_points_cache_keyed_on_subset(self):
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        full = measure_points(out, out.regional)
+        subset = measure_points(out, out.regional[:1])
+        assert full is not subset
+
+    def test_metrics_shapes(self):
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        metrics = measure_whole(out)
+        assert metrics.mix.shape == (4,)
+        assert metrics.mix.sum() == pytest.approx(1.0)
+        assert set(metrics.miss_rates) == {"L1D", "L2", "L3"}
+        assert metrics.instructions > 0
+        assert metrics.l3_accesses >= 0
+
+    def test_default_config_is_scaled_table1(self):
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        default = measure_whole(out)
+        explicit = measure_whole(out, config=ALLCACHE_SIM)
+        assert np.allclose(default.mix, explicit.mix)
+        assert default.miss_rates == explicit.miss_rates

@@ -1,0 +1,92 @@
+"""The future-work registry and the projected full-suite experiment."""
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.experiments.future_suite import run_future_suite
+from repro.workloads.future import (
+    FUTURE_WORK,
+    full_suite_names,
+    get_future_descriptor,
+)
+from repro.workloads.spec2017 import SPEC_CPU2017, build_program_from_descriptor
+
+from conftest import QUICK
+
+
+class TestFutureRegistry:
+    def test_fourteen_missing_workloads(self):
+        assert len(FUTURE_WORK) == 14
+
+    def test_full_suite_is_43(self):
+        names = full_suite_names()
+        assert len(names) == 43
+        assert len(set(names)) == 43
+
+    def test_suite_structure_matches_cpu2017(self):
+        # Section II-A: 10 speed INT, 10 rate INT, 10 speed FP, 13 rate FP.
+        from repro.workloads.future import FUTURE_WORK
+
+        def count(suite, variant):
+            table = sum(
+                1 for d in SPEC_CPU2017.values()
+                if d.suite == suite and d.variant == variant
+            )
+            future = sum(
+                1 for d in FUTURE_WORK.values()
+                if d.suite == suite and d.variant == variant
+            )
+            return table + future
+
+        assert count("INT", "speed") == 10
+        assert count("INT", "rate") == 10
+        assert count("FP", "speed") == 10
+        assert count("FP", "rate") == 13
+
+    def test_all_projected_flagged(self):
+        assert all(d.projected for d in FUTURE_WORK.values())
+
+    def test_siblings_inherit_counts(self):
+        bwaves_s = FUTURE_WORK["603.bwaves_s"]
+        bwaves_r = SPEC_CPU2017["503.bwaves_r"]
+        assert bwaves_s.num_phases == bwaves_r.num_phases
+        assert bwaves_s.num_90pct == bwaves_r.num_90pct
+        assert bwaves_s.sibling == "503.bwaves_r"
+
+    def test_no_id_collisions_with_table2(self):
+        assert not set(FUTURE_WORK) & set(SPEC_CPU2017)
+
+    def test_short_name_lookup(self):
+        assert get_future_descriptor("pop2_s").spec_id == "628.pop2_s"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_future_descriptor("999.none")
+
+    def test_projected_programs_buildable(self):
+        descriptor = FUTURE_WORK["628.pop2_s"]
+        program = build_program_from_descriptor(descriptor, **QUICK)
+        assert program.num_phases == descriptor.num_phases
+        trace = program.generate_slice(0)
+        assert trace.instruction_count > 0
+
+
+class TestFutureSuiteExperiment:
+    def test_projected_subset_consistent(self):
+        result = run_future_suite(["628.pop2_s", "627.cam4_s"], **QUICK)
+        assert all(r.projected for r in result.rows)
+        assert all(r.consistent for r in result.rows)
+
+    def test_mixed_subset(self):
+        result = run_future_suite(["620.omnetpp_s", "628.pop2_s"], **QUICK)
+        provenance = {r.benchmark: r.projected for r in result.rows}
+        assert provenance["620.omnetpp_s"] is False
+        assert provenance["628.pop2_s"] is True
+
+    def test_render_marks_projections(self):
+        from repro.experiments.future_suite import render_future_suite
+
+        result = run_future_suite(["628.pop2_s"], **QUICK)
+        text = render_future_suite(result)
+        assert "projected" in text
+        assert "not published data" in text

@@ -1,0 +1,77 @@
+"""Full-size integration checks of the paper's headline claims.
+
+These run the default (calibrated) configuration.  The Table II check
+covers the entire 29-benchmark suite; the others use single benchmarks at
+full size so the suite stays fast enough for routine runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    measure_points,
+    measure_whole,
+    pinpoints_for,
+)
+from repro.pinpoints import run_pinpoints
+from repro.simpoint import reduce_to_percentile
+from repro.workloads.spec2017 import benchmark_names, get_descriptor
+
+
+@pytest.mark.slow
+class TestTableTwoFullSuite:
+    def test_all_29_benchmarks_match_published_counts(self):
+        mismatches = []
+        for name in benchmark_names():
+            descriptor = get_descriptor(name)
+            out = pinpoints_for(name)
+            if (out.simpoints.k != descriptor.num_phases
+                    or len(out.reduced) != descriptor.num_90pct):
+                mismatches.append(
+                    (name, out.simpoints.k, descriptor.num_phases,
+                     len(out.reduced), descriptor.num_90pct)
+                )
+        assert mismatches == []
+
+
+class TestHeadlineClaims:
+    """Single-benchmark, full-size versions of the paper's key numbers."""
+
+    def test_instruction_mix_error_below_one_percent(self):
+        out = pinpoints_for("623.xalancbmk_s")
+        whole = measure_whole(out)
+        regional = measure_points(out, out.regional)
+        reduced = measure_points(out, out.reduced)
+        assert np.abs(regional.mix - whole.mix).max() * 100 < 1.0
+        assert np.abs(reduced.mix - whole.mix).max() * 100 < 1.0
+
+    def test_l3_cold_error_large_and_warmup_recovers(self):
+        out = pinpoints_for("505.mcf_r")
+        whole = measure_whole(out)
+        cold = measure_points(out, out.regional)
+        warm = measure_points(out, out.regional, with_warmup=True)
+        cold_delta = cold.miss_rates["L3"] - whole.miss_rates["L3"]
+        warm_delta = warm.miss_rates["L3"] - whole.miss_rates["L3"]
+        assert cold_delta > 0.10          # the paper's +25 pp effect class
+        assert warm_delta < cold_delta / 2  # warmup recovers most of it
+
+    def test_l1d_error_negligible(self):
+        out = pinpoints_for("505.mcf_r")
+        whole = measure_whole(out)
+        cold = measure_points(out, out.regional)
+        assert abs(cold.miss_rates["L1D"] - whole.miss_rates["L1D"]) < 0.01
+
+    def test_reduced_points_cover_ninety_percent(self):
+        out = pinpoints_for("541.leela_r")
+        descriptor = get_descriptor("541.leela_r")
+        reduced = reduce_to_percentile(out.simpoints.points)
+        assert len(reduced) == descriptor.num_90pct
+        assert sum(p.weight for p in reduced) >= 0.9
+
+    def test_replay_determinism_whole_vs_regional(self):
+        out = pinpoints_for("541.leela_r")
+        pinball = out.regional[0]
+        direct = out.program.generate_slice(pinball.region_start)
+        replayed = next(iter(pinball.replay_slices(out.program)))
+        assert np.array_equal(direct.mem_lines, replayed.mem_lines)
+        assert direct.instruction_count == replayed.instruction_count

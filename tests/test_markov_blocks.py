@@ -1,0 +1,93 @@
+"""The optional Markov block-execution model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.pin import BBVProfiler, Engine
+from repro.simpoint import SimPointAnalysis
+from repro.workloads.program import SyntheticProgram
+from repro.workloads.schedule import PhaseSchedule
+
+from conftest import make_phase
+
+
+def program(block_model="markov", self_loop=0.45, slices=40, seed=21):
+    phases = [
+        make_phase(0, weight=0.5, mix=(0.6, 0.3, 0.08, 0.02)),
+        make_phase(1, weight=0.5, mix=(0.4, 0.4, 0.17, 0.03)),
+    ]
+    schedule = PhaseSchedule.from_counts([slices // 2, slices // 2], seed=3)
+    return SyntheticProgram(
+        "markov.test", phases, schedule, slice_size=4000, seed=seed,
+        block_model=block_model, markov_self_loop=self_loop,
+    )
+
+
+class TestMarkovModel:
+    def test_deterministic(self):
+        a = program().generate_slice(5)
+        b = program().generate_slice(5)
+        assert np.array_equal(a.block_counts, b.block_counts)
+        assert np.array_equal(a.mem_lines, b.mem_lines)
+
+    def test_counts_sum_to_entries(self):
+        multinomial = program(block_model="multinomial").generate_slice(0)
+        markov = program(block_model="markov").generate_slice(0)
+        # Same number of block entries either way (same target size).
+        assert abs(
+            markov.block_counts.sum() - multinomial.block_counts.sum()
+        ) <= multinomial.block_counts.sum() * 0.2
+
+    def test_stationary_matches_frequencies(self):
+        """Long-run block shares equal the phase frequencies."""
+        prog = program(slices=40)
+        totals = np.zeros(prog.num_blocks)
+        for trace in prog.iter_slices():
+            if trace.phase_id == 0:
+                totals += trace.block_counts
+        shares = totals / totals.sum()
+        runtime = prog._runtime[0]
+        expected = np.zeros(prog.num_blocks)
+        expected[runtime.entry_ids] = runtime.entry_freqs
+        assert np.abs(shares - expected).max() < 0.02
+
+    def test_burstier_than_multinomial(self):
+        """Self-loops raise the per-slice count variance."""
+        def per_slice_share_std(prog):
+            shares = []
+            for trace in prog.iter_slices():
+                if trace.phase_id == 0:
+                    vec = trace.block_counts.astype(float)
+                    shares.append(vec / vec.sum())
+            return float(np.vstack(shares).std(axis=0).mean())
+
+        markov = per_slice_share_std(program(block_model="markov",
+                                             self_loop=0.7))
+        multinomial = per_slice_share_std(program(block_model="multinomial"))
+        assert markov > multinomial
+
+    def test_clustering_still_separates_phases(self):
+        prog = program(slices=60)
+        profiler = BBVProfiler(prog.block_sizes)
+        Engine([profiler]).run(prog.iter_slices())
+        result = SimPointAnalysis(max_k=8, seed=1).analyze(
+            profiler.matrix(), profiler.slice_indices()
+        )
+        assert result.k == 2
+        for point in result.points:
+            members = np.flatnonzero(result.labels == point.cluster)
+            phases = {prog.phase_of_slice(int(i)) for i in members}
+            assert len(phases) == 1
+
+    def test_zero_self_loop_equivalent_variance_class(self):
+        # With no self-loops the walk is i.i.d. — same model family.
+        prog = program(block_model="markov", self_loop=0.0)
+        trace = prog.generate_slice(0)
+        assert trace.block_counts.sum() > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            program(block_model="bogus")
+        with pytest.raises(WorkloadError):
+            program(self_loop=1.0)

@@ -1,0 +1,180 @@
+"""Native machine (perf), execution-time model, and stats helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.perf import NativeMachine, PerfCounters
+from repro.pinball.pinball import ProgramRecipe, RegionalPinball
+from repro.stats import (
+    max_abs_percentage_points,
+    mean_abs_percentage_points,
+    percent_relative_error,
+    weighted_average,
+    weighted_mix,
+)
+from repro.timemodel import (
+    LOGGER_SLOWDOWN,
+    REPLAY_MIPS,
+    logging_cost,
+    reduced_regional_run_cost,
+    regional_run_cost,
+    whole_run_cost,
+)
+
+
+class TestNativeMachine:
+    def test_counters(self, small_program):
+        counters = NativeMachine().run(small_program)
+        assert isinstance(counters, PerfCounters)
+        assert counters.instructions > 0
+        assert counters.cpu_cycles > 0
+        assert 0.2 < counters.cpi < 10.0
+
+    def test_nondeterminism_across_runs(self, small_program):
+        machine = NativeMachine()
+        a = machine.run(small_program, run_id=0)
+        b = machine.run(small_program, run_id=1)
+        assert a.instructions == b.instructions
+        assert a.cpu_cycles != b.cpu_cycles
+        # But the jitter is small (sub-percent scale).
+        assert abs(a.cpu_cycles - b.cpu_cycles) / a.cpu_cycles < 0.1
+
+    def test_same_run_id_reproducible(self, small_program):
+        machine = NativeMachine()
+        a = machine.run(small_program, run_id=3)
+        b = machine.run(small_program, run_id=3)
+        assert a.cpu_cycles == b.cpu_cycles
+
+    def test_zero_noise_supported(self, small_program):
+        machine = NativeMachine(noise_sigma=0.0)
+        a = machine.run(small_program, run_id=0)
+        b = machine.run(small_program, run_id=1)
+        assert a.cpu_cycles == b.cpu_cycles
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(SimulationError):
+            NativeMachine(noise_sigma=-0.1)
+
+    def test_cpi_undefined_without_instructions(self):
+        with pytest.raises(SimulationError):
+            _ = PerfCounters(instructions=0, cpu_cycles=10.0).cpi
+
+
+def regional(start, warmup=17, weight=0.5, total=600):
+    recipe = ProgramRecipe("620.omnetpp_s", 30000, total)
+    return RegionalPinball(recipe=recipe, region_start=start,
+                           region_length=1, weight=weight,
+                           warmup_slices=warmup)
+
+
+class TestTimeModel:
+    def test_whole_run_cost_uses_whole_mips(self):
+        cost = whole_run_cost(1e12)
+        assert cost.instructions == 1e12
+        assert cost.seconds == pytest.approx(1e12 / REPLAY_MIPS["whole"])
+
+    def test_paper_suite_average_time(self):
+        # 6 873.9 B instructions -> ~213 hours (the paper's average).
+        cost = whole_run_cost(6_873.9e9)
+        assert cost.hours == pytest.approx(213.2, rel=0.01)
+
+    def test_regional_cost_includes_warmup(self):
+        pinballs = [regional(100), regional(200)]
+        cost = regional_run_cost(pinballs)
+        # 2 x (17 + 1) slices x 30 M = 1.08 B instructions.
+        assert cost.instructions == pytest.approx(2 * 18 * 30e6)
+
+    def test_warmup_truncation_reduces_cost(self):
+        truncated = regional_run_cost([regional(3)])
+        full = regional_run_cost([regional(100)])
+        assert truncated.instructions < full.instructions
+
+    def test_reduction_ratios_match_paper_scale(self):
+        # ~20 points of ~530 M instructions vs a 6 873.9 B whole run
+        # must land in the paper's ~650x instruction-reduction regime.
+        pinballs = [regional(50 + 25 * i, weight=0.05) for i in range(20)]
+        whole = whole_run_cost(6_873.9e9)
+        reg = regional_run_cost(pinballs)
+        assert 550 < whole.instructions / reg.instructions < 750
+        assert 600 < whole.seconds / reg.seconds < 850
+
+    def test_reduced_uses_reduced_mips(self):
+        pinballs = [regional(100)]
+        reduced = reduced_regional_run_cost(pinballs)
+        assert reduced.seconds == pytest.approx(
+            reduced.instructions / REPLAY_MIPS["reduced"]
+        )
+
+    def test_logging_cost_slowdown(self):
+        cost = logging_cost(1e12)
+        native_seconds = 1e12 / 1e9
+        assert cost.seconds == pytest.approx(native_seconds * LOGGER_SLOWDOWN)
+
+    def test_rejects_empty_pinballs(self):
+        with pytest.raises(SimulationError):
+            regional_run_cost([])
+
+    def test_rejects_non_positive_instructions(self):
+        with pytest.raises(SimulationError):
+            whole_run_cost(0)
+
+    def test_unit_conversions(self):
+        cost = whole_run_cost(REPLAY_MIPS["whole"] * 7200)
+        assert cost.hours == pytest.approx(2.0)
+        assert cost.minutes == pytest.approx(120.0)
+
+
+class TestStats:
+    def test_weighted_average_renormalizes(self):
+        assert weighted_average([1.0, 3.0], [0.45, 0.45]) == pytest.approx(2.0)
+
+    def test_weighted_average_basic(self):
+        assert weighted_average([2.0, 4.0], [0.75, 0.25]) == pytest.approx(2.5)
+
+    def test_weighted_mix(self):
+        mixes = [np.array([1.0, 0, 0, 0]), np.array([0, 1.0, 0, 0])]
+        combined = weighted_mix(mixes, [0.5, 0.5])
+        assert combined[0] == pytest.approx(0.5)
+        assert combined.sum() == pytest.approx(1.0)
+
+    def test_weighted_mix_reduced_weights(self):
+        mixes = [np.array([0.6, 0.3, 0.08, 0.02])] * 3
+        combined = weighted_mix(mixes, [0.5, 0.3, 0.1])
+        assert np.allclose(combined, mixes[0])
+
+    def test_percentage_point_errors(self):
+        a = np.array([0.50, 0.30, 0.15, 0.05])
+        b = np.array([0.48, 0.33, 0.14, 0.05])
+        assert max_abs_percentage_points(a, b) == pytest.approx(3.0)
+        assert mean_abs_percentage_points(a, b) == pytest.approx(1.5)
+
+    def test_relative_error(self):
+        assert percent_relative_error(1.1, 1.0) == pytest.approx(10.0)
+        with pytest.raises(SimulationError):
+            percent_relative_error(1.0, 0.0)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            weighted_average([1.0], [0.5, 0.5])
+        with pytest.raises(SimulationError):
+            weighted_mix([np.ones(4)], [0.5, 0.5])
+        with pytest.raises(SimulationError):
+            max_abs_percentage_points(np.ones(3), np.ones(4))
+
+    def test_zero_weight_sum_rejected(self):
+        with pytest.raises(SimulationError):
+            weighted_average([1.0, 2.0], [0.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_weighted_average_bounds(self, values, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.01, 1.0, size=len(values))
+        avg = weighted_average(values, weights)
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9

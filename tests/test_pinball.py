@@ -1,0 +1,168 @@
+"""Pinball checkpoints: creation, serialization, deterministic replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PinballError
+from repro.pin import InsCount, LdStMix
+from repro.pinball import PinPlayLogger, Pinball, RegionalPinball, Replayer, WholePinball
+from repro.pinball.pinball import ProgramRecipe
+from repro.simpoint.simpoints import SimulationPoint
+
+from conftest import QUICK
+
+
+@pytest.fixture(scope="module")
+def logger(request):
+    from repro.workloads.spec2017 import build_program
+
+    program = build_program("620.omnetpp_s", **QUICK)
+    return PinPlayLogger("620.omnetpp_s", program)
+
+
+class TestLogger:
+    def test_whole_pinball_spans_execution(self, logger):
+        whole = logger.log_whole()
+        assert whole.num_slices == QUICK["total_slices"]
+        assert whole.region_start == 0
+        assert whole.kind == "whole"
+
+    def test_regional_pinballs(self, logger):
+        points = [
+            SimulationPoint(slice_index=10, cluster=0, weight=0.6,
+                            cluster_size=70),
+            SimulationPoint(slice_index=90, cluster=1, weight=0.4,
+                            cluster_size=50),
+        ]
+        pinballs = logger.log_regions(points, warmup_slices=5)
+        assert len(pinballs) == 2
+        assert pinballs[0].region_start == 10
+        assert pinballs[0].weight == 0.6
+        assert pinballs[0].warmup_slices == 5
+        assert pinballs[0].kind == "regional"
+
+    def test_default_warmup_is_paper_500m(self, logger):
+        points = [SimulationPoint(50, 0, 1.0, 120)]
+        pinball = logger.log_regions(points)[0]
+        # 500 M / 30 M paper instructions ~= 17 slices.
+        assert pinball.warmup_slices == 17
+
+    def test_rejects_empty_points(self, logger):
+        with pytest.raises(PinballError):
+            logger.log_regions([])
+
+
+class TestRegionalPinball:
+    def _recipe(self):
+        return ProgramRecipe("620.omnetpp_s", QUICK["slice_size"],
+                             QUICK["total_slices"])
+
+    def test_warmup_truncated_at_program_start(self):
+        pinball = RegionalPinball(
+            recipe=self._recipe(), region_start=3, region_length=1,
+            weight=0.5, warmup_slices=17,
+        )
+        assert pinball.warmup_start == 0
+        assert pinball.effective_warmup == 3
+        assert pinball.total_slices_with_warmup == 4
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(PinballError):
+            RegionalPinball(recipe=self._recipe(), region_start=0,
+                            region_length=1, weight=0.0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(PinballError):
+            RegionalPinball(recipe=self._recipe(), region_start=0,
+                            region_length=1, weight=0.5, warmup_slices=-1)
+
+    def test_rejects_region_past_end(self):
+        with pytest.raises(PinballError):
+            RegionalPinball(recipe=self._recipe(),
+                            region_start=QUICK["total_slices"],
+                            region_length=1, weight=0.5)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(PinballError):
+            RegionalPinball(recipe=self._recipe(), region_start=0,
+                            region_length=0, weight=0.5)
+
+
+class TestSerialization:
+    def test_roundtrip_regional(self, logger, tmp_path):
+        points = [SimulationPoint(10, 0, 0.75, 90)]
+        pinball = logger.log_regions(points, warmup_slices=4)[0]
+        path = tmp_path / "region.pinball.json"
+        pinball.save(path)
+        loaded = Pinball.load(path)
+        assert isinstance(loaded, RegionalPinball)
+        assert loaded.region_start == 10
+        assert loaded.weight == 0.75
+        assert loaded.warmup_slices == 4
+        assert loaded.recipe == pinball.recipe
+
+    def test_roundtrip_whole(self, logger, tmp_path):
+        whole = logger.log_whole()
+        path = tmp_path / "whole.pinball.json"
+        whole.save(path)
+        loaded = Pinball.load(path)
+        assert isinstance(loaded, WholePinball)
+        assert loaded.num_slices == whole.num_slices
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(PinballError):
+            Pinball.load(path)
+
+    def test_load_rejects_wrong_version(self):
+        with pytest.raises(PinballError):
+            Pinball.from_dict({"format_version": 999})
+
+    def test_load_rejects_unknown_kind(self, logger):
+        data = logger.log_whole().to_dict()
+        data["kind"] = "mystery"
+        with pytest.raises(PinballError):
+            Pinball.from_dict(data)
+
+
+class TestReplayer:
+    def test_replay_matches_original_slices(self, logger):
+        pinball = RegionalPinball(
+            recipe=logger.recipe, region_start=7, region_length=2, weight=1.0
+        )
+        original = [logger.program.generate_slice(7),
+                    logger.program.generate_slice(8)]
+        replayed = list(pinball.replay_slices())
+        for a, b in zip(original, replayed):
+            assert np.array_equal(a.mem_lines, b.mem_lines)
+            assert a.instruction_count == b.instruction_count
+
+    def test_replay_through_tools(self, logger):
+        whole = logger.log_whole()
+        tools = Replayer(logger.program).replay(whole, [InsCount(), LdStMix()])
+        assert tools[0].slices == QUICK["total_slices"]
+        assert tools[1].total_instructions == tools[0].instructions
+
+    def test_warmup_flag_ignored_for_whole(self, logger):
+        whole = logger.log_whole()
+        tools = Replayer(logger.program).replay(
+            whole, [InsCount()], with_warmup=True
+        )
+        assert tools[0].slices == QUICK["total_slices"]
+
+    def test_shared_program_mismatch_rejected(self, logger):
+        from repro.workloads.spec2017 import build_program
+
+        other = build_program("620.omnetpp_s", slice_size=3000,
+                              total_slices=80)
+        replayer = Replayer(other)
+        with pytest.raises(PinballError):
+            replayer.replay(logger.log_whole(), [InsCount()])
+
+    def test_materializes_when_no_program_shared(self, logger):
+        pinball = RegionalPinball(
+            recipe=logger.recipe, region_start=2, region_length=1, weight=1.0
+        )
+        tools = Replayer().replay(pinball, [InsCount()])
+        assert tools[0].slices == 1

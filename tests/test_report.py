@@ -1,0 +1,59 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import format_bar, format_table, pct
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # All lines share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_non_string_cells(self):
+        text = format_table(["x", "y"], [(1.5, None)])
+        assert "1.5" in text and "None" in text
+
+    def test_wide_cell_grows_column(self):
+        text = format_table(["x"], [("wide-cell-content",)])
+        header = text.splitlines()[0]
+        assert len(header) >= len("wide-cell-content")
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestFormatBar:
+    def test_full_bar(self):
+        assert format_bar(10, 10, width=5) == "#####"
+
+    def test_half_bar(self):
+        assert format_bar(5, 10, width=10) == "#####"
+
+    def test_clamped_at_max(self):
+        assert format_bar(50, 10, width=4) == "####"
+
+    def test_zero_max(self):
+        assert format_bar(1, 0) == ""
+
+    def test_zero_value(self):
+        assert format_bar(0, 10, width=8) == ""
+
+
+class TestPct:
+    def test_default_digits(self):
+        assert pct(0.1234) == "12.34%"
+
+    def test_custom_digits(self):
+        assert pct(0.5, digits=0) == "50%"
+
+    def test_rounding(self):
+        assert pct(0.12345, digits=1) == "12.3%"

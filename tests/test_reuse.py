@@ -1,0 +1,131 @@
+"""Reuse-distance analysis and statistical warm-miss estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheLevel
+from repro.cache.reuse import (
+    COLD,
+    ReuseProfile,
+    estimate_warm_miss_rate,
+    stack_distances,
+)
+from repro.config import CacheConfig
+from repro.errors import SimulationError
+
+
+class TestStackDistances:
+    def test_first_touches_are_cold(self):
+        distances = stack_distances(np.array([1, 2, 3]))
+        assert (distances == COLD).all()
+
+    def test_immediate_reuse_distance_zero(self):
+        distances = stack_distances(np.array([7, 7]))
+        assert distances[1] == 0
+
+    def test_classic_sequence(self):
+        # a b c a : distance of the second 'a' is 2 (b and c in between).
+        distances = stack_distances(np.array([1, 2, 3, 1]))
+        assert distances[3] == 2
+
+    def test_duplicates_between_do_not_double_count(self):
+        # a b b a : only one distinct line between the two a's.
+        distances = stack_distances(np.array([1, 2, 2, 1]))
+        assert distances[3] == 1
+
+    def test_empty(self):
+        assert stack_distances(np.array([], dtype=np.int64)).size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(lines=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+           size_pow=st.integers(0, 5))
+    def test_property_matches_fully_associative_lru(self, lines, size_pow):
+        """Mattson: miss <=> stack distance >= capacity (or cold)."""
+        capacity = 2 ** size_pow
+        arr = np.array(lines, dtype=np.int64)
+        distances = stack_distances(arr)
+        predicted = (distances == COLD) | (distances >= capacity)
+        level = CacheLevel(
+            CacheConfig("FA", size_bytes=capacity * 32, line_size=32,
+                        associativity=capacity)
+        )
+        simulated = level.access_many(arr)
+        assert np.array_equal(predicted, simulated)
+
+
+class TestReuseProfile:
+    def test_histogram_totals(self):
+        profile = ReuseProfile.from_lines(np.array([1, 2, 1, 2, 1]))
+        assert profile.total == 5
+        assert profile.histogram[COLD] == 2
+        assert profile.histogram[1] == 3
+
+    def test_cold_fraction(self):
+        profile = ReuseProfile.from_lines(np.array([1, 2, 3, 1]))
+        assert profile.cold_fraction == pytest.approx(0.75)
+
+    def test_miss_rate_monotone_in_size(self):
+        rng = np.random.default_rng(5)
+        profile = ReuseProfile.from_lines(rng.integers(0, 64, size=2000))
+        curve = profile.miss_rate_curve([1, 4, 16, 64, 256])
+        rates = [curve[s] for s in (1, 4, 16, 64, 256)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_huge_cache_only_cold_misses(self):
+        profile = ReuseProfile.from_lines(np.array([1, 2, 1, 2]))
+        assert profile.miss_rate(10 ** 6) == pytest.approx(0.5)
+        assert profile.miss_rate(10 ** 6, count_cold=False) == 0.0
+
+    def test_from_slices(self, small_program):
+        profile = ReuseProfile.from_slices(small_program.iter_slices(0, 5))
+        assert profile.total > 0
+        assert 0.0 <= profile.cold_fraction <= 1.0
+
+    def test_validation(self):
+        profile = ReuseProfile.from_lines(np.array([1, 2]))
+        with pytest.raises(SimulationError):
+            profile.miss_rate(0)
+        with pytest.raises(SimulationError):
+            ReuseProfile.from_slices([])
+
+
+class TestWarmEstimate:
+    def test_warm_estimate_below_cold(self, small_program):
+        whole = ReuseProfile.from_slices(small_program.iter_slices())
+        region = ReuseProfile.from_slices(small_program.iter_slices(30, 1))
+        lines = 4096
+        cold_rate = region.miss_rate(lines, count_cold=True)
+        warm_estimate = estimate_warm_miss_rate(region, whole, lines)
+        assert warm_estimate < cold_rate
+
+    def test_warm_estimate_tracks_true_warm_rate(self, small_program):
+        """The estimate approximates a genuinely warmed replay."""
+        whole = ReuseProfile.from_slices(small_program.iter_slices())
+        region_slices = list(small_program.iter_slices(30, 2))
+        region_lines = np.concatenate([t.mem_lines for t in region_slices])
+        region = ReuseProfile.from_lines(region_lines)
+
+        capacity = 8192
+        estimate = estimate_warm_miss_rate(region, whole, capacity)
+
+        # Ground truth: fully-associative cache warmed by the whole
+        # prefix, then measured on the region.
+        level = CacheLevel(
+            CacheConfig("FA", size_bytes=capacity * 32, line_size=32,
+                        associativity=capacity),
+            recording=False,
+        )
+        for trace in small_program.iter_slices(0, 30):
+            level.access_many(trace.mem_lines)
+        level.recording = True
+        level.access_many(region_lines)
+        true_warm = level.stats.miss_rate
+        assert abs(estimate - true_warm) < 0.15
+
+    def test_rejects_empty_region(self):
+        whole = ReuseProfile.from_lines(np.array([1, 2, 1]))
+        empty = ReuseProfile(histogram={}, total=0)
+        with pytest.raises(SimulationError):
+            estimate_warm_miss_rate(empty, whole, 64)

@@ -1,0 +1,115 @@
+"""Baseline samplers and the strategy-comparison experiment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimPointError
+from repro.experiments.baselines import run_baselines
+from repro.sampling import (
+    prefix_sample,
+    random_sample,
+    stratified_sample,
+    systematic_sample,
+)
+
+from conftest import QUICK
+
+
+class TestSamplers:
+    @pytest.mark.parametrize(
+        "sampler",
+        [random_sample, stratified_sample,
+         lambda n, k: systematic_sample(n, k),
+         lambda n, k: prefix_sample(n, k)],
+        ids=["random", "stratified", "systematic", "prefix"],
+    )
+    def test_basic_contract(self, sampler):
+        try:
+            points = sampler(100, 10)
+        except TypeError:
+            points = sampler(100, 10)
+        assert len(points) == 10
+        indices = [p.slice_index for p in points]
+        assert len(set(indices)) == 10
+        assert all(0 <= i < 100 for i in indices)
+        assert sum(p.weight for p in points) == pytest.approx(1.0)
+
+    def test_random_deterministic_per_seed(self):
+        a = random_sample(50, 5, seed=3)
+        b = random_sample(50, 5, seed=3)
+        c = random_sample(50, 5, seed=4)
+        assert [p.slice_index for p in a] == [p.slice_index for p in b]
+        assert [p.slice_index for p in a] != [p.slice_index for p in c]
+
+    def test_systematic_spacing(self):
+        points = systematic_sample(100, 10)
+        indices = [p.slice_index for p in points]
+        gaps = np.diff(indices)
+        assert (gaps == 10).all()
+
+    def test_systematic_offset(self):
+        points = systematic_sample(100, 10, offset=3)
+        assert points[0].slice_index == 3
+
+    def test_systematic_rejects_negative_offset(self):
+        with pytest.raises(SimPointError):
+            systematic_sample(100, 10, offset=-1)
+
+    def test_stratified_one_per_window(self):
+        points = stratified_sample(100, 10, seed=0)
+        for rank, point in enumerate(points):
+            assert 10 * rank <= point.slice_index < 10 * (rank + 1)
+
+    def test_prefix_is_the_prefix(self):
+        points = prefix_sample(100, 4)
+        assert [p.slice_index for p in points] == [0, 1, 2, 3]
+
+    def test_select_all(self):
+        points = systematic_sample(10, 10)
+        assert [p.slice_index for p in points] == list(range(10))
+
+    @pytest.mark.parametrize("sampler", [random_sample, prefix_sample])
+    def test_rejects_bad_budget(self, sampler):
+        with pytest.raises(SimPointError):
+            sampler(10, 0)
+        with pytest.raises(SimPointError):
+            sampler(10, 11)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 300), frac=st.floats(0.01, 1.0),
+           seed=st.integers(0, 50))
+    def test_property_all_samplers_valid(self, n, frac, seed):
+        k = max(1, min(n, int(round(frac * n))))
+        for points in (
+            random_sample(n, k, seed=seed),
+            systematic_sample(n, k, offset=seed % max(1, n)),
+            stratified_sample(n, k, seed=seed),
+            prefix_sample(n, k),
+        ):
+            indices = [p.slice_index for p in points]
+            assert len(points) == k
+            assert len(set(indices)) == k
+            assert all(0 <= i < n for i in indices)
+
+
+class TestBaselinesExperiment:
+    def test_simpoint_beats_prefix(self):
+        result = run_baselines(["557.xz_r", "620.omnetpp_s"], **QUICK)
+        assert result.average_mix_error("simpoint") < \
+            result.average_mix_error("prefix")
+
+    def test_all_strategies_reported(self):
+        result = run_baselines(["620.omnetpp_s"], **QUICK)
+        row = result.rows[0]
+        assert set(row.mix_error_pp) == {
+            "simpoint", "random", "systematic", "stratified", "prefix",
+        }
+        assert row.budget >= 1
+
+    def test_render(self):
+        from repro.experiments.baselines import render_baselines
+
+        text = render_baselines(run_baselines(["620.omnetpp_s"], **QUICK))
+        assert "prefix" in text and "simpoint" in text

@@ -1,0 +1,196 @@
+"""SimPoint analysis, reduction, and variance sweeps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimPointError
+from repro.simpoint import (
+    SimPointAnalysis,
+    SimulationPoint,
+    reduce_to_percentile,
+    variance_sweep,
+)
+
+
+def synthetic_bbvs(rng, phases=4, slices_per=(40, 30, 20, 10), blocks=60):
+    """BBV matrix with known phase structure (disjoint block groups)."""
+    rows, labels = [], []
+    per_phase = blocks // phases
+    for phase, count in enumerate(slices_per[:phases]):
+        base = np.zeros(blocks)
+        lo = phase * per_phase
+        base[lo : lo + per_phase] = rng.dirichlet(np.ones(per_phase))
+        for _ in range(count):
+            noise = rng.normal(0, 0.003, size=blocks)
+            vec = np.clip(base + noise, 0, None)
+            rows.append(vec / vec.sum())
+            labels.append(phase)
+    return np.vstack(rows), np.array(labels)
+
+
+class TestAnalysis:
+    def test_recovers_phase_count(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs)
+        assert result.k == 4
+        assert result.num_points == 4
+
+    def test_weights_sum_to_one(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs)
+        assert result.weights().sum() == pytest.approx(1.0)
+
+    def test_weights_match_cluster_sizes(self, rng):
+        bbvs, labels = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs)
+        sizes = sorted(p.cluster_size for p in result.points)
+        assert sizes == [10, 20, 30, 40]
+
+    def test_representative_belongs_to_its_cluster(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs)
+        for point in result.points:
+            assert result.labels[point.slice_index] == point.cluster
+
+    def test_representative_has_cluster_phase(self, rng):
+        bbvs, labels = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs)
+        # Each representative's ground-truth phase is shared by its
+        # whole cluster.
+        for point in result.points:
+            members = labels[result.labels == point.cluster]
+            assert (members == labels[point.slice_index]).all()
+
+    def test_custom_slice_indices(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        indices = np.arange(100) * 3 + 7
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs, indices)
+        for point in result.points:
+            assert (point.slice_index - 7) % 3 == 0
+
+    def test_max_k_caps_clusters(self, rng):
+        bbvs, _ = synthetic_bbvs(rng, phases=4)
+        result = SimPointAnalysis(max_k=2, seed=0).analyze(bbvs)
+        assert result.k <= 2
+
+    def test_deterministic(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        a = SimPointAnalysis(max_k=8, seed=5).analyze(bbvs)
+        b = SimPointAnalysis(max_k=8, seed=5).analyze(bbvs)
+        assert [p.slice_index for p in a.points] == \
+            [p.slice_index for p in b.points]
+
+    def test_bic_scores_exposed(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=6, seed=0).analyze(bbvs)
+        assert len(result.bic_scores) == 6
+
+    def test_sorted_by_weight(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        result = SimPointAnalysis(max_k=10, seed=0).analyze(bbvs)
+        weights = [p.weight for p in result.sorted_by_weight()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(SimPointError):
+            SimPointAnalysis().analyze(np.empty((0, 4)))
+
+    def test_rejects_misaligned_indices(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        with pytest.raises(SimPointError):
+            SimPointAnalysis().analyze(bbvs, np.arange(5))
+
+    def test_rejects_bad_max_k(self):
+        with pytest.raises(SimPointError):
+            SimPointAnalysis(max_k=0)
+
+
+def points_from_weights(weights):
+    return [
+        SimulationPoint(slice_index=i, cluster=i, weight=w,
+                        cluster_size=max(1, int(w * 100)))
+        for i, w in enumerate(weights)
+    ]
+
+
+class TestReduction:
+    def test_paper_rule_selects_until_threshold(self):
+        points = points_from_weights([0.5, 0.3, 0.15, 0.05])
+        reduced = reduce_to_percentile(points, 0.9)
+        assert [p.slice_index for p in reduced] == [0, 1, 2]
+
+    def test_crossing_point_included(self):
+        points = points_from_weights([0.6, 0.35, 0.05])
+        reduced = reduce_to_percentile(points, 0.9)
+        assert len(reduced) == 2
+
+    def test_full_percentile_keeps_all(self):
+        points = points_from_weights([0.4, 0.3, 0.2, 0.1])
+        assert len(reduce_to_percentile(points, 1.0)) == 4
+
+    def test_monotone_in_percentile(self):
+        points = points_from_weights([0.3, 0.25, 0.2, 0.15, 0.1])
+        sizes = [
+            len(reduce_to_percentile(points, p))
+            for p in (0.3, 0.5, 0.7, 0.9, 1.0)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_unnormalized_weights_supported(self):
+        points = points_from_weights([5.0, 3.0, 1.5, 0.5])
+        reduced = reduce_to_percentile(points, 0.9)
+        assert len(reduced) == 3
+
+    def test_descending_order_output(self):
+        points = points_from_weights([0.1, 0.5, 0.4])
+        reduced = reduce_to_percentile(points, 1.0)
+        assert [p.weight for p in reduced] == [0.5, 0.4, 0.1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimPointError):
+            reduce_to_percentile([], 0.9)
+
+    def test_rejects_bad_percentile(self):
+        points = points_from_weights([1.0])
+        with pytest.raises(SimPointError):
+            reduce_to_percentile(points, 0.0)
+        with pytest.raises(SimPointError):
+            reduce_to_percentile(points, 1.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        weights=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=30),
+        percentile=st.floats(0.05, 1.0),
+    )
+    def test_property_coverage_reached(self, weights, percentile):
+        points = points_from_weights(weights)
+        reduced = reduce_to_percentile(points, percentile)
+        total = sum(weights)
+        covered = sum(p.weight for p in reduced) / total
+        assert covered >= percentile - 1e-9
+        # Removing the last selected point must drop below the threshold.
+        if len(reduced) > 1:
+            without_last = covered - reduced[-1].weight / total
+            assert without_last < percentile
+
+
+class TestVarianceSweep:
+    def test_variance_decreases_with_k(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        curve = variance_sweep(bbvs, [1, 2, 4, 8])
+        assert curve[1] >= curve[2] >= curve[4]
+        assert curve[4] >= curve[8] - 1e-12
+
+    def test_k_clipped_to_slices(self, rng):
+        bbvs, _ = synthetic_bbvs(rng, phases=2, slices_per=(4, 4))
+        curve = variance_sweep(bbvs, [100])
+        assert curve[100] == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_empty_inputs(self, rng):
+        bbvs, _ = synthetic_bbvs(rng)
+        with pytest.raises(SimPointError):
+            variance_sweep(np.empty((0, 3)), [2])
+        with pytest.raises(SimPointError):
+            variance_sweep(bbvs, [])

@@ -1,0 +1,102 @@
+"""Sniper interval timing model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SNIPER_SIM, SNIPER_TABLE_III
+from repro.errors import SimulationError
+from repro.sniper import SniperSimulator, TimingParams
+from repro.workloads.phases import PhaseSpec
+from repro.workloads.program import SyntheticProgram
+from repro.workloads.schedule import PhaseSchedule
+
+from conftest import make_phase
+
+
+def program_with(mem_fractions, entropy=0.2, slices=12, seed=11):
+    phases = [make_phase(0, weight=1.0, mem_fractions=mem_fractions,
+                         branch_entropy=entropy)]
+    schedule = PhaseSchedule.from_counts([slices], seed=1)
+    return SyntheticProgram("t", phases, schedule, 3000, seed=seed)
+
+
+COMPUTE = (0.97, 0.015, 0.006, 0.004, 0.005)
+MEMORY = (0.70, 0.13, 0.08, 0.05, 0.04)
+
+
+class TestSniper:
+    def test_cpi_positive_and_sane(self):
+        program = program_with(COMPUTE)
+        timing = SniperSimulator().run_region(program.iter_slices())
+        assert 0.2 < timing.cpi < 10.0
+        assert timing.instructions > 0
+        assert timing.cycles > 0
+
+    def test_memory_bound_has_higher_cpi(self):
+        light = SniperSimulator().run_region(
+            program_with(COMPUTE).iter_slices()
+        )
+        heavy = SniperSimulator().run_region(
+            program_with(MEMORY).iter_slices()
+        )
+        assert heavy.cpi > light.cpi
+
+    def test_branch_entropy_raises_cpi(self):
+        calm = SniperSimulator().run_region(
+            program_with(COMPUTE, entropy=0.0).iter_slices()
+        )
+        noisy = SniperSimulator().run_region(
+            program_with(COMPUTE, entropy=1.0).iter_slices()
+        )
+        assert noisy.cpi > calm.cpi
+        assert noisy.branch_mispredicts > calm.branch_mispredicts
+
+    def test_warmup_lowers_cpi(self):
+        program = program_with(MEMORY, slices=20)
+        cold = SniperSimulator().run_region(program.iter_slices(10, 4))
+        warm = SniperSimulator().run_region(
+            program.iter_slices(10, 4), warmup=program.iter_slices(0, 10)
+        )
+        assert warm.cycles < cold.cycles
+        assert warm.instructions == cold.instructions
+
+    def test_miss_counts_reported(self):
+        program = program_with(MEMORY)
+        timing = SniperSimulator().run_region(program.iter_slices())
+        assert timing.l1d_misses >= timing.l2_misses >= timing.l3_misses
+        assert timing.l3_accesses == timing.l2_misses
+
+    def test_default_machine_is_scaled_table3(self):
+        assert SniperSimulator().system is SNIPER_SIM
+
+    def test_full_table3_machine_accepted(self):
+        program = program_with(COMPUTE, slices=4)
+        timing = SniperSimulator(system=SNIPER_TABLE_III).run_region(
+            program.iter_slices()
+        )
+        assert timing.cpi > 0
+
+    def test_custom_params_change_cpi(self):
+        program = program_with(COMPUTE)
+        base = SniperSimulator().run_region(program.iter_slices())
+        slow = SniperSimulator(
+            params=TimingParams(dependency_cpi=1.0)
+        ).run_region(program.iter_slices())
+        assert slow.cpi > base.cpi
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(SimulationError):
+            SniperSimulator().run_region([])
+
+    def test_cpi_undefined_without_instructions(self):
+        from repro.sniper.core import RegionTiming
+
+        timing = RegionTiming(0, 0.0, 0.0, 0, 0, 0, 0)
+        with pytest.raises(SimulationError):
+            _ = timing.cpi
+
+    def test_deterministic(self):
+        program = program_with(MEMORY)
+        a = SniperSimulator().run_region(program.iter_slices())
+        b = SniperSimulator().run_region(program.iter_slices())
+        assert a.cycles == b.cycles

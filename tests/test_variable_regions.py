@@ -1,0 +1,129 @@
+"""Variable-length simulation regions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimPointError
+from repro.simpoint.simpoints import SimPointResult, SimulationPoint
+from repro.simpoint.variable import (
+    VariableRegion,
+    label_runs,
+    region_statistics,
+    variable_length_regions,
+)
+
+
+def result_from_labels(labels, points=None):
+    labels = np.asarray(labels)
+    clusters = sorted(set(labels.tolist()))
+    if points is None:
+        points = []
+        for cluster in clusters:
+            members = np.flatnonzero(labels == cluster)
+            points.append(
+                SimulationPoint(
+                    slice_index=int(members[len(members) // 2]),
+                    cluster=cluster,
+                    weight=members.size / labels.size,
+                    cluster_size=int(members.size),
+                )
+            )
+    return SimPointResult(
+        points=points,
+        labels=labels,
+        slice_indices=np.arange(labels.size),
+        k=len(clusters),
+        max_k=35,
+    )
+
+
+class TestLabelRuns:
+    def test_single_run(self):
+        assert label_runs([1, 1, 1]) == [(0, 3, 1)]
+
+    def test_alternating(self):
+        assert label_runs([0, 1, 0]) == [(0, 1, 0), (1, 1, 1), (2, 1, 0)]
+
+    def test_runs_partition_sequence(self):
+        labels = [0, 0, 1, 1, 1, 0, 2, 2]
+        runs = label_runs(labels)
+        assert sum(r[1] for r in runs) == len(labels)
+        rebuilt = []
+        for start, length, label in runs:
+            rebuilt.extend([label] * length)
+        assert rebuilt == labels
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimPointError):
+            label_runs([])
+
+
+class TestVariableRegions:
+    def test_one_region_per_cluster(self):
+        labels = [0] * 10 + [1] * 6 + [0] * 4 + [2] * 5
+        result = result_from_labels(labels)
+        regions = variable_length_regions(result)
+        assert len(regions) == 3
+        assert {r.cluster for r in regions} == {0, 1, 2}
+
+    def test_regions_cover_their_cluster_labels(self):
+        labels = [0] * 8 + [1] * 8 + [0] * 8
+        result = result_from_labels(labels)
+        for region in variable_length_regions(result):
+            span = result.labels[region.start:region.end]
+            assert (span == region.cluster).all()
+
+    def test_picks_long_runs(self):
+        labels = [0] * 2 + [1] * 10 + [0] * 12 + [1] * 3
+        result = result_from_labels(labels)
+        regions = {r.cluster: r for r in variable_length_regions(result)}
+        assert regions[0].length == 12
+        assert regions[1].length == 10
+
+    def test_weights_preserved(self):
+        labels = [0] * 15 + [1] * 5
+        result = result_from_labels(labels)
+        regions = {r.cluster: r for r in variable_length_regions(result)}
+        assert regions[0].weight == pytest.approx(0.75)
+        assert regions[1].weight == pytest.approx(0.25)
+
+    def test_length_cap(self):
+        labels = [0] * 40 + [1] * 4
+        result = result_from_labels(labels)
+        regions = variable_length_regions(result, max_region_slices=10)
+        assert all(r.length <= 10 for r in regions)
+
+    def test_cap_keeps_cluster_purity(self):
+        labels = [0] * 40 + [1] * 4
+        result = result_from_labels(labels)
+        for region in variable_length_regions(result, max_region_slices=8):
+            span = result.labels[region.start:region.end]
+            assert (span == region.cluster).all()
+
+    def test_rejects_negative_cap(self):
+        result = result_from_labels([0, 0, 1, 1])
+        with pytest.raises(SimPointError):
+            variable_length_regions(result, max_region_slices=-1)
+
+    def test_on_real_pipeline(self, quick_pinpoints):
+        regions = variable_length_regions(quick_pinpoints.simpoints)
+        assert len(regions) == quick_pinpoints.simpoints.num_points
+        stats = region_statistics(regions)
+        # Variable regions batch many slices per checkpoint.
+        assert stats["mean_length"] > 1.0
+        assert stats["num_regions"] == quick_pinpoints.simpoints.num_points
+
+    def test_statistics(self):
+        regions = [
+            VariableRegion(0, 5, 0, 0.5),
+            VariableRegion(10, 15, 1, 0.5),
+        ]
+        stats = region_statistics(regions)
+        assert stats["num_regions"] == 2
+        assert stats["total_slices"] == 20
+        assert stats["mean_length"] == pytest.approx(10.0)
+        assert stats["max_length"] == 15
+
+    def test_statistics_rejects_empty(self):
+        with pytest.raises(SimPointError):
+            region_statistics([])

@@ -1,0 +1,199 @@
+"""Double-run warming, confidence intervals, and pinball archives."""
+
+import numpy as np
+import pytest
+
+from repro.cache.warming import (
+    compare_warming_strategies,
+    measure_points_double_run,
+)
+from repro.errors import PinballError, SimulationError
+from repro.experiments.common import measure_points, measure_whole
+from repro.pinball import PinballArchive
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    jackknife_interval,
+    required_sample_size,
+)
+
+
+class TestDoubleRunWarming:
+    def test_double_run_removes_cold_misses(self, quick_pinpoints):
+        out = quick_pinpoints
+        cold = measure_points(out, out.regional)
+        double = measure_points_double_run(out, out.regional)
+        assert double.miss_rates["L3"] < cold.miss_rates["L3"]
+        assert double.miss_rates["L2"] <= cold.miss_rates["L2"] + 1e-9
+
+    def test_mix_unaffected_by_warming(self, quick_pinpoints):
+        out = quick_pinpoints
+        cold = measure_points(out, out.regional)
+        double = measure_points_double_run(out, out.regional)
+        assert np.allclose(cold.mix, double.mix)
+
+    def test_more_passes_never_colder(self, quick_pinpoints):
+        out = quick_pinpoints
+        two = measure_points_double_run(out, out.regional, passes=2)
+        three = measure_points_double_run(out, out.regional, passes=3)
+        assert three.miss_rates["L3"] <= two.miss_rates["L3"] + 1e-9
+
+    def test_rejects_single_pass(self, quick_pinpoints):
+        with pytest.raises(SimulationError):
+            measure_points_double_run(
+                quick_pinpoints, quick_pinpoints.regional, passes=1
+            )
+
+    def test_strategy_comparison(self, quick_pinpoints):
+        deltas = compare_warming_strategies(quick_pinpoints)
+        assert set(deltas) == {"cold", "prefix", "double-run"}
+        # Both mitigations beat cold replay on the LLC.
+        assert deltas["prefix"]["L3"] < deltas["cold"]["L3"]
+        assert deltas["double-run"]["L3"] < deltas["cold"]["L3"]
+
+
+class TestJackknife:
+    def test_interval_contains_estimate(self):
+        interval = jackknife_interval([1.0, 1.2, 0.9, 1.1], [4, 3, 2, 1])
+        assert interval.low <= interval.estimate <= interval.high
+        assert interval.confidence == 0.95
+
+    def test_degenerate_single_point(self):
+        interval = jackknife_interval([2.0], [1.0])
+        assert interval.low == interval.high == interval.estimate == 2.0
+
+    def test_identical_values_zero_width(self):
+        interval = jackknife_interval([3.0, 3.0, 3.0], [1, 2, 3])
+        assert interval.half_width == pytest.approx(0.0, abs=1e-12)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 1.4, 0.8, 1.2, 0.9]
+        weights = [1, 1, 1, 1, 1]
+        narrow = jackknife_interval(values, weights, confidence=0.80)
+        wide = jackknife_interval(values, weights, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_contains(self):
+        interval = ConfidenceInterval(1.0, 0.8, 1.2, 0.95)
+        assert interval.contains(1.0)
+        assert not interval.contains(1.5)
+
+    def test_noisier_values_wider_interval(self):
+        weights = [1] * 6
+        calm = jackknife_interval([1.0, 1.01, 0.99, 1.0, 1.02, 0.98], weights)
+        noisy = jackknife_interval([0.5, 1.5, 0.7, 1.3, 0.4, 1.6], weights)
+        assert noisy.half_width > calm.half_width
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            jackknife_interval([], [])
+        with pytest.raises(SimulationError):
+            jackknife_interval([1.0, 2.0], [1.0])
+        with pytest.raises(SimulationError):
+            jackknife_interval([1.0, 2.0], [1, 1], confidence=1.0)
+
+    def test_covers_true_mean_on_synthetic_data(self, rng):
+        # Sanity: intervals from noisy samples around 5.0 usually cover it.
+        covered = 0
+        for trial in range(30):
+            values = 5.0 + rng.normal(0, 0.5, size=12)
+            interval = jackknife_interval(values, np.ones(12))
+            covered += interval.contains(5.0)
+        assert covered >= 24  # ~95% nominal; allow slack
+
+
+class TestRequiredSampleSize:
+    def test_basic(self):
+        n = required_sample_size([1.0, 1.2, 0.8, 1.1, 0.9], 0.05)
+        assert n > 1
+
+    def test_tighter_target_needs_more_samples(self):
+        pilot = [1.0, 1.3, 0.7, 1.2, 0.8]
+        assert required_sample_size(pilot, 0.01) > \
+            required_sample_size(pilot, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            required_sample_size([1.0], 0.05)
+        with pytest.raises(SimulationError):
+            required_sample_size([1.0, 2.0], 0.0)
+        with pytest.raises(SimulationError):
+            required_sample_size([-1.0, 1.0], 0.05)
+
+
+class TestPinballArchive:
+    def test_roundtrip(self, quick_pinpoints, tmp_path):
+        archive = PinballArchive.from_pipeline(quick_pinpoints)
+        directory = archive.save(tmp_path / "arch")
+        loaded = PinballArchive.load(directory)
+        assert loaded.benchmark == quick_pinpoints.benchmark
+        assert len(loaded.regional) == len(quick_pinpoints.regional)
+        assert loaded.total_weight == pytest.approx(archive.total_weight)
+
+    def test_regional_sorted_by_weight(self, quick_pinpoints, tmp_path):
+        archive = PinballArchive.from_pipeline(quick_pinpoints)
+        weights = [p.weight for p in archive.regional]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_loaded_pinballs_replayable(self, quick_pinpoints, tmp_path):
+        archive = PinballArchive.from_pipeline(quick_pinpoints)
+        loaded = PinballArchive.load(archive.save(tmp_path / "arch"))
+        trace = next(iter(loaded.regional[0].replay_slices()))
+        original = quick_pinpoints.program.generate_slice(
+            loaded.regional[0].region_start
+        )
+        assert np.array_equal(trace.mem_lines, original.mem_lines)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(PinballError):
+            PinballArchive.load(tmp_path / "nothing")
+
+    def test_bad_manifest_version(self, quick_pinpoints, tmp_path):
+        import json
+
+        directory = PinballArchive.from_pipeline(quick_pinpoints).save(
+            tmp_path / "arch"
+        )
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["manifest_version"] = 99
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PinballError):
+            PinballArchive.load(directory)
+
+    def test_region_count_mismatch(self, quick_pinpoints, tmp_path):
+        import json
+
+        directory = PinballArchive.from_pipeline(quick_pinpoints).save(
+            tmp_path / "arch"
+        )
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["num_regions"] = 999
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(PinballError):
+            PinballArchive.load(directory)
+
+
+class TestCliArchiveCommands:
+    def test_checkpoint_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "omnetpp"
+        assert main(["checkpoint", "620.omnetpp_s", "--out",
+                     str(out_dir)]) == 0
+        assert "archived 620.omnetpp_s" in capsys.readouterr().out
+        assert main(["replay-archive", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 620.omnetpp_s" in out
+        assert "L3 miss rate" in out
+
+    def test_replay_missing_archive(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["replay-archive", str(tmp_path / "missing")]) == 2
+        assert "replay failed" in capsys.readouterr().err
+
+    def test_checkpoint_unknown_benchmark(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["checkpoint", "999.bogus", "--out",
+                     str(tmp_path / "x")]) == 2
+        assert "checkpoint failed" in capsys.readouterr().err

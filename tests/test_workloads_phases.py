@@ -1,0 +1,160 @@
+"""Phase weight solver, slice-count repair, and PhaseSpec validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import (
+    PhaseSpec,
+    geometric_phase_weights,
+    ninety_percentile_count,
+    phase_slice_counts,
+)
+from repro.workloads.spec2017 import SPEC_CPU2017
+
+from conftest import make_phase
+
+#: All (num_phases, num_90pct) pairs from Table II.
+TABLE_II_PAIRS = sorted(
+    {(d.num_phases, d.num_90pct) for d in SPEC_CPU2017.values()}
+)
+
+
+class TestGeometricWeights:
+    @pytest.mark.parametrize("n,n90", TABLE_II_PAIRS)
+    def test_all_table2_profiles_solvable(self, n, n90):
+        weights = geometric_phase_weights(n, n90)
+        assert weights.shape == (n,)
+        assert weights.sum() == pytest.approx(1.0)
+        # Descending order.
+        assert (np.diff(weights) <= 1e-12).all()
+        # The cut lands exactly at n90.
+        assert ninety_percentile_count(weights) == n90
+
+    def test_rejects_single_phase(self):
+        with pytest.raises(WorkloadError):
+            geometric_phase_weights(1, 1)
+
+    def test_rejects_out_of_range_cut(self):
+        with pytest.raises(WorkloadError):
+            geometric_phase_weights(10, 0)
+        with pytest.raises(WorkloadError):
+            geometric_phase_weights(10, 10)
+
+    def test_rejects_too_flat_profile(self):
+        # 19 of 20 phases covering 90% is flatter than geometric allows.
+        with pytest.raises(WorkloadError):
+            geometric_phase_weights(20, 19)
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(3, 30), frac=st.floats(0.15, 0.8))
+    def test_property_cut_is_exact(self, n, frac):
+        n90 = max(1, min(n - 1, int(round(frac * n))))
+        weights = geometric_phase_weights(n, n90)
+        assert ninety_percentile_count(weights) == n90
+
+
+class TestNinetyPercentileCount:
+    def test_uniform_weights(self):
+        assert ninety_percentile_count(np.full(10, 0.1)) == 9
+
+    def test_single_dominant(self):
+        assert ninety_percentile_count(np.array([0.95, 0.03, 0.02])) == 1
+
+    def test_unnormalized_input(self):
+        assert ninety_percentile_count(np.array([95.0, 3.0, 2.0])) == 1
+
+    def test_custom_threshold(self):
+        weights = np.array([0.5, 0.3, 0.2])
+        assert ninety_percentile_count(weights, threshold=0.5) == 1
+        assert ninety_percentile_count(weights, threshold=0.8) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            ninety_percentile_count(np.array([]))
+
+
+class TestPhaseSliceCounts:
+    @pytest.mark.parametrize("n,n90", TABLE_II_PAIRS)
+    def test_table2_counts_preserve_cut(self, n, n90):
+        weights = geometric_phase_weights(n, n90)
+        counts = phase_slice_counts(weights, 600, n90)
+        assert counts.sum() == 600
+        assert counts.min() >= 1
+        assert ninety_percentile_count(counts.astype(float)) == n90
+
+    @pytest.mark.parametrize("total", [120, 300, 600, 1000])
+    def test_various_slice_budgets(self, total):
+        weights = geometric_phase_weights(18, 9)
+        counts = phase_slice_counts(weights, total, 9)
+        assert counts.sum() == total
+        assert ninety_percentile_count(counts.astype(float)) == 9
+
+    def test_rejects_too_few_slices(self):
+        weights = geometric_phase_weights(20, 10)
+        with pytest.raises(WorkloadError):
+            phase_slice_counts(weights, 30, 10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(3, 28), frac=st.floats(0.2, 0.75),
+           total=st.integers(150, 800))
+    def test_property_repair_converges(self, n, frac, total):
+        n90 = max(1, min(n - 1, int(round(frac * n))))
+        weights = geometric_phase_weights(n, n90)
+        total = max(total, 2 * n, 10 * (n - n90) + 10)
+        counts = phase_slice_counts(weights, total, n90)
+        assert counts.sum() == total
+        assert ninety_percentile_count(counts.astype(float)) == n90
+
+    def test_infeasible_cut_rejected(self):
+        weights = geometric_phase_weights(21, 5)
+        with pytest.raises(WorkloadError):
+            phase_slice_counts(weights, 150, 5)
+
+
+class TestPhaseSpecValidation:
+    def test_valid_spec(self):
+        spec = make_phase(0)
+        assert spec.phase_id == 0
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, weight=0.0)
+        with pytest.raises(WorkloadError):
+            make_phase(0, weight=1.5)
+
+    def test_rejects_unnormalized_mix(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, mix=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rejects_wrong_length_mem_fractions(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, mem_fractions=(0.5, 0.3, 0.2))
+
+    def test_rejects_negative_mix_entry(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, mix=(1.2, -0.2, 0.0, 0.0))
+
+    def test_rejects_wrong_ws_count(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, ws_lines=(8, 40, 1000))
+
+    def test_rejects_zero_working_set(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, ws_lines=(0, 40, 1000, 2500))
+
+    def test_rejects_bad_branch_fraction(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, branch_fraction=1.0)
+
+    def test_rejects_bad_entropy(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, branch_entropy=-0.1)
+
+    def test_rejects_empty_code(self):
+        with pytest.raises(WorkloadError):
+            make_phase(0, num_blocks=0)
+        with pytest.raises(WorkloadError):
+            make_phase(0, code_lines=0)

@@ -1,0 +1,142 @@
+"""Synthetic program generation: determinism, structure, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.program import STREAM_WINDOW_LINES, SyntheticProgram
+from repro.workloads.schedule import PhaseSchedule
+
+from conftest import make_phase
+
+
+class TestDeterminism:
+    def test_slice_replay_is_bit_identical(self, small_program):
+        a = small_program.generate_slice(17)
+        b = small_program.generate_slice(17)
+        assert np.array_equal(a.mem_lines, b.mem_lines)
+        assert np.array_equal(a.block_counts, b.block_counts)
+        assert np.array_equal(a.class_counts, b.class_counts)
+        assert np.array_equal(a.ifetch_lines, b.ifetch_lines)
+        assert a.instruction_count == b.instruction_count
+
+    def test_isolated_equals_in_sequence(self, small_program):
+        in_sequence = list(small_program.iter_slices(10, 3))
+        isolated = [small_program.generate_slice(i) for i in (10, 11, 12)]
+        for a, b in zip(in_sequence, isolated):
+            assert np.array_equal(a.mem_lines, b.mem_lines)
+
+    def test_rebuilt_program_identical(self):
+        phases = [make_phase(0, weight=1.0)]
+        schedule = PhaseSchedule.from_counts([10], seed=3)
+        a = SyntheticProgram("p", phases, schedule, 2000, seed=5)
+        b = SyntheticProgram("p", phases, schedule, 2000, seed=5)
+        ta, tb = a.generate_slice(4), b.generate_slice(4)
+        assert np.array_equal(ta.mem_lines, tb.mem_lines)
+
+    def test_different_slices_differ(self, small_program):
+        a = small_program.generate_slice(0)
+        b = small_program.generate_slice(1)
+        assert not np.array_equal(a.mem_lines, b.mem_lines)
+
+
+class TestStructure:
+    def test_slice_count_and_phases(self, small_program):
+        assert small_program.num_slices == 60
+        assert small_program.num_phases == 3
+
+    def test_phase_of_slice_matches_trace(self, small_program):
+        for i in (0, 13, 42):
+            trace = small_program.generate_slice(i)
+            assert trace.phase_id == small_program.phase_of_slice(i)
+
+    def test_bbvs_of_different_phases_nearly_disjoint(self, small_program):
+        by_phase = {}
+        for trace in small_program.iter_slices():
+            by_phase.setdefault(trace.phase_id, trace)
+        bbvs = [t.bbv() for t in by_phase.values()]
+        # Shared blocks contribute ~5%; own blocks are disjoint.
+        overlap = float(np.minimum(bbvs[0], bbvs[1]).sum())
+        assert overlap < 0.15
+
+    def test_same_phase_slices_similar(self, small_program):
+        slices = [
+            t for t in small_program.iter_slices() if t.phase_id == 0
+        ][:2]
+        d = np.abs(slices[0].bbv() - slices[1].bbv()).sum()
+        # Same-phase slices differ only by multinomial noise (~360
+        # entries at this slice size), far less than the near-total
+        # separation between different phases.
+        assert d < 0.3
+
+    def test_instruction_count_near_target(self, small_program):
+        trace = small_program.generate_slice(0)
+        assert 0.8 * 2000 < trace.instruction_count < 1.25 * 2000
+
+    def test_class_counts_near_phase_mix(self, small_program):
+        trace = small_program.generate_slice(0)
+        phase = small_program.phases[trace.phase_id]
+        fractions = trace.class_counts / trace.class_counts.sum()
+        assert np.abs(fractions - np.asarray(phase.mix)).max() < 0.08
+
+    def test_stream_lines_unique_across_slices(self, small_program):
+        # Streaming addresses never repeat between slices (compulsory).
+        t0 = small_program.generate_slice(0)
+        t1 = small_program.generate_slice(1)
+        assert not set(t0.mem_lines.tolist()) >= set(t1.mem_lines.tolist())
+
+    def test_mem_lines_nonnegative(self, small_program):
+        trace = small_program.generate_slice(5)
+        assert trace.mem_lines.min() >= 0
+
+    def test_code_regions(self, small_program):
+        regions = small_program.code_regions()
+        assert len(regions) == 3
+        ids = {b.block_id for r in regions for b in r.blocks}
+        assert len(ids) == sum(len(r.blocks) for r in regions)
+
+    def test_block_sizes_exposed(self, small_program):
+        assert small_program.block_sizes.shape == (small_program.num_blocks,)
+        assert small_program.block_sizes.min() >= 1
+
+    def test_stream_window_bounds_stream_refs(self):
+        phases = [make_phase(0, weight=1.0,
+                             mem_fractions=(0.1, 0.1, 0.1, 0.1, 0.6))]
+        schedule = PhaseSchedule.from_counts([4], seed=0)
+        program = SyntheticProgram("s", phases, schedule, 3000, seed=1)
+        trace = program.generate_slice(0)
+        assert trace.memory_reference_count <= 4 * trace.instruction_count
+        assert trace.mem_lines.size > 0
+        # Stream refs are clipped at the window size.
+        assert trace.memory_reference_count >= 1
+        assert STREAM_WINDOW_LINES == 8192
+
+
+class TestValidation:
+    def test_rejects_out_of_range_slice(self, small_program):
+        with pytest.raises(WorkloadError):
+            small_program.generate_slice(60)
+        with pytest.raises(WorkloadError):
+            small_program.generate_slice(-1)
+
+    def test_rejects_bad_iter_range(self, small_program):
+        with pytest.raises(WorkloadError):
+            list(small_program.iter_slices(50, 20))
+
+    def test_rejects_tiny_slice_size(self):
+        phases = [make_phase(0, weight=1.0)]
+        schedule = PhaseSchedule.from_counts([4], seed=0)
+        with pytest.raises(WorkloadError):
+            SyntheticProgram("p", phases, schedule, 50, seed=0)
+
+    def test_rejects_phase_schedule_mismatch(self):
+        phases = [make_phase(0, weight=1.0)]
+        schedule = PhaseSchedule.from_counts([4, 4], seed=0)
+        with pytest.raises(WorkloadError):
+            SyntheticProgram("p", phases, schedule, 2000, seed=0)
+
+    def test_rejects_non_dense_phase_ids(self):
+        phases = [make_phase(1, weight=1.0)]
+        schedule = PhaseSchedule.from_counts([4], seed=0)
+        with pytest.raises(WorkloadError):
+            SyntheticProgram("p", phases, schedule, 2000, seed=0)

@@ -1,0 +1,72 @@
+"""Phase schedule construction and structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.schedule import PhaseSchedule
+
+
+class TestFromCounts:
+    def test_counts_preserved(self):
+        schedule = PhaseSchedule.from_counts([10, 5, 3], seed=1)
+        assert schedule.phase_counts().tolist() == [10, 5, 3]
+        assert len(schedule) == 18
+
+    def test_deterministic(self):
+        a = PhaseSchedule.from_counts([10, 5, 3], seed=1)
+        b = PhaseSchedule.from_counts([10, 5, 3], seed=1)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_seed_changes_order(self):
+        a = PhaseSchedule.from_counts([10, 10, 10], seed=1)
+        b = PhaseSchedule.from_counts([10, 10, 10], seed=2)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_run_lengths_near_target(self):
+        schedule = PhaseSchedule.from_counts([100, 100], seed=0,
+                                             mean_run_length=10)
+        lengths = schedule.run_lengths()
+        assert sum(lengths) == 200
+        assert np.mean(lengths) >= 5
+
+    def test_single_slice_phase(self):
+        schedule = PhaseSchedule.from_counts([1, 50], seed=0)
+        assert schedule.phase_counts().tolist() == [1, 50]
+
+    def test_run_length_one_interleaves(self):
+        schedule = PhaseSchedule.from_counts([20, 20], seed=0,
+                                             mean_run_length=1)
+        assert max(schedule.run_lengths()) <= 20
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule.from_counts([5, 0, 3], seed=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule.from_counts([], seed=0)
+
+    def test_rejects_bad_run_length(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule.from_counts([5, 5], seed=0, mean_run_length=0)
+
+
+class TestAccess:
+    def test_getitem(self):
+        schedule = PhaseSchedule([0, 1, 1, 2], num_phases=3)
+        assert schedule[0] == 0
+        assert schedule[3] == 2
+
+    def test_assignment_read_only(self):
+        schedule = PhaseSchedule([0, 1], num_phases=2)
+        with pytest.raises(ValueError):
+            schedule.assignment[0] = 1
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(WorkloadError):
+            PhaseSchedule([0, 5], num_phases=2)
+
+    def test_run_lengths_partition(self):
+        schedule = PhaseSchedule([0, 0, 1, 1, 1, 0], num_phases=2)
+        assert schedule.run_lengths() == [2, 3, 1]

@@ -1,0 +1,120 @@
+"""The SPEC CPU2017 registry and its calibration invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownBenchmarkError, WorkloadError
+from repro.workloads.spec2017 import (
+    MEMORY_ARCHETYPES,
+    SPEC_CPU2017,
+    TARGET_SUITE_INSTRUCTIONS,
+    TARGET_SUITE_MIX,
+    benchmark_names,
+    build_program,
+    get_descriptor,
+)
+
+from conftest import QUICK
+
+
+class TestRegistry:
+    def test_twenty_nine_benchmarks(self):
+        # Table II of the paper lists 29 workloads (the rest of the suite
+        # could not be checkpointed in time; Section III).
+        assert len(SPEC_CPU2017) == 29
+
+    def test_suite_split(self):
+        assert len(benchmark_names(suite="INT")) == 19
+        assert len(benchmark_names(suite="FP")) == 10
+
+    def test_variant_split(self):
+        assert len(benchmark_names(variant="speed")) == 10
+        assert len(benchmark_names(variant="rate")) == 19
+
+    def test_table2_spot_values(self):
+        x = get_descriptor("623.xalancbmk_s")
+        assert (x.num_phases, x.num_90pct) == (25, 19)
+        b = get_descriptor("503.bwaves_r")
+        assert (b.num_phases, b.num_90pct) == (26, 7)
+        o = get_descriptor("620.omnetpp_s")
+        assert (o.num_phases, o.num_90pct) == (3, 2)
+
+    def test_table2_column_averages_match_paper(self):
+        # The paper reports averages of 19.75 and 11.31.
+        points = [d.num_phases for d in SPEC_CPU2017.values()]
+        points90 = [d.num_90pct for d in SPEC_CPU2017.values()]
+        assert np.mean(points) == pytest.approx(19.75, abs=0.011)
+        assert np.mean(points90) == pytest.approx(11.31, abs=0.005)
+
+    def test_suite_average_instructions(self):
+        instr = [d.paper_instructions for d in SPEC_CPU2017.values()]
+        assert np.mean(instr) == pytest.approx(TARGET_SUITE_INSTRUCTIONS)
+
+    def test_suite_average_mix_matches_paper(self):
+        mixes = np.array([d.base_mix for d in SPEC_CPU2017.values()])
+        avg = mixes.mean(axis=0)
+        assert np.abs(avg - np.asarray(TARGET_SUITE_MIX)).max() < 0.01
+
+    def test_every_mix_normalized(self):
+        for d in SPEC_CPU2017.values():
+            assert sum(d.base_mix) == pytest.approx(1.0)
+            assert min(d.base_mix) > 0
+
+    def test_memory_classes_valid(self):
+        for d in SPEC_CPU2017.values():
+            assert d.memory_class in MEMORY_ARCHETYPES
+
+    def test_archetypes_normalized(self):
+        for fractions in MEMORY_ARCHETYPES.values():
+            assert sum(fractions) == pytest.approx(1.0)
+            assert len(fractions) == 5
+
+    def test_short_name_lookup(self):
+        assert get_descriptor("xalancbmk_s").spec_id == "623.xalancbmk_s"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_descriptor("999.nonexistent")
+
+    def test_seeds_unique(self):
+        seeds = [d.seed for d in SPEC_CPU2017.values()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestBuildProgram:
+    def test_builds_with_quick_config(self):
+        program = build_program("557.xz_r", **QUICK)
+        assert program.num_slices == QUICK["total_slices"]
+        assert program.num_phases == 13
+        assert program.slice_size == QUICK["slice_size"]
+
+    def test_phase_weights_descend(self):
+        program = build_program("505.mcf_r", **QUICK)
+        weights = [p.weight for p in program.phases]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_schedule_counts_realize_cut(self):
+        from repro.workloads.phases import ninety_percentile_count
+
+        descriptor = get_descriptor("505.mcf_r")
+        program = build_program("505.mcf_r", **QUICK)
+        counts = program.schedule.phase_counts()
+        assert len(counts) == descriptor.num_phases
+        assert ninety_percentile_count(counts.astype(float)) == \
+            descriptor.num_90pct
+
+    def test_deterministic_build(self):
+        a = build_program("541.leela_r", **QUICK)
+        b = build_program("541.leela_r", **QUICK)
+        ta, tb = a.generate_slice(3), b.generate_slice(3)
+        assert np.array_equal(ta.mem_lines, tb.mem_lines)
+
+    def test_too_few_slices_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_program("502.gcc_r", slice_size=3000, total_slices=40)
+
+    def test_tail_phases_more_memory_intensive(self):
+        program = build_program("623.xalancbmk_s", **QUICK)
+        head = program.phases[0].mem_fractions
+        tail = program.phases[-1].mem_fractions
+        assert (1 - tail[0]) > (1 - head[0])

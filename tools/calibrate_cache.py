@@ -1,0 +1,77 @@
+"""Calibration sweep for the scaled cache hierarchy + working-set ranges.
+
+Temporary developer script (not part of the library): tries combinations
+of scaled L2/L3 capacity, hot-L3 working-set range, and schedule run
+length, and reports the Fig 8-shape metrics so the defaults can be chosen.
+Target shape (paper): L1D/L2 deltas small, L3 cold delta large (~+25pp),
+warmup cutting the L3 delta to roughly a third.
+"""
+
+import time
+
+import repro.workloads.spec2017 as spec
+from repro.config import CacheConfig, CacheHierarchyConfig
+from repro.pin import AllCache, LdStMix
+from repro.pinpoints import run_pinpoints
+from repro.stats import weighted_average
+
+BENCHMARKS = ["623.xalancbmk_s", "505.mcf_r", "541.leela_r"]
+
+
+def hierarchy(l2_kb, l3_kb):
+    return CacheHierarchyConfig(
+        l1i=CacheConfig("L1I", 2 * 1024, 32, 32, 4),
+        l1d=CacheConfig("L1D", 512, 32, 16, 4),
+        l2=CacheConfig("L2", l2_kb * 1024, 32, 1, 10),
+        l3=CacheConfig("L3", l3_kb * 1024, 32, 1, 30),
+    )
+
+
+def evaluate(config):
+    rows = []
+    for name in BENCHMARKS:
+        out = run_pinpoints(name)
+        rep = out.replayer()
+        wc = rep.replay(out.whole, [AllCache(config)])[0].stats()
+
+        def regional(warm):
+            rates = {"L1D": [], "L2": [], "L3": []}
+            ws = []
+            for pb in out.regional:
+                st = rep.replay(pb, [AllCache(config)], with_warmup=warm)[0].stats()
+                for lv in rates:
+                    rates[lv].append(st[lv].miss_rate)
+                ws.append(pb.weight)
+            return {lv: weighted_average(rates[lv], ws) for lv in rates}
+
+        cold = regional(False)
+        warm = regional(True)
+        rows.append((name, wc, cold, warm))
+    return rows
+
+
+def report(tag, rows):
+    print(f"== {tag}")
+    for name, wc, cold, warm in rows:
+        parts = []
+        for lv in ("L1D", "L2", "L3"):
+            base = wc[lv].miss_rate
+            parts.append(
+                f"{lv} {base * 100:5.1f}% c{(cold[lv] - base) * 100:+6.2f} "
+                f"w{(warm[lv] - base) * 100:+6.2f}"
+            )
+        print(f"  {name:18s} " + " | ".join(parts))
+
+
+if __name__ == "__main__":
+    cases = [
+        ("L2=32k L3=4M hot=1400-2200", 32, 4096, (1400, 2201)),
+        ("L2=32k L3=8M hot=1400-2200", 32, 8192, (1400, 2201)),
+        ("L2=32k L3=8M hot=2000-3000", 32, 8192, (2000, 3001)),
+        ("L2=16k L3=4M hot=900-1500", 16, 4096, (900, 1501)),
+    ]
+    for tag, l2, l3, hot in cases:
+        spec.WS_RANGES["l3hot"] = hot
+        t0 = time.time()
+        report(tag, evaluate(hierarchy(l2, l3)))
+        print(f"  ({time.time() - t0:.0f}s)")
