@@ -32,6 +32,7 @@ from repro.config import (
 from repro.errors import (
     ClusteringError,
     ConfigError,
+    LintError,
     PinballError,
     ReproError,
     SimPointError,
@@ -70,6 +71,7 @@ __all__ = [
     # errors
     "ReproError", "ConfigError", "WorkloadError", "UnknownBenchmarkError",
     "ClusteringError", "SimPointError", "PinballError", "SimulationError",
+    "LintError",
     # isa
     "InstructionClass", "SliceTrace",
     # workloads

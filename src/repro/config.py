@@ -101,6 +101,19 @@ class CacheHierarchyConfig:
     l2: CacheConfig
     l3: CacheConfig
 
+    def __post_init__(self) -> None:
+        line_sizes = {level.line_size for level in self.levels()}
+        if len(line_sizes) != 1:
+            raise ConfigError(
+                "cache hierarchy levels must share one line size, got "
+                f"{sorted(line_sizes)}"
+            )
+        if self.l2.size_bytes > self.l3.size_bytes:
+            raise ConfigError(
+                f"L3 ({self.l3.size_bytes} B) must be at least as large "
+                f"as L2 ({self.l2.size_bytes} B)"
+            )
+
     def levels(self) -> Tuple[CacheConfig, ...]:
         """All levels in the order (L1I, L1D, L2, L3)."""
         return (self.l1i, self.l1d, self.l2, self.l3)

@@ -49,3 +49,7 @@ class ReplayMismatchError(PinballError):
 
 class SimulationError(ReproError):
     """The timing or cache simulator was driven with invalid inputs."""
+
+
+class LintError(ReproError):
+    """repro-lint could not run: bad config, baseline, or unparseable source."""

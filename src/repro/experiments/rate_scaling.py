@@ -8,12 +8,11 @@ miss rate, and SPECrate-style relative throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import (
     SNIPER_SIM,
-    CacheConfig,
     CacheHierarchyConfig,
     SystemConfig,
 )
@@ -37,8 +36,9 @@ def _contended_system(l3_kb: int = 512) -> SystemConfig:
             l1i=caches.l1i,
             l1d=caches.l1d,
             l2=caches.l2,
-            l3=CacheConfig("L3", size_bytes=l3_kb * 1024, line_size=64,
-                           associativity=16, latency_cycles=30),
+            # Keep the preset L3's line size / ways / latency; only the
+            # capacity is swept to create contention.
+            l3=replace(caches.l3, size_bytes=l3_kb * 1024),
         ),
         memory_latency_cycles=SNIPER_SIM.memory_latency_cycles,
         memory_level_parallelism=SNIPER_SIM.memory_level_parallelism,

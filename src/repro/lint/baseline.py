@@ -1,0 +1,86 @@
+"""Baseline files: grandfathered findings that don't fail the run.
+
+A baseline lets the linter be adopted (and kept strict for *new* code)
+while legacy findings are burned down.  Entries match findings on
+``(path, rule, snippet)`` — deliberately not on line numbers, so
+unrelated edits that shift code don't resurrect baselined findings.
+Matching is multiset-style: two identical violations need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.registry import Finding
+
+__all__ = ["BASELINE_VERSION", "load_baseline", "partition", "save_baseline"]
+
+BASELINE_VERSION = 1
+
+#: (path, rule, snippet) — the same key :attr:`Finding.fingerprint` uses.
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: Optional[Path]) -> List[Fingerprint]:
+    """Read baseline fingerprints; a missing file is an empty baseline."""
+    if path is None or not Path(path).exists():
+        return []
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path}: unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    fingerprints: List[Fingerprint] = []
+    for entry in data.get("findings", []):
+        try:
+            fingerprints.append(
+                (str(entry["path"]), str(entry["rule"]), str(entry["snippet"]))
+            )
+        except (TypeError, KeyError) as exc:
+            raise LintError(
+                f"baseline {path}: malformed entry {entry!r}"
+            ) from exc
+    return fingerprints
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new grandfathered baseline."""
+    entries = [
+        {
+            "path": f.path,
+            "rule": f.rule,
+            "snippet": f.snippet,
+            # line is informational only; matching ignores it.
+            "line": f.line,
+        }
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition(
+    findings: Iterable[Finding], baseline: Sequence[Fingerprint]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined) against the fingerprints."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

@@ -1,0 +1,146 @@
+"""``repro-lint`` command line front end.
+
+Exit codes: 0 = clean (or every finding baselined / warning-only),
+1 = at least one new error-severity finding, 2 = usage or internal
+error (bad path, unparseable file, malformed config/baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import LintError
+from repro.lint import rules as _rules  # noqa: F401 -- populates the registry
+from repro.lint.baseline import load_baseline, partition, save_baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.registry import Severity, get_rule
+from repro.lint.reporters import render_json, render_rule_list, render_text
+from repro.lint.walker import iter_python_files, lint_file
+
+__all__ = ["main"]
+
+_DEFAULT_TARGET = "src/repro"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism and simulation-correctness linter for "
+            "the repro codebase (rules REP001-REP010)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=f"files/directories to lint (default: {_DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--pyproject", metavar="FILE",
+        help="pyproject.toml to read [tool.repro-lint] from "
+             "(default: nearest above the current directory)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of grandfathered findings (overrides config)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule with its hazard and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[frozenset]:
+    if raw is None:
+        return None
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    for rule_id in sorted(ids):
+        get_rule(rule_id)  # raises LintError on unknown ids
+    return ids
+
+
+def _apply_overrides(config: LintConfig, args) -> LintConfig:
+    from dataclasses import replace
+
+    updates = {}
+    select = _split_ids(args.select)
+    ignore = _split_ids(args.ignore)
+    if select is not None:
+        updates["enable"] = select
+    if ignore is not None:
+        updates["disable"] = config.disable | ignore
+    if args.baseline is not None:
+        updates["baseline"] = args.baseline
+        # An explicit --baseline path is relative to the caller, not the
+        # pyproject directory.
+        updates["root"] = Path.cwd()
+    if args.no_baseline:
+        updates["baseline"] = None
+    return replace(config, **updates) if updates else config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-lint`` and ``python -m repro.lint``."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        pyproject = Path(args.pyproject) if args.pyproject else None
+        config = _apply_overrides(load_config(pyproject), args)
+        targets = [Path(p) for p in args.paths]
+        if not targets:
+            default = Path(_DEFAULT_TARGET)
+            targets = [default if default.is_dir() else Path(".")]
+        files = iter_python_files(targets, config)
+        findings = []
+        for path in files:
+            findings.extend(lint_file(path, config))
+
+        baseline_path = config.baseline_path()
+        if args.write_baseline:
+            if baseline_path is None:
+                raise LintError("--write-baseline requires a baseline path")
+            save_baseline(baseline_path, findings)
+            print(
+                f"wrote {len(findings)} finding(s) to {baseline_path}",
+                file=sys.stderr,
+            )
+            return 0
+
+        new, grandfathered = partition(findings, load_baseline(baseline_path))
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.format == "json" else render_text
+    print(render(new, baselined=len(grandfathered), files=len(files)))
+    has_errors = any(f.severity is Severity.ERROR for f in new)
+    return 1 if has_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,457 @@
+"""The simulation-correctness rule set (REP001–REP010).
+
+Every rule here guards a way a simulation codebase silently loses
+determinism or fidelity: hidden global RNG state, float round-trip
+comparisons, hash-order-dependent output, wall-clock reads inside
+modeled time, and cache geometry drifting away from the paper's
+Table I/III definitions.  Each rule yields ``(node, message)`` pairs;
+see DESIGN.md ("Static analysis") for the hazard each one maps to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.registry import rule
+
+__all__ = ["NUMPY_GLOBAL_RNG_FNS", "STDLIB_GLOBAL_RNG_FNS", "WALL_CLOCK_CALLS"]
+
+Yield = Iterator[Tuple[ast.AST, str]]
+
+#: numpy.random module-level functions that mutate hidden global state.
+NUMPY_GLOBAL_RNG_FNS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "get_state", "gumbel",
+    "hypergeometric", "laplace", "lognormal", "multinomial", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_integers", "random_sample", "ranf", "sample", "seed",
+    "set_state", "shuffle", "standard_normal", "uniform", "zipf",
+})
+
+#: stdlib ``random`` module-level functions backed by one shared Random().
+STDLIB_GLOBAL_RNG_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "getstate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+})
+
+#: Wall-clock reads that leak host time into simulated results.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+#: Constructors whose numeric arguments are machine geometry (REP010).
+_GEOMETRY_CONSTRUCTORS = frozenset({
+    "CacheConfig", "CacheHierarchyConfig", "CoreConfig", "SystemConfig",
+})
+
+
+def _call_name(ctx, node: ast.Call) -> Optional[str]:
+    return ctx.resolve(node.func)
+
+
+def _has_seed_argument(node: ast.Call) -> bool:
+    """True when a constructor-style RNG call passes a non-None seed."""
+    for arg in node.args[:1]:
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return True
+    for keyword in node.keywords:
+        if keyword.arg == "seed" and not (
+            isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is None
+        ):
+            return True
+    return False
+
+
+@rule(
+    "REP001",
+    "unseeded-rng",
+    hazard=(
+        "RNG state not derived from an explicit seed makes traces, "
+        "clusterings, and simpoint selections unreproducible between runs."
+    ),
+)
+def check_unseeded_rng(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        if name is None:
+            continue
+        if name in ("numpy.random.default_rng", "numpy.random.RandomState"):
+            if not _has_seed_argument(node):
+                yield node, (
+                    f"{name.rsplit('.', 1)[1]}() without an explicit seed; "
+                    "pass a seed derived from the workload/slice identity"
+                )
+        elif name == "random.Random":
+            if not _has_seed_argument(node):
+                yield node, (
+                    "random.Random() without an explicit seed; pass a seed "
+                    "derived from the workload/slice identity"
+                )
+        elif name.startswith("numpy.random."):
+            if name.rsplit(".", 1)[1] in NUMPY_GLOBAL_RNG_FNS:
+                yield node, (
+                    f"{name} uses numpy's hidden global RNG state; use a "
+                    "seeded numpy.random.default_rng(seed) generator instead"
+                )
+        elif name.startswith("random."):
+            if name.rsplit(".", 1)[1] in STDLIB_GLOBAL_RNG_FNS:
+                yield node, (
+                    f"{name} uses the shared module-level Random instance; "
+                    "use a seeded random.Random(seed) (or numpy Generator)"
+                )
+
+
+_EXACT_FLOAT_SENTINELS = frozenset({"math.inf", "math.nan", "numpy.inf", "numpy.nan"})
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_whitelisted_float_guard(ctx, node: ast.AST) -> bool:
+    """Exact-representable sentinels where ``==`` is intentional.
+
+    ``float("inf")`` / ``math.inf`` style sentinels compare exactly, so
+    equality against them is a legitimate guard idiom, not a rounding
+    hazard.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_whitelisted_float_guard(ctx, node.operand)
+    if isinstance(node, ast.Call):
+        name = ctx.resolve(node.func)
+        if name == "float" and len(node.args) == 1:
+            arg = node.args[0]
+            return isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    resolved = ctx.resolve(node)
+    return resolved in _EXACT_FLOAT_SENTINELS
+
+
+@rule(
+    "REP002",
+    "float-equality",
+    hazard=(
+        "== / != on floats makes control flow depend on rounding noise; "
+        "one ulp of drift silently changes which branch a simulation takes."
+    ),
+)
+def check_float_equality(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if not (_is_float_literal(left) or _is_float_literal(right)):
+                continue
+            if _is_whitelisted_float_guard(ctx, left) or _is_whitelisted_float_guard(
+                ctx, right
+            ):
+                continue
+            yield node, (
+                "float literal compared with ==/!=; use an explicit "
+                "inequality guard or math.isclose, or suppress with a "
+                "justifying comment if the value is exact by construction"
+            )
+
+
+def _is_set_expression(ctx, node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve(node.func) in ("set", "frozenset")
+    return False
+
+
+@rule(
+    "REP003",
+    "unordered-iteration",
+    hazard=(
+        "iterating a set feeds hash order (randomized per process for "
+        "strings) into downstream output; ordered results silently differ "
+        "between runs."
+    ),
+)
+def check_unordered_iteration(ctx) -> Yield:
+    message = (
+        "iteration over a set is hash-ordered; wrap it in sorted() before "
+        "it feeds ordered output"
+    )
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expression(ctx, node.iter):
+                yield node, message
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expression(ctx, generator.iter):
+                    yield node, message
+        elif isinstance(node, ast.Call):
+            name = ctx.resolve(node.func)
+            is_join = (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+            )
+            if name in ("list", "tuple", "enumerate") or is_join:
+                for arg in node.args[:1]:
+                    if _is_set_expression(ctx, arg):
+                        yield node, message
+
+
+@rule(
+    "REP004",
+    "wall-clock",
+    hazard=(
+        "wall-clock reads tie simulated behaviour to the host's clock; "
+        "modeled time must come from the timing model, and timestamps in "
+        "artifacts must be injected by the caller."
+    ),
+)
+def check_wall_clock(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        if name in WALL_CLOCK_CALLS:
+            yield node, (
+                f"{name}() reads the host wall clock inside simulation "
+                "code; inject timestamps from the caller or use modeled time"
+            )
+
+
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "bytearray", "collections.OrderedDict", "collections.defaultdict",
+    "collections.deque", "dict", "list", "set",
+})
+
+
+def _is_mutable_default(ctx, node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@rule(
+    "REP005",
+    "mutable-default",
+    hazard=(
+        "a mutable default argument is shared across calls, so one run's "
+        "state leaks into the next — results then depend on call history."
+    ),
+)
+def check_mutable_default(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_default(ctx, default):
+                yield default, (
+                    "mutable default argument is shared between calls; "
+                    "default to None and construct inside the function"
+                )
+
+
+_BROAD_EXCEPTIONS = frozenset({"BaseException", "Exception"})
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _broad_names(ctx, node: Optional[ast.AST]):
+    if node is None:
+        return ["<bare>"]
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        resolved = ctx.resolve(expr)
+        if resolved in _BROAD_EXCEPTIONS:
+            names.append(resolved)
+    return names
+
+
+@rule(
+    "REP006",
+    "swallowed-exception",
+    hazard=(
+        "a bare/broad except swallows ReproError (and with it replay "
+        "divergence and config validation failures), turning hard "
+        "correctness signals into silently wrong numbers."
+    ),
+)
+def check_swallowed_exception(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_names(ctx, node.type)
+        if not broad:
+            continue
+        if node.type is not None and _handler_reraises(node):
+            continue
+        label = "bare except" if broad == ["<bare>"] else f"except {broad[0]}"
+        yield node, (
+            f"{label} swallows ReproError; catch the specific exceptions "
+            "expected here, or re-raise"
+        )
+
+
+def _is_dataclass_decorator(ctx, node: ast.AST) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    return ctx.resolve(target) in ("dataclass", "dataclasses.dataclass")
+
+
+@rule(
+    "REP007",
+    "unvalidated-config",
+    hazard=(
+        "config dataclasses without __post_init__ validation let impossible "
+        "machine geometry (zero-way caches, inverted hierarchies) flow into "
+        "simulators that then produce plausible-looking garbage."
+    ),
+)
+def check_unvalidated_config(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Config") or node.name.startswith("_"):
+            continue
+        if not any(_is_dataclass_decorator(ctx, d) for d in node.decorator_list):
+            continue
+        has_fields = any(isinstance(stmt, ast.AnnAssign) for stmt in node.body)
+        has_post_init = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "__post_init__"
+            for stmt in node.body
+        )
+        if has_fields and not has_post_init:
+            yield node, (
+                f"config dataclass {node.name} has no __post_init__ "
+                "validation; validate field invariants on construction"
+            )
+
+
+def _module_defines_all(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+    return False
+
+
+@rule(
+    "REP008",
+    "missing-all",
+    hazard=(
+        "without __all__, the public surface of a package is whatever "
+        "happens to be importable — wildcard imports and API docs then "
+        "drift as internals move."
+    ),
+)
+def check_missing_all(ctx) -> Yield:
+    is_public_init = ctx.is_package_init
+    is_public_module = (
+        ctx.config.rep008_all_modules
+        and not ctx.is_package_init
+        and not ctx.module_name.startswith("_")
+    )
+    if not (is_public_init or is_public_module):
+        return
+    if not _module_defines_all(ctx.tree):
+        yield ctx.tree, (
+            "public module defines no __all__; declare the exported names "
+            "explicitly"
+        )
+
+
+def _inside_test_path(rel_path: str) -> bool:
+    parts = rel_path.split("/")
+    return any(p in ("tests", "test") or p.startswith("test_") for p in parts)
+
+
+@rule(
+    "REP009",
+    "assert-validation",
+    hazard=(
+        "assert statements vanish under python -O, so input validation "
+        "guarded by assert silently stops running in optimized deployments."
+    ),
+)
+def check_assert_validation(ctx) -> Yield:
+    if _inside_test_path(ctx.rel_path):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assert):
+            yield node, (
+                "assert used outside tests; raise ConfigError/SimulationError "
+                "(asserts disappear under python -O)"
+            )
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_numeric_literal(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_numeric_literal(node.left) and _is_numeric_literal(node.right)
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+@rule(
+    "REP010",
+    "magic-geometry",
+    hazard=(
+        "cache/core geometry literals scattered outside repro.config drift "
+        "away from the paper's Table I / Table III machines, so experiments "
+        "quietly stop simulating the machine the text describes."
+    ),
+)
+def check_magic_geometry(ctx) -> Yield:
+    allowed = ctx.config.rep010_allowed
+    if any(ctx.rel_path.endswith(suffix) for suffix in allowed):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        if name is None or name.rsplit(".", 1)[-1] not in _GEOMETRY_CONSTRUCTORS:
+            continue
+        literal_args = [a for a in node.args if _is_numeric_literal(a)]
+        literal_kwargs = [
+            k.arg for k in node.keywords
+            if k.arg is not None and _is_numeric_literal(k.value)
+        ]
+        if literal_args or literal_kwargs:
+            detail = ", ".join(literal_kwargs) or "positional geometry"
+            yield node, (
+                f"{name.rsplit('.', 1)[-1]} built from numeric literals "
+                f"({detail}); derive from repro.config presets "
+                "(dataclasses.replace / .scaled()) so geometry stays in one place"
+            )

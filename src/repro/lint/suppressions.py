@@ -1,0 +1,98 @@
+"""Inline suppression comments.
+
+Two forms are recognized, both anchored on the physical line the
+finding is reported at (the statement's first line):
+
+* ``# repro-lint: disable=REP002`` — suppress the listed rule(s) on
+  this line only; several ids may be given, comma-separated.
+* ``# repro-lint: disable-file=REP008`` — suppress the listed rule(s)
+  for the whole module; usually placed near the top of the file.
+
+``all`` is accepted in place of a rule id to suppress every rule.
+Suppressions are the escape hatch for *justified* violations — the
+comment should say why the flagged construct is safe, e.g.::
+
+    if entropy == 1.0:  # repro-lint: disable=REP002 -- validated exact input
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.errors import LintError
+
+__all__ = ["SuppressionMap", "scan_suppressions"]
+
+#: Matches the directive anywhere inside a comment; trailing free text
+#: (a justification) is allowed after the id list.
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s]+)"
+)
+
+_ID = re.compile(r"^(all|[A-Z]{3}\d{3})$")
+
+
+@dataclass
+class SuppressionMap:
+    """Per-line and per-file suppressed rule ids for one module."""
+
+    path: str = "<unknown>"
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_wide or rule_id in self.file_wide:
+            return True
+        ids = self.by_line.get(line, ())
+        return "all" in ids or rule_id in ids
+
+
+def _parse_ids(raw: str, path: str, line: int) -> Set[str]:
+    ids: Set[str] = set()
+    for token in raw.split(","):
+        token = token.strip()
+        # The id list ends at the first token that is not an id; what
+        # follows is free-text justification ("-- reason" style).
+        if not token:
+            continue
+        first_word = token.split()[0]
+        if not _ID.match(first_word):
+            raise LintError(
+                f"{path}:{line}: malformed repro-lint directive: "
+                f"{first_word!r} is not a rule id (expected e.g. REP001 or 'all')"
+            )
+        ids.add(first_word)
+        if first_word != token:
+            break  # id followed by justification text: stop parsing ids
+    if not ids:
+        raise LintError(
+            f"{path}:{line}: repro-lint directive lists no rule ids"
+        )
+    return ids
+
+
+def scan_suppressions(source: str, path: str = "<unknown>") -> SuppressionMap:
+    """Extract every suppression directive from a module's comments."""
+    result = SuppressionMap(path=path)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            ids = _parse_ids(match.group("ids"), path, line)
+            if match.group("kind") == "disable-file":
+                result.file_wide.update(ids)
+            else:
+                result.by_line.setdefault(line, set()).update(ids)
+    except tokenize.TokenError as exc:
+        raise LintError(f"{path}: cannot tokenize: {exc}") from exc
+    return result

@@ -38,9 +38,12 @@ def entropy_to_flip_probability(entropy: float) -> float:
     """
     if not 0.0 <= entropy <= 1.0:
         raise SimulationError(f"entropy must be in [0, 1], got {entropy}")
-    if entropy == 0.0:
+    # Boundary guards: H(p) is monotone on [0, 0.5], so entropies at (or,
+    # through rounding, beyond) the endpoints map to the endpoint flip
+    # probabilities without running the bisection.
+    if entropy <= 0.0:
         return 0.0
-    if entropy == 1.0:
+    if entropy >= 1.0:
         return 0.5
 
     def binary_entropy(p: float) -> float:

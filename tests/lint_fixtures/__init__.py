@@ -1,0 +1,8 @@
+"""Lint-rule fixture modules.
+
+Each ``repNNN_bad.py`` contains constructs its rule must flag; each
+``repNNN_good.py`` contains the nearest compliant idioms, which must
+stay silent.  These files are *parsed* by the linter tests, never
+imported or executed — and ``[tool.repro-lint] exclude`` keeps them out
+of real lint runs.
+"""

@@ -1,0 +1,21 @@
+"""REP002 fixtures: float-literal equality comparisons."""
+
+
+def boundary_equality(entropy: float) -> float:
+    if entropy == 0.0:
+        return 0.0
+    if entropy != 1.0:
+        return 0.25
+    return 0.5
+
+
+def reversed_operands(x: float) -> bool:
+    return 0.5 == x
+
+
+def negative_literal(x: float) -> bool:
+    return x == -2.5
+
+
+def chained(x: float, y: float) -> bool:
+    return x < y == 3.5

@@ -1,0 +1,29 @@
+"""REP002 fixtures: compliant float guards that must not fire."""
+
+import math
+
+
+def inequality_guard(entropy: float) -> float:
+    if entropy <= 0.0:
+        return 0.0
+    if entropy >= 1.0:
+        return 0.5
+    return 0.25
+
+
+def isclose_guard(x: float) -> bool:
+    return math.isclose(x, 0.3, rel_tol=1e-9)
+
+
+def integer_equality(n: int) -> bool:
+    # Integer equality is exact; only float literals are flagged.
+    return n == 3
+
+
+def sentinel_equality(x: float) -> bool:
+    # Infinities are exactly representable: a whitelisted guard idiom.
+    return x == float("inf") or x == math.inf
+
+
+def suppressed_exact(weight: float) -> bool:
+    return weight == 0.5  # repro-lint: disable=REP002 -- exact by construction

@@ -1,0 +1,22 @@
+"""REP003 fixtures: ordered or order-free set usage never fires."""
+
+
+def sorted_iteration(names):
+    return [n for n in sorted(set(names))]
+
+
+def loop_over_sorted_literal():
+    out = []
+    for name in sorted({"mcf", "xz", "leela"}):
+        out.append(name)
+    return out
+
+
+def membership_and_aggregation(names, candidate):
+    # Membership tests and order-free reductions over sets are fine.
+    pool = set(names)
+    return candidate in pool, len(pool)
+
+
+def list_of_list(names):
+    return list([n for n in names])

@@ -1,0 +1,18 @@
+"""REP004 fixtures: host wall-clock reads in simulation code."""
+
+import time
+import datetime
+from datetime import datetime as dt
+from time import time as now
+
+
+def stamp_result():
+    return {"finished_at": time.time(), "ns": time.time_ns()}
+
+
+def aliased_time():
+    return now()
+
+
+def datetime_reads():
+    return datetime.datetime.now(), dt.utcnow(), datetime.date.today()

@@ -1,0 +1,18 @@
+"""REP004 fixtures: modeled/injected time never fires."""
+
+import time
+
+
+def measure_host_overhead():
+    # Monotonic clocks measure the *host*, not simulated time; allowed.
+    start = time.perf_counter()
+    return time.perf_counter() - start, time.monotonic()
+
+
+def stamp_result(timestamp: float):
+    # Timestamps injected by the caller keep replays deterministic.
+    return {"finished_at": timestamp}
+
+
+def modeled_time(cycles: int, frequency_ghz: float) -> float:
+    return cycles / (frequency_ghz * 1e9)

@@ -1,0 +1,23 @@
+"""REP005 fixtures: mutable default arguments."""
+
+import collections
+
+
+def list_default(history=[]):
+    history.append(1)
+    return history
+
+
+def dict_and_set_defaults(cache={}, seen=set()):
+    return cache, seen
+
+
+def constructor_defaults(queue=collections.deque(), table=dict()):
+    return queue, table
+
+
+def kwonly_default(*, acc=[0]):
+    return acc
+
+
+lambda_default = lambda pool=[]: pool  # noqa: E731

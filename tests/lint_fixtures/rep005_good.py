@@ -1,0 +1,12 @@
+"""REP005 fixtures: immutable defaults / None-and-construct idiom."""
+
+
+def none_default(history=None):
+    if history is None:
+        history = []
+    history.append(1)
+    return history
+
+
+def immutable_defaults(scale=1.0, name="L3", dims=(4, 2), flags=frozenset()):
+    return scale, name, dims, flags

@@ -1,0 +1,30 @@
+"""REP006 fixtures: swallowed broad exceptions."""
+
+
+def bare_except(run):
+    try:
+        return run()
+    except:  # noqa: E722
+        return None
+
+
+def broad_exception(run):
+    try:
+        return run()
+    except Exception:
+        return None
+
+
+def broad_base_exception(run):
+    try:
+        return run()
+    except BaseException as exc:
+        print(exc)
+        return None
+
+
+def broad_in_tuple(run):
+    try:
+        return run()
+    except (ValueError, Exception):
+        return None

@@ -1,0 +1,27 @@
+"""REP006 fixtures: specific catches and re-raising broad handlers."""
+
+
+class ReproError(Exception):
+    pass
+
+
+def specific_catch(run):
+    try:
+        return run()
+    except (ValueError, ReproError):
+        return None
+
+
+def broad_but_reraises(run, log):
+    try:
+        return run()
+    except Exception as exc:
+        log(exc)
+        raise
+
+
+def broad_but_wraps(run):
+    try:
+        return run()
+    except Exception as exc:
+        raise ReproError(str(exc)) from exc

@@ -1,0 +1,16 @@
+"""REP007 fixtures: config dataclasses with no construction-time checks."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    degree: int
+    distance: int
+
+
+@dataclasses.dataclass
+class MemoryConfig:
+    latency_cycles: int = 200
+    channels: int = 2

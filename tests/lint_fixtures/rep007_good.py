@@ -1,0 +1,32 @@
+"""REP007 fixtures: validated, exempt, or non-config classes."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    degree: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0 or self.distance <= 0:
+            raise ValueError("prefetcher parameters must be positive")
+
+
+@dataclass
+class _PrivateConfig:
+    # Private helpers are exempt: not part of the validated surface.
+    knob: int = 1
+
+
+class PlainConfig:
+    # Not a dataclass: construction runs __init__, which can validate.
+    def __init__(self, knob: int) -> None:
+        self.knob = knob
+
+
+@dataclass
+class ResultRow:
+    # Not named *Config: carries results, not machine description.
+    benchmark: str
+    cpi: float

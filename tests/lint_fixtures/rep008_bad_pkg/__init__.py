@@ -1,0 +1,5 @@
+"""A public package whose __init__ exports nothing explicitly (REP008)."""
+
+
+def helper():
+    return 1

@@ -1,0 +1,8 @@
+"""A public package with an explicit export surface (REP008-clean)."""
+
+
+def helper():
+    return 1
+
+
+__all__ = ["helper"]

@@ -1,0 +1,8 @@
+"""REP009 fixtures: assert as input validation in library code."""
+
+
+def scale_weights(weights):
+    assert weights, "weights must be non-empty"
+    total = sum(weights)
+    assert total > 0
+    return [w / total for w in weights]

@@ -1,0 +1,14 @@
+"""REP009 fixtures: raising real exceptions for validation."""
+
+
+class ConfigError(Exception):
+    pass
+
+
+def scale_weights(weights):
+    if not weights:
+        raise ConfigError("weights must be non-empty")
+    total = sum(weights)
+    if total <= 0:
+        raise ConfigError("weights must sum to a positive value")
+    return [w / total for w in weights]

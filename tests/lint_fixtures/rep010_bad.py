@@ -1,0 +1,16 @@
+"""REP010 fixtures: cache/core geometry from scattered literals."""
+
+from repro.config import CacheConfig, CoreConfig, SystemConfig
+
+
+def homemade_l3():
+    return CacheConfig("L3", size_bytes=512 * 1024, line_size=64,
+                       associativity=16, latency_cycles=30)
+
+
+def positional_geometry():
+    return CacheConfig("L1D", 32768, 64, 8)
+
+
+def tweaked_core():
+    return CoreConfig(frequency_ghz=4.2)

@@ -1,0 +1,20 @@
+"""REP010 fixtures: geometry derived from the config presets."""
+
+from dataclasses import replace
+
+from repro.config import SNIPER_SIM, CacheConfig, CacheHierarchyConfig
+
+
+def swept_l3(l3_bytes: int) -> CacheConfig:
+    # Only the swept quantity varies; the rest comes from the preset.
+    return replace(SNIPER_SIM.caches.l3, size_bytes=l3_bytes)
+
+
+def scaled_hierarchy(factor: float) -> CacheHierarchyConfig:
+    return SNIPER_SIM.caches.scaled(factor)
+
+
+def reassembled(l3: CacheConfig) -> CacheHierarchyConfig:
+    caches = SNIPER_SIM.caches
+    return CacheHierarchyConfig(l1i=caches.l1i, l1d=caches.l1d,
+                                l2=caches.l2, l3=l3)

@@ -1,0 +1,65 @@
+"""Self-application: the shipped source tree must be repro-lint clean.
+
+This is the CI gate the whole subsystem exists for — any new unseeded
+RNG, float equality, hash-ordered output, or stray cache geometry in
+``src/repro`` fails the tier-1 run unless it is explicitly suppressed
+with a justification or added to the committed baseline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    lint_paths,
+    load_baseline,
+    load_config,
+    partition,
+    render_text,
+)
+from repro.lint.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parents[1]
+
+pytestmark = pytest.mark.lint
+
+
+def repo_config():
+    return load_config(REPO / "pyproject.toml")
+
+
+def test_src_tree_is_lint_clean():
+    config = repo_config()
+    findings = lint_paths([REPO / "src" / "repro"], config)
+    new, _ = partition(findings, load_baseline(config.baseline_path()))
+    assert not new, "\nnew lint findings:\n" + render_text(new)
+
+
+def test_shipped_baseline_is_empty():
+    # The baseline exists for future grandfathering, but this repo ships
+    # with every finding fixed; keep it that way.
+    config = repo_config()
+    assert load_baseline(config.baseline_path()) == []
+
+
+def test_cli_exits_zero_on_repo(capsys):
+    code = lint_main(
+        ["--pyproject", str(REPO / "pyproject.toml"), str(REPO / "src" / "repro")]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_exits_nonzero_on_unseeded_rng_fixture(tmp_path, capsys):
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(
+        "import numpy as np\nRNG = np.random.default_rng()\n", encoding="utf-8"
+    )
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro-lint]\n", encoding="utf-8")
+    code = lint_main(["--pyproject", str(pyproject), str(fixture)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REP001" in out

@@ -1,0 +1,105 @@
+"""Per-rule fire/no-fire coverage over the lint_fixtures modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_file
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+pytestmark = pytest.mark.lint
+
+
+def run_rule(rule_id: str, filename: str, **config_kwargs):
+    """Lint one fixture with a single rule enabled.
+
+    ``root=FIXTURES`` keeps fixture rel-paths free of the ``tests/``
+    component, so path-scoped rules (REP009) behave as they would on
+    library code.
+    """
+    config = LintConfig(
+        baseline=None,
+        root=FIXTURES,
+        enable=frozenset({rule_id}),
+        **config_kwargs,
+    )
+    return lint_file(FIXTURES / filename, config)
+
+
+#: (rule id, bad fixture, expected findings, good fixture)
+CASES = [
+    ("REP001", "rep001_bad.py", 9, "rep001_good.py"),
+    ("REP002", "rep002_bad.py", 5, "rep002_good.py"),
+    ("REP003", "rep003_bad.py", 5, "rep003_good.py"),
+    ("REP004", "rep004_bad.py", 6, "rep004_good.py"),
+    ("REP005", "rep005_bad.py", 7, "rep005_good.py"),
+    ("REP006", "rep006_bad.py", 4, "rep006_good.py"),
+    ("REP007", "rep007_bad.py", 2, "rep007_good.py"),
+    ("REP008", "rep008_bad_pkg/__init__.py", 1, "rep008_good_pkg/__init__.py"),
+    ("REP009", "rep009_bad.py", 2, "rep009_good.py"),
+    ("REP010", "rep010_bad.py", 3, "rep010_good.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,bad,expected,good", CASES, ids=[c[0] for c in CASES]
+)
+def test_rule_fires_and_stays_silent(rule_id, bad, expected, good):
+    findings = run_rule(rule_id, bad)
+    assert len(findings) == expected, [f.snippet for f in findings]
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.path and f.line >= 1 and f.message for f in findings)
+    assert run_rule(rule_id, good) == []
+
+
+class TestRuleDetails:
+    def test_rep001_reports_alias_resolved_names(self):
+        messages = " ".join(f.message for f in run_rule("REP001", "rep001_bad.py"))
+        assert "default_rng" in messages
+        assert "numpy.random.rand" in messages
+        assert "random.shuffle" in messages
+
+    def test_rep002_snippet_points_at_comparison(self):
+        findings = run_rule("REP002", "rep002_bad.py")
+        assert any("entropy == 0.0" in f.snippet for f in findings)
+
+    def test_rep004_catches_aliased_imports(self):
+        findings = run_rule("REP004", "rep004_bad.py")
+        assert any("time.time()" in f.message for f in findings)
+        assert any("datetime.datetime.utcnow" in f.message for f in findings)
+
+    def test_rep007_names_the_class(self):
+        findings = run_rule("REP007", "rep007_bad.py")
+        assert {f.message.split()[2] for f in findings} == {
+            "PrefetcherConfig", "MemoryConfig",
+        }
+
+    def test_rep008_all_modules_mode(self):
+        # A plain module without __all__ only fires in all-modules mode.
+        assert run_rule("REP008", "rep009_good.py") == []
+        findings = run_rule(
+            "REP008", "rep009_good.py", rep008_all_modules=True
+        )
+        assert len(findings) == 1
+
+    def test_rep009_exempts_test_paths(self):
+        repo_root = FIXTURES.parents[1]
+        config = LintConfig(
+            baseline=None, root=repo_root, enable=frozenset({"REP009"})
+        )
+        assert lint_file(FIXTURES / "rep009_bad.py", config) == []
+
+    def test_rep010_respects_allowed_modules(self):
+        findings = run_rule(
+            "REP010", "rep010_bad.py", rep010_allowed=("rep010_bad.py",)
+        )
+        assert findings == []
+
+    def test_rep010_names_literal_kwargs(self):
+        findings = run_rule("REP010", "rep010_bad.py")
+        by_snippet = " ".join(f.message for f in findings)
+        assert "line_size" in by_snippet
+        assert "positional geometry" in by_snippet
