@@ -1,0 +1,92 @@
+"""Times the fig7+fig8+fig10 sweep: serial vs parallel vs warm store.
+
+Three timed passes over the full-suite sweep, all against a private
+artifact store so prior runs cannot contaminate the cold measurements:
+
+1. serial cold   -- ``jobs=1``, both cache tiers empty
+2. parallel cold -- ``jobs=`` all cores, both tiers empty again
+3. warm          -- memory tier dropped (as a fresh process would see),
+                    every artifact served from the disk store
+
+The numbers land in ``BENCH_pipeline.json`` at the repository root (the
+perf trajectory the acceptance criteria track), and the rendered output
+of all three passes must be byte-identical — speed never changes results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import common
+from repro.experiments.common import clear_pinpoints_cache, configure_cache, set_store
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.parallel import resolve_jobs
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _sweep(jobs: int) -> str:
+    return "\n".join([
+        render_fig7(run_fig7(jobs=jobs)),
+        render_fig8(run_fig8(jobs=jobs)),
+        render_fig10(run_fig10(jobs=jobs)),
+    ])
+
+
+def _drop_memory_tier() -> None:
+    """What a new process sees: empty dicts, a populated disk store."""
+    common._PINPOINTS_CACHE.clear()
+    common._WHOLE_CACHE.clear()
+    common._POINTS_CACHE.clear()
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_pipeline_serial_parallel_warm(tmp_path):
+    cores = os.cpu_count() or 1
+    jobs = resolve_jobs(None)
+    previous = configure_cache(tmp_path / "store")
+    try:
+        clear_pinpoints_cache()
+        serial, serial_cold_s = _timed(lambda: _sweep(jobs=1))
+
+        clear_pinpoints_cache()
+        parallel, parallel_cold_s = _timed(lambda: _sweep(jobs=jobs))
+
+        _drop_memory_tier()
+        warm, warm_s = _timed(lambda: _sweep(jobs=1))
+    finally:
+        set_store(previous)
+
+    identical = serial == parallel == warm
+    record = {
+        "bench": "fig7+fig8+fig10 full-suite sweep",
+        "cores": cores,
+        "jobs_parallel": jobs,
+        "serial_cold_s": round(serial_cold_s, 3),
+        "parallel_cold_s": round(parallel_cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "parallel_speedup": round(serial_cold_s / parallel_cold_s, 2),
+        "warm_speedup": round(serial_cold_s / warm_s, 2),
+        "outputs_identical": identical,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+
+    assert identical
+    # The warm pass replays nothing: every pipeline and every metrics
+    # bundle comes back from the store.
+    assert record["warm_speedup"] >= 5.0
+    # Per-benchmark fan-out only pays off with real cores under it.
+    if cores >= 4:
+        assert record["parallel_speedup"] >= 2.0

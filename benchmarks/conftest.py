@@ -26,3 +26,18 @@ def _report_header():
     print("\n=== SPEC CPU2017 sampling-efficacy reproduction: benchmark "
           "harness ===")
     yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _artifact_store():
+    """Persist expensive intermediates in the on-disk artifact store.
+
+    First run of the harness populates it (REPRO_CACHE_DIR or
+    ``~/.cache/repro-spec2017``); repeated local runs then skip pipeline
+    and replay recomputation entirely.
+    """
+    from repro.experiments.common import configure_cache, set_store
+
+    previous = configure_cache()
+    yield
+    set_store(previous)

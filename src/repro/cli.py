@@ -5,6 +5,8 @@ Examples::
     repro-spec2017 list
     repro-spec2017 table2
     repro-spec2017 fig8 --benchmarks 623.xalancbmk_s 505.mcf_r
+    repro-spec2017 fig8 --jobs 4          # per-benchmark process fan-out
+    repro-spec2017 cache info             # on-disk artifact store status
     python -m repro fig12
 """
 
@@ -44,6 +46,9 @@ _SUITE_EXPERIMENTS = {
     "fig12", "baselines", "rate", "turnaround", "table2-projected",
 }
 
+#: Experiments whose drivers fan per-benchmark work across processes.
+_PARALLEL_EXPERIMENTS = {"table2", "fig7", "fig8", "fig10"}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -76,6 +81,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay an archived pinball set and report its statistics",
     )
     replay.add_argument("directory", help="archive directory to replay")
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk artifact store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for cache_cmd, cache_help in (
+        ("info", "show store location, schema, and artifact counts"),
+        ("clear", "delete every stored artifact"),
+    ):
+        cache_cmd_parser = cache_sub.add_parser(cache_cmd, help=cache_help)
+        cache_cmd_parser.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="store directory (default: REPRO_CACHE_DIR or "
+                 "~/.cache/repro-spec2017)",
+        )
     for name in _EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
         if name in _SUITE_EXPERIMENTS:
@@ -83,6 +103,22 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--benchmarks", nargs="+", metavar="NAME",
                 help="subset of benchmarks (default: full Table II suite)",
             )
+        if name in _PARALLEL_EXPERIMENTS:
+            exp.add_argument(
+                "--jobs", type=int, default=0, metavar="N",
+                help="worker processes for the per-benchmark fan-out "
+                     "(1 = serial, 0 = one per CPU core; output is "
+                     "identical either way)",
+            )
+        exp.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="artifact store directory (default: REPRO_CACHE_DIR or "
+                 "~/.cache/repro-spec2017)",
+        )
+        exp.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the on-disk artifact store for this run",
+        )
         if name in ("fig3a", "fig3b"):
             exp.add_argument(
                 "--benchmark", default="623.xalancbmk_s",
@@ -138,6 +174,23 @@ def _run_replay_archive(directory: str) -> int:
     return 0
 
 
+def _run_cache(args) -> int:
+    from repro.errors import StoreError
+    from repro.parallel import ArtifactStore, default_cache_dir
+
+    store = ArtifactStore(args.cache_dir or default_cache_dir())
+    if args.cache_command == "info":
+        print(store.info().render())
+        return 0
+    try:
+        removed = store.clear()
+    except StoreError as exc:
+        print(f"cache clear failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"removed {removed} artifacts from {store.root}")
+    return 0
+
+
 def _run_list() -> str:
     lines = ["Registered SPEC CPU2017 benchmarks:"]
     for spec_id, d in SPEC_CPU2017.items():
@@ -166,6 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_checkpoint(args.benchmark, args.out)
     if args.command == "replay-archive":
         return _run_replay_archive(args.directory)
+    if args.command == "cache":
+        return _run_cache(args)
 
     runner, renderer = _EXPERIMENTS[args.command]
     kwargs = {}
@@ -180,10 +235,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
             return 2
         kwargs["benchmarks"] = args.benchmarks
+    if args.command in _PARALLEL_EXPERIMENTS:
+        kwargs["jobs"] = args.jobs
     if args.command in ("fig3a", "fig3b"):
         kwargs["benchmark"] = args.benchmark
-    result = runner(**kwargs)
-    print(renderer(result))
+
+    from repro.experiments.common import configure_cache, set_store
+
+    previous = configure_cache(args.cache_dir, enabled=not args.no_cache)
+    try:
+        result = runner(**kwargs)
+        print(renderer(result))
+    finally:
+        set_store(previous)
     return 0
 
 

@@ -53,3 +53,7 @@ class SimulationError(ReproError):
 
 class LintError(ReproError):
     """repro-lint could not run: bad config, baseline, or unparseable source."""
+
+
+class StoreError(ReproError):
+    """The on-disk artifact store was misused or refused an unsafe operation."""

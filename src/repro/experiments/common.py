@@ -1,13 +1,37 @@
-"""Shared measurement plumbing for the experiment drivers."""
+"""Shared measurement plumbing for the experiment drivers.
+
+Expensive intermediates flow through a two-tier cache:
+
+* **memory tier** — per-process dicts, exactly as fast as before;
+* **disk tier** — an optional content-addressed
+  :class:`~repro.parallel.store.ArtifactStore` shared across worker
+  processes and across sessions (enabled by the CLI / bench harness via
+  :func:`configure_cache`, disabled by default for library use so tests
+  stay hermetic).
+
+Every disk key folds in the store schema tag, the repro package
+version, and a canonical hash of all determinism-relevant parameters
+(pipeline kwargs, cache geometry, region sets), so a stale artifact
+from an older code revision or a different configuration can never be
+read back.
+
+Per-benchmark work fans out through :func:`map_benchmarks`, which
+drives :func:`measure_benchmark` workers over a deterministic process
+pool (results merged in submission order — parallel output is
+bit-identical to serial).
+"""
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import CacheHierarchyConfig
+from repro.errors import ConfigError, StoreError
+from repro.parallel import ArtifactStore, parallel_map
 from repro.pin.tools.allcache import AllCache
 from repro.pin.tools.ldstmix import LdStMix
 from repro.pinball.pinball import RegionalPinball
@@ -17,6 +41,9 @@ from repro.workloads.spec2017 import benchmark_names
 
 #: Cache levels reported throughout the evaluation.
 LEVELS = ("L1D", "L2", "L3")
+
+#: Run types understood by :func:`measure_benchmark`.
+RUN_TYPES = ("whole", "regional", "reduced", "warmup")
 
 
 @dataclass
@@ -43,6 +70,86 @@ def resolve_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
     return list(benchmarks)
 
 
+# -- the disk tier ----------------------------------------------------
+
+_STORE: Optional[ArtifactStore] = None
+
+
+def get_store() -> Optional[ArtifactStore]:
+    """The configured disk tier, or None (memory-only caching)."""
+    return _STORE
+
+
+def set_store(store: Optional[ArtifactStore]) -> Optional[ArtifactStore]:
+    """Install (or disable, with None) the disk tier; returns the old one."""
+    global _STORE
+    previous = _STORE
+    _STORE = store
+    return previous
+
+
+def configure_cache(
+    cache_dir=None, enabled: bool = True
+) -> Optional[ArtifactStore]:
+    """Point the disk tier at ``cache_dir`` (default: standard location).
+
+    The CLI and benchmark harness call this; libraries and tests that
+    want persistence opt in explicitly.  Returns the previous store so
+    callers can restore it.
+    """
+    if not enabled:
+        return set_store(None)
+    from repro.parallel import default_cache_dir
+
+    return set_store(ArtifactStore(cache_dir or default_cache_dir()))
+
+
+def _metrics_to_payload(metrics: RunMetrics) -> dict:
+    return {
+        "instructions": int(metrics.instructions),
+        "mix": [float(v) for v in metrics.mix],
+        "miss_rates": {lv: float(metrics.miss_rates[lv]) for lv in LEVELS},
+        "l3_accesses": int(metrics.l3_accesses),
+    }
+
+
+def _metrics_from_payload(payload: dict) -> RunMetrics:
+    return RunMetrics(
+        instructions=int(payload["instructions"]),
+        mix=np.asarray(payload["mix"], dtype=np.float64),
+        miss_rates={lv: float(payload["miss_rates"][lv]) for lv in LEVELS},
+        l3_accesses=int(payload["l3_accesses"]),
+    )
+
+
+def _store_get_metrics(run: str, key: tuple) -> Optional[RunMetrics]:
+    if _STORE is None:
+        return None
+    try:
+        payload = _STORE.get_json("metrics", {"run": run, "key": key})
+    except StoreError:
+        return None
+    if payload is None:
+        return None
+    return _metrics_from_payload(payload)
+
+
+def _store_put_metrics(run: str, key: tuple, metrics: RunMetrics) -> None:
+    """Persist metrics unless the artifact already exists.
+
+    Also called on memory-tier hits, so a store configured *after* a
+    result was computed still captures it (write-through backfill).
+    """
+    if _STORE is None:
+        return
+    try:
+        params = {"run": run, "key": key}
+        if not _STORE.has("metrics", params):
+            _STORE.put_json("metrics", params, _metrics_to_payload(metrics))
+    except StoreError:
+        pass
+
+
 def _metrics_key(out: PinPointsOutput, config, extra=()) -> tuple:
     levels = None if config is None else tuple(
         (c.name, c.size_bytes, c.line_size, c.associativity)
@@ -62,11 +169,19 @@ def measure_whole(
     """Profile the Whole Run (full execution, continuously warm caches).
 
     Results are cached per (benchmark, program shape, hierarchy): whole
-    replays are deterministic and several figures share them.
+    replays are deterministic and several figures share them.  With a
+    disk tier configured, results also persist across processes and
+    sessions.
     """
     key = _metrics_key(out, config)
     if key in _WHOLE_CACHE:
-        return _WHOLE_CACHE[key]
+        metrics = _WHOLE_CACHE[key]
+        _store_put_metrics("whole", key, metrics)
+        return metrics
+    stored = _store_get_metrics("whole", key)
+    if stored is not None:
+        _WHOLE_CACHE[key] = stored
+        return stored
     cache = AllCache(config)
     mix = LdStMix()
     out.replayer().replay(out.whole, [cache, mix])
@@ -78,6 +193,7 @@ def measure_whole(
         l3_accesses=stats["L3"].accesses,
     )
     _WHOLE_CACHE[key] = metrics
+    _store_put_metrics("whole", key, metrics)
     return metrics
 
 
@@ -102,7 +218,13 @@ def measure_points(
         ),
     )
     if key in _POINTS_CACHE:
-        return _POINTS_CACHE[key]
+        metrics = _POINTS_CACHE[key]
+        _store_put_metrics("points", key, metrics)
+        return metrics
+    stored = _store_get_metrics("points", key)
+    if stored is not None:
+        _POINTS_CACHE[key] = stored
+        return stored
     replayer = out.replayer()
     mixes, weights, instructions, l3_accesses = [], [], 0, 0
     rates: Dict[str, List[float]] = {lv: [] for lv in LEVELS}
@@ -124,6 +246,7 @@ def measure_points(
         l3_accesses=l3_accesses,
     )
     _POINTS_CACHE[key] = metrics
+    _store_put_metrics("points", key, metrics)
     return metrics
 
 
@@ -135,16 +258,121 @@ def pinpoints_for(benchmark: str, **kwargs) -> PinPointsOutput:
 
     Experiments share whole-pipeline outputs per process so that e.g.
     Fig 7, Fig 8 and Fig 10 do not re-cluster the same benchmark three
-    times.  The cache key includes all keyword arguments.
+    times.  The cache key includes all keyword arguments.  With a disk
+    tier configured, pipeline bundles persist (pickled) across processes
+    and sessions; kwargs that cannot be hashed stably — live ``program``
+    or ``analysis`` objects — simply bypass the disk tier.
     """
     key = (benchmark,) + tuple(sorted(kwargs.items()))
-    if key not in _PINPOINTS_CACHE:
-        _PINPOINTS_CACHE[key] = run_pinpoints(benchmark, **kwargs)
-    return _PINPOINTS_CACHE[key]
+    params = {"benchmark": benchmark, "kwargs": dict(kwargs)}
+    if key in _PINPOINTS_CACHE:
+        out = _PINPOINTS_CACHE[key]
+        _store_put_pinpoints(params, out)
+        return out
+    if _STORE is not None:
+        try:
+            stored = _STORE.get_pickle("pinpoints", params)
+        except StoreError:
+            stored = None
+        if stored is not None:
+            _PINPOINTS_CACHE[key] = stored
+            return stored
+    out = run_pinpoints(benchmark, **kwargs)
+    _PINPOINTS_CACHE[key] = out
+    _store_put_pinpoints(params, out)
+    return out
+
+
+def _store_put_pinpoints(params: dict, out: PinPointsOutput) -> None:
+    """Persist a pipeline bundle unless already stored (or unkeyable).
+
+    Like :func:`_store_put_metrics`, this also backfills a store that
+    was configured after the bundle was computed.
+    """
+    if _STORE is None:
+        return
+    try:
+        if not _STORE.has("pinpoints", params, "pickle"):
+            _STORE.put_pickle("pinpoints", params, out)
+    except StoreError:
+        pass
 
 
 def clear_pinpoints_cache() -> None:
-    """Drop all cached pipeline/measurement results (test isolation)."""
+    """Drop all cached pipeline/measurement results (test isolation).
+
+    Clears both tiers: the per-process dicts and, when a disk store is
+    configured, every persisted artifact in it — a test that clears the
+    cache must never read a stale artifact from a previous run.
+    """
     _PINPOINTS_CACHE.clear()
     _WHOLE_CACHE.clear()
     _POINTS_CACHE.clear()
+    if _STORE is not None:
+        _STORE.clear()
+
+
+# -- per-benchmark fan-out --------------------------------------------
+
+
+def measure_benchmark(
+    benchmark: str,
+    runs: Tuple[str, ...] = (),
+    config: Optional[CacheHierarchyConfig] = None,
+    pinpoints_kwargs: Optional[dict] = None,
+) -> Dict[str, object]:
+    """Measure one benchmark: the process-pool worker unit.
+
+    Runs (or loads) the PinPoints pipeline, profiles the requested run
+    types, and returns a lightweight result dict — benchmark id, point
+    counts, and one :class:`RunMetrics` per entry of ``runs`` — instead
+    of shipping whole :class:`PinPointsOutput` bundles back through the
+    pool.  ``runs`` entries come from :data:`RUN_TYPES`.
+    """
+    for run in runs:
+        if run not in RUN_TYPES:
+            raise ConfigError(
+                f"unknown run type {run!r}; expected one of {RUN_TYPES}"
+            )
+    out = pinpoints_for(benchmark, **(pinpoints_kwargs or {}))
+    result: Dict[str, object] = {
+        "benchmark": out.benchmark,
+        "num_points": out.simpoints.num_points,
+        "num_points_90": len(out.reduced),
+    }
+    for run in runs:
+        if run == "whole":
+            result[run] = measure_whole(out, config)
+        elif run == "regional":
+            result[run] = measure_points(out, out.regional, config=config)
+        elif run == "reduced":
+            result[run] = measure_points(out, out.reduced, config=config)
+        else:
+            result[run] = measure_points(
+                out, out.regional, with_warmup=True, config=config
+            )
+    return result
+
+
+def map_benchmarks(
+    benchmarks: Optional[Sequence[str]],
+    runs: Tuple[str, ...] = (),
+    jobs: Optional[int] = None,
+    config: Optional[CacheHierarchyConfig] = None,
+    **pinpoints_kwargs,
+) -> List[Dict[str, object]]:
+    """Fan :func:`measure_benchmark` across the suite, one result per name.
+
+    Results come back in suite order regardless of worker completion
+    order, so driver output is identical for any ``jobs`` value.  With a
+    disk store configured, workers share pipelines and metrics through
+    it; without one, each worker recomputes its own (still correct, just
+    colder).
+    """
+    worker = functools.partial(
+        measure_benchmark,
+        runs=tuple(runs),
+        config=config,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
+    return parallel_map(worker, resolve_benchmarks(benchmarks), jobs=jobs)

@@ -10,12 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import (
-    measure_points,
-    measure_whole,
-    pinpoints_for,
-    resolve_benchmarks,
-)
+from repro.experiments.common import map_benchmarks
 from repro.experiments.report import format_table
 
 
@@ -51,20 +46,28 @@ class Fig10Result:
 
 
 def run_fig10(
-    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **pinpoints_kwargs,
 ) -> Fig10Result:
-    """Count L3 accesses for the three run types."""
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        rows.append(
-            Fig10Row(
-                benchmark=out.benchmark,
-                whole=measure_whole(out).l3_accesses,
-                regional=measure_points(out, out.regional).l3_accesses,
-                reduced=measure_points(out, out.reduced).l3_accesses,
-            )
+    """Count L3 accesses for the three run types.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
+    measured = map_benchmarks(
+        benchmarks, runs=("whole", "regional", "reduced"), jobs=jobs,
+        **pinpoints_kwargs,
+    )
+    rows = [
+        Fig10Row(
+            benchmark=m["benchmark"],
+            whole=m["whole"].l3_accesses,
+            regional=m["regional"].l3_accesses,
+            reduced=m["reduced"].l3_accesses,
         )
+        for m in measured
+    ]
     return Fig10Result(rows=rows)
 
 

@@ -12,12 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import (
-    measure_points,
-    measure_whole,
-    pinpoints_for,
-    resolve_benchmarks,
-)
+from repro.experiments.common import map_benchmarks
 from repro.experiments.report import format_table, pct
 from repro.stats.compare import max_abs_percentage_points
 
@@ -65,20 +60,28 @@ class Fig7Result:
 
 
 def run_fig7(
-    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **pinpoints_kwargs,
 ) -> Fig7Result:
-    """Profile instruction mixes for all three run types."""
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        rows.append(
-            Fig7Row(
-                benchmark=out.benchmark,
-                whole=measure_whole(out).mix,
-                regional=measure_points(out, out.regional).mix,
-                reduced=measure_points(out, out.reduced).mix,
-            )
+    """Profile instruction mixes for all three run types.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
+    measured = map_benchmarks(
+        benchmarks, runs=("whole", "regional", "reduced"), jobs=jobs,
+        **pinpoints_kwargs,
+    )
+    rows = [
+        Fig7Row(
+            benchmark=m["benchmark"],
+            whole=m["whole"].mix,
+            regional=m["regional"].mix,
+            reduced=m["reduced"].mix,
         )
+        for m in measured
+    ]
     return Fig7Result(rows=rows)
 
 

@@ -11,14 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import (
-    LEVELS,
-    RunMetrics,
-    measure_points,
-    measure_whole,
-    pinpoints_for,
-    resolve_benchmarks,
-)
+from repro.experiments.common import LEVELS, RunMetrics, map_benchmarks
 from repro.experiments.report import format_table
 
 
@@ -57,21 +50,32 @@ class Fig8Result:
 
 
 def run_fig8(
-    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **pinpoints_kwargs,
 ) -> Fig8Result:
-    """Measure the four run types on the Table I (scaled) hierarchy."""
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        rows.append(
-            Fig8Row(
-                benchmark=out.benchmark,
-                whole=measure_whole(out),
-                regional=measure_points(out, out.regional),
-                reduced=measure_points(out, out.reduced),
-                warmup=measure_points(out, out.regional, with_warmup=True),
-            )
+    """Measure the four run types on the Table I (scaled) hierarchy.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); results are order-stable, so the
+    rendered figure is identical for any value.
+    """
+    measured = map_benchmarks(
+        benchmarks,
+        runs=("whole", "regional", "reduced", "warmup"),
+        jobs=jobs,
+        **pinpoints_kwargs,
+    )
+    rows = [
+        Fig8Row(
+            benchmark=m["benchmark"],
+            whole=m["whole"],
+            regional=m["regional"],
+            reduced=m["reduced"],
+            warmup=m["warmup"],
         )
+        for m in measured
+    ]
     return Fig8Result(rows=rows)
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.common import map_benchmarks
 from repro.experiments.report import format_table
 from repro.workloads.spec2017 import get_descriptor
 
@@ -52,24 +52,28 @@ class Table2Result:
 
 
 def run_table2(
-    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **pinpoints_kwargs,
 ) -> Table2Result:
     """Measure simulation-point counts for the suite (Table II).
 
     Args:
         benchmarks: Benchmarks to include (default: all of Table II).
+        jobs: Worker processes for the per-benchmark fan-out (1 =
+            serial, 0/None = one per core); output is order-stable.
         **pinpoints_kwargs: Forwarded to the PinPoints pipeline (used by
             quick test configurations).
     """
+    measured = map_benchmarks(benchmarks, jobs=jobs, **pinpoints_kwargs)
     rows = []
-    for name in resolve_benchmarks(benchmarks):
-        descriptor = get_descriptor(name)
-        out = pinpoints_for(name, **pinpoints_kwargs)
+    for m in measured:
+        descriptor = get_descriptor(m["benchmark"])
         rows.append(
             Table2Row(
                 benchmark=descriptor.spec_id,
-                points=out.simpoints.num_points,
-                points_90=len(out.reduced),
+                points=m["num_points"],
+                points_90=m["num_points_90"],
                 paper_points=descriptor.num_phases,
                 paper_points_90=descriptor.num_90pct,
             )

@@ -1,10 +1,11 @@
-"""The simulation-correctness rule set (REP001–REP010).
+"""The simulation-correctness rule set (REP001–REP011).
 
 Every rule here guards a way a simulation codebase silently loses
 determinism or fidelity: hidden global RNG state, float round-trip
 comparisons, hash-order-dependent output, wall-clock reads inside
-modeled time, and cache geometry drifting away from the paper's
-Table I/III definitions.  Each rule yields ``(node, message)`` pairs;
+modeled time, cache geometry drifting away from the paper's
+Table I/III definitions, and reductions that depend on worker
+completion order.  Each rule yields ``(node, message)`` pairs;
 see DESIGN.md ("Static analysis") for the hazard each one maps to.
 """
 
@@ -455,3 +456,76 @@ def check_magic_geometry(ctx) -> Yield:
                 f"({detail}); derive from repro.config presets "
                 "(dataclasses.replace / .scaled()) so geometry stays in one place"
             )
+
+
+#: Iterables whose element order follows worker *completion*, not
+#: submission — nondeterministic under load (REP011).
+_UNORDERED_COMPLETION_CALLS = frozenset({"concurrent.futures.as_completed"})
+_UNORDERED_COMPLETION_METHODS = frozenset({"as_completed", "imap_unordered"})
+
+#: Accumulator methods whose result depends on call order.  ``add`` /
+#: ``update`` on sets and dict-key stores are deliberately absent: they
+#: produce the same container for any arrival order.
+_ORDER_SENSITIVE_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "write", "writelines",
+})
+
+
+def _is_unordered_completion(ctx, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if _call_name(ctx, node) in _UNORDERED_COMPLETION_CALLS:
+        return True
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _UNORDERED_COMPLETION_METHODS
+    )
+
+
+def _order_sensitive_reduction(loop: ast.For) -> Optional[ast.AST]:
+    """First statement in the loop body whose effect is order-dependent."""
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.AugAssign, ast.Yield, ast.YieldFrom)):
+                return node
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SENSITIVE_METHODS
+            ):
+                return node
+    return None
+
+
+@rule(
+    "REP011",
+    "completion-order-reduction",
+    hazard=(
+        "as_completed()/imap_unordered() yield results in worker "
+        "completion order, which varies with machine load; appending or "
+        "summing in that order makes parallel output differ run-to-run "
+        "and diverge from the serial reference."
+    ),
+)
+def check_completion_order_reduction(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For):
+            if not _is_unordered_completion(ctx, node.iter):
+                continue
+            sink = _order_sensitive_reduction(node)
+            if sink is not None:
+                yield sink, (
+                    "order-dependent reduction over completion-ordered "
+                    "results; key results by their submitted item (e.g. "
+                    "results[futures[f]] = f.result()) or iterate futures "
+                    "in submission order"
+                )
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            # Set/dict comprehensions are order-insensitive sinks.
+            for generator in node.generators:
+                if _is_unordered_completion(ctx, generator.iter):
+                    yield node, (
+                        "sequence built in completion order; collect "
+                        "futures in a list and take future.result() in "
+                        "submission order instead"
+                    )

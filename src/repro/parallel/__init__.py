@@ -1,0 +1,33 @@
+"""Parallel execution layer: deterministic fan-out + persistent artifacts.
+
+Two halves, composed by ``repro.experiments.common``:
+
+* :mod:`repro.parallel.pool` — a deterministic process-pool runner that
+  fans per-benchmark work across cores and merges results in submission
+  order, so parallel runs are bit-identical to serial ones.
+* :mod:`repro.parallel.store` — a content-addressed on-disk artifact
+  store (pipeline outputs, replay metrics) shared across worker
+  processes and across sessions, versioned by a schema tag plus a
+  pipeline-parameter hash.
+"""
+
+from repro.parallel.pool import parallel_map, resolve_jobs
+from repro.parallel.store import (
+    SCHEMA_TAG,
+    ArtifactStore,
+    StoreInfo,
+    artifact_key,
+    canonical_params,
+    default_cache_dir,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "SCHEMA_TAG",
+    "StoreInfo",
+    "artifact_key",
+    "canonical_params",
+    "default_cache_dir",
+    "parallel_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,83 @@
+"""Deterministic process-pool fan-out for per-benchmark work.
+
+The suite's per-benchmark axis is embarrassingly parallel: every
+pipeline run and replay is a pure, seeded function of its parameters.
+:func:`parallel_map` fans such work across a ``ProcessPoolExecutor``
+and merges results **in submission order**, so rendered output is
+bit-identical to a serial run no matter which worker finishes first
+(the hazard repro-lint REP011 guards against).
+
+Fork safety: workers are forked where the platform supports it (cheap,
+inherits the configured artifact store and loaded registries); on
+spawn-only platforms the default start method is used, which requires
+the submitted callable and arguments to be picklable — module-level
+functions and ``functools.partial`` over them, never closures.
+
+``jobs`` semantics everywhere in this package: ``None``/``0`` means
+auto-detect (one worker per CPU core), ``1`` means run serially
+in-process (no pool, no pickling), ``N > 1`` means a pool of N workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ConfigError
+
+__all__ = ["parallel_map", "resolve_jobs"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalize a ``--jobs`` value to a concrete worker count.
+
+    ``None`` and ``0`` auto-detect (``os.cpu_count()``); anything else
+    must be a positive integer.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        raise ConfigError(
+            f"jobs must be a positive integer or 0/None for auto, got {jobs!r}"
+        )
+    return jobs
+
+
+def _mp_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    jobs: Optional[int] = None,
+) -> List[_ResultT]:
+    """Apply ``fn`` to every item, results in input order.
+
+    With one worker (or one item) this is a plain serial loop in the
+    current process — no pool, no pickling — which is also the
+    bit-identical reference behaviour the parallel path must match.
+    Worker exceptions propagate in submission order, so the *first*
+    failing item raises regardless of completion interleaving.
+    """
+    work = list(items)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(work)), mp_context=_mp_context()
+    ) as pool:
+        futures = [pool.submit(fn, item) for item in work]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise

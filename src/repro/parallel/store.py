@@ -1,0 +1,325 @@
+"""Content-addressed on-disk artifact store for expensive intermediates.
+
+The experiment drivers recompute two kinds of expensive artifacts:
+PinPoints pipeline outputs (logging + BBV profiling + clustering) and
+replay measurements (:class:`~repro.experiments.common.RunMetrics`).
+Both are deterministic functions of *(benchmark, pipeline parameters,
+machine geometry, code version)*, so they can be persisted once and
+shared across worker processes and across sessions.
+
+Keys are content addresses: the SHA-256 of a canonical JSON document
+containing the store schema tag, the repro package version, the artifact
+kind, and every determinism-relevant parameter.  Any code release or
+parameter change therefore produces a different key — stale artifacts
+are never *read*, only orphaned (and removable with ``cache clear``).
+
+Writes are crash- and race-safe: payloads land in a temporary file in
+the destination directory and are published with :func:`os.replace`, so
+concurrent writers of the same key each produce a complete artifact and
+the last atomic rename wins.  Corrupt artifacts (truncated writes,
+foreign files) are discarded on read and recomputed.
+
+Layout::
+
+    <root>/repro-store.json                 # marker, guards clear()
+    <root>/objects/<kind>/<aa>/<digest>.json|.pkl
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.errors import StoreError
+
+__all__ = [
+    "ArtifactStore",
+    "SCHEMA_TAG",
+    "StoreInfo",
+    "artifact_key",
+    "canonical_params",
+    "default_cache_dir",
+]
+
+#: Bumped whenever the on-disk layout or payload encoding changes; part
+#: of every key, so old-schema artifacts are silently orphaned.
+SCHEMA_TAG = "repro-store-v1"
+
+#: Marker file identifying a directory as an artifact store.  ``clear``
+#: refuses to delete anything from a directory that lacks it.
+MARKER_NAME = "repro-store.json"
+
+_EXTENSIONS = {"json": ".json", "pickle": ".pkl"}
+
+
+def default_cache_dir() -> Path:
+    """Resolve the store location: ``REPRO_CACHE_DIR`` > XDG > ``~/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-spec2017"
+
+
+def canonical_params(value):
+    """Normalize a parameter structure into canonical JSON-compatible data.
+
+    Supported: None, bool, int, float, str, numpy scalars, (frozen)
+    dataclasses, and lists/tuples/dicts thereof.  Anything else (live
+    pipeline objects, analysis instances, ...) raises :class:`StoreError`
+    so callers fall back to in-memory caching rather than building an
+    unstable key.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_params(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"artifact key parameters need string dict keys, got {key!r}"
+                )
+            out[key] = canonical_params(value[key])
+        return out
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": canonical_params(dataclasses.asdict(value)),
+        }
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return canonical_params(item())
+    raise StoreError(
+        f"cannot build a stable artifact key from {type(value).__name__!r}"
+    )
+
+
+def artifact_key(kind: str, params, *, version: str) -> str:
+    """SHA-256 content address of (schema, version, kind, params)."""
+    document = json.dumps(
+        {
+            "schema": SCHEMA_TAG,
+            "version": version,
+            "kind": kind,
+            "params": canonical_params(params),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Summary of a store directory for ``repro-spec2017 cache info``."""
+
+    root: str
+    exists: bool
+    artifacts: Dict[str, int]
+    total_bytes: int
+
+    @property
+    def total_artifacts(self) -> int:
+        return sum(self.artifacts.values())
+
+    def render(self) -> str:
+        lines = [f"artifact store: {self.root}", f"schema: {SCHEMA_TAG}"]
+        if not self.exists:
+            lines.append("status: not created yet (no artifacts)")
+            return "\n".join(lines)
+        lines.append(
+            f"artifacts: {self.total_artifacts} "
+            f"({self.total_bytes / 1024:.1f} KiB)"
+        )
+        for kind in sorted(self.artifacts):
+            lines.append(f"  {kind:12s} {self.artifacts[kind]}")
+        return "\n".join(lines)
+
+
+class ArtifactStore:
+    """A content-addressed artifact directory (see module docstring).
+
+    Args:
+        root: Store directory; created lazily on first write.
+        version: Code version folded into every key.  Defaults to the
+            installed repro package version, so upgrading the package
+            invalidates every artifact.
+    """
+
+    def __init__(self, root, version: Optional[str] = None) -> None:
+        self.root = Path(root).expanduser()
+        if version is None:
+            from repro import __version__
+
+            version = __version__
+        self.version = version
+
+    # -- keys and paths ------------------------------------------------
+
+    def key(self, kind: str, params) -> str:
+        """Content address for ``params`` under this store's version."""
+        return artifact_key(kind, params, version=self.version)
+
+    def path_for(self, kind: str, digest: str, fmt: str) -> Path:
+        ext = _EXTENSIONS.get(fmt)
+        if ext is None:
+            raise StoreError(f"unknown artifact format {fmt!r}")
+        return self.root / "objects" / kind / digest[:2] / f"{digest}{ext}"
+
+    # -- reads ---------------------------------------------------------
+
+    def has(self, kind: str, params, fmt: str = "json") -> bool:
+        """Whether an artifact for ``params`` exists (no payload read)."""
+        return self.path_for(kind, self.key(kind, params), fmt).is_file()
+
+    def get_json(self, kind: str, params):
+        """Stored JSON payload for ``params``, or None (missing/corrupt)."""
+        path = self.path_for(kind, self.key(kind, params), "json")
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+
+    def get_pickle(self, kind: str, params):
+        """Stored pickled object for ``params``, or None (missing/corrupt)."""
+        path = self.path_for(kind, self.key(kind, params), "pickle")
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return pickle.loads(raw)
+        except Exception:  # repro-lint: disable=REP006 -- unpickling corrupt bytes can raise nearly anything; the artifact is discarded and recomputed
+            self._discard(path)
+            return None
+
+    # -- writes --------------------------------------------------------
+
+    def put_json(self, kind: str, params, payload) -> Path:
+        """Persist a JSON payload; returns the artifact path."""
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        path = self.path_for(kind, self.key(kind, params), "json")
+        self._atomic_write(path, data)
+        return path
+
+    def put_pickle(self, kind: str, params, payload) -> Path:
+        """Persist a pickled object; returns the artifact path."""
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self.path_for(kind, self.key(kind, params), "pickle")
+        self._atomic_write(path, data)
+        return path
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        self._ensure_root()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise StoreError(f"cannot write artifact {path}: {exc}") from exc
+
+    def _ensure_root(self) -> None:
+        marker = self.root / MARKER_NAME
+        if marker.is_file():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._atomic_marker(marker)
+
+    def _atomic_marker(self, marker: Path) -> None:
+        data = json.dumps({"schema": SCHEMA_TAG}).encode("utf-8")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=MARKER_NAME + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, marker)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise StoreError(f"cannot initialize store {self.root}: {exc}") from exc
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance ---------------------------------------------------
+
+    def _iter_artifacts(self) -> Tuple[Tuple[str, Path], ...]:
+        objects = self.root / "objects"
+        found = []
+        if not objects.is_dir():
+            return ()
+        for kind_dir in sorted(objects.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.rglob("*")):
+                if path.is_file() and path.suffix in (".json", ".pkl"):
+                    found.append((kind_dir.name, path))
+        return tuple(found)
+
+    def info(self) -> StoreInfo:
+        """Artifact counts and sizes (``cache info``)."""
+        exists = (self.root / MARKER_NAME).is_file()
+        artifacts: Dict[str, int] = {}
+        total = 0
+        for kind, path in self._iter_artifacts():
+            artifacts[kind] = artifacts.get(kind, 0) + 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return StoreInfo(
+            root=str(self.root), exists=exists,
+            artifacts=artifacts, total_bytes=total,
+        )
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns how many were removed.
+
+        A directory without the store marker is never touched: pointing
+        ``--cache-dir`` at, say, a home directory must not delete it.
+        """
+        if not self.root.exists():
+            return 0
+        if not (self.root / MARKER_NAME).is_file():
+            raise StoreError(
+                f"{self.root} has no {MARKER_NAME} marker; refusing to clear "
+                "a directory this store did not create"
+            )
+        count = len(self._iter_artifacts())
+        objects = self.root / "objects"
+        if objects.is_dir():
+            shutil.rmtree(objects)
+        return count

@@ -15,6 +15,22 @@ from repro.workloads.spec2017 import build_program
 QUICK = dict(slice_size=3000, total_slices=120)
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_store(tmp_path, monkeypatch):
+    """Keep the disk tier away from the user's real cache directory.
+
+    Any code path that resolves the default store location (the CLI, the
+    bench harness) lands in a per-test temporary directory, and a store
+    configured by one test never leaks into the next.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-store"))
+    from repro.experiments.common import get_store, set_store
+
+    previous = get_store()
+    yield
+    set_store(previous)
+
+
 def make_phase(phase_id: int, weight: float = 0.5, **overrides) -> PhaseSpec:
     """A valid PhaseSpec with sensible small defaults."""
     params = dict(

@@ -1,0 +1,28 @@
+"""Fixture: order-dependent reductions over completion-ordered results."""
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def collect_list(futures):
+    results = []
+    for future in as_completed(futures):
+        results.append(future.result())  # arrival order -> list order
+    return results
+
+
+def sum_floats(futures):
+    total = 0.0
+    for future in as_completed(futures):
+        total += future.result()  # float sum depends on arrival order
+    return total
+
+
+def comprehension(futures):
+    return [f.result() for f in as_completed(futures)]
+
+
+def drain_pool(pool, work, items):
+    out = []
+    for value in pool.imap_unordered(work, items):
+        out.append(value)
+    return out

@@ -1,0 +1,31 @@
+"""Fixture: order-safe consumption of completion-ordered results."""
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+
+def keyed_by_submission(pool, fns):
+    futures = {pool.submit(fn): index for index, fn in enumerate(fns)}
+    results = [None] * len(futures)
+    for future in as_completed(futures):
+        results[futures[future]] = future.result()  # keyed: order-free
+    return results
+
+
+def submission_order(pool, fns):
+    futures = [pool.submit(fn) for fn in fns]
+    return [future.result() for future in futures]
+
+
+def unordered_sink(futures):
+    seen = set()
+    for future in as_completed(futures):
+        seen.add(future.result())  # set contents ignore arrival order
+    return seen
+
+
+def progress_only(futures):
+    done = 0
+    for future in as_completed(futures):
+        future.result()
+        done = done + 1  # plain rebind, no order-sensitive accumulator
+    return done

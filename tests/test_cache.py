@@ -249,3 +249,93 @@ class TestHierarchy:
         snap = h.snapshot()
         assert snap.accesses("L1D") == 0
         assert all(level.resident_line_count() == 0 for level in h.levels)
+
+
+def make_pinned_level(assoc, monkeypatch, wave):
+    """A CacheLevel whose associative strategy is pinned by threshold."""
+    monkeypatch.setattr(CacheLevel, "_WAVE_AMORTIZE", 0 if wave else 10**9)
+    return CacheLevel(
+        CacheConfig("T", size_bytes=32 * 16 * assoc, line_size=32,
+                    associativity=assoc)
+    )
+
+
+class TestWaveStrategy:
+    """The vectorized wave path against the sequential oracle."""
+
+    @pytest.mark.parametrize("assoc", [2, 4, 8, 16, 32])
+    def test_differential_against_oracle(self, assoc, rng, monkeypatch):
+        wave = make_pinned_level(assoc, monkeypatch, wave=True)
+        oracle = CacheLevel(wave.config, reference=True)
+        for round_index in range(20):
+            n = int(rng.integers(1, 3000))
+            lines = rng.integers(0, int(rng.integers(40, 2000)), size=n)
+            writes = rng.random(n) < 0.3
+            assert np.array_equal(
+                wave.access_many(lines, writes),
+                oracle.access_many(lines, writes),
+            )
+            if round_index % 5 == 2:
+                installs = rng.integers(0, 500, size=64)
+                wave.install(installs)
+                oracle.install(installs)
+        assert wave.stats.misses == oracle.stats.misses
+        assert wave.stats.writebacks == oracle.stats.writebacks
+        assert wave.resident_line_count() == oracle.resident_line_count()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lines=st.lists(st.integers(0, 255), min_size=1, max_size=400),
+        write_mask=st.integers(0, 2**16 - 1),
+        assoc_pow=st.integers(1, 4),
+    )
+    def test_property_wave_matches_oracle(self, lines, write_mask, assoc_pow):
+        assoc = 2 ** assoc_pow
+        config = CacheConfig("T", size_bytes=32 * 8 * assoc, line_size=32,
+                             associativity=assoc)
+        wave = CacheLevel(config)
+        wave._WAVE_AMORTIZE = 0
+        oracle = CacheLevel(config, reference=True)
+        arr = np.array(lines, dtype=np.int64)
+        writes = np.array(
+            [(write_mask >> (i % 16)) & 1 == 1 for i in range(len(lines))]
+        )
+        assert np.array_equal(
+            wave.access_many(arr, writes), oracle.access_many(arr, writes)
+        )
+        assert wave.stats.writebacks == oracle.stats.writebacks
+        assert wave.resident_line_count() == oracle.resident_line_count()
+
+    def test_wave_collapses_repeated_lines(self, monkeypatch):
+        # A run of identical accesses (an ifetch stream inside one line)
+        # costs one miss and leaves one resident line.
+        level = make_pinned_level(4, monkeypatch, wave=True)
+        miss = level.access_many(np.array([9, 9, 9, 9, 9]))
+        assert miss.tolist() == [True, False, False, False, False]
+        assert level.resident_line_count() == 1
+
+    def test_adaptive_choice_hot_traffic_stays_sequential(self):
+        level = make_level(size=32 * 16 * 4, assoc=4)
+        # 4000 accesses into a couple of sets: far too deep for waves.
+        level.access_many(np.array([0, 1, 16, 17] * 1000))
+        assert level._sets is not None
+        assert level._way_state is None
+
+    def test_adaptive_choice_spread_traffic_goes_vectorized(self, rng):
+        level = make_level(size=32 * 1024 * 4, assoc=4)  # 1024 sets
+        level.access_many(rng.integers(0, 100000, size=8192))
+        assert level._way_state is not None
+        assert level._sets is None
+
+    def test_strategy_survives_flush(self, rng):
+        level = make_level(size=32 * 1024 * 4, assoc=4)
+        level.access_many(rng.integers(0, 100000, size=8192))
+        level.flush()
+        assert level.resident_line_count() == 0
+        assert level._way_state is not None  # choice is sticky
+
+    def test_untouched_level_reports_empty(self):
+        level = make_level(assoc=4)
+        assert level.resident_line_count() == 0
+        level.flush()  # no state allocated yet: a no-op
+        assert level.resident_line_count() == 0

@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.config import ALLCACHE_SIM, ALLCACHE_TABLE_I
+from repro.errors import ConfigError
+from repro.experiments import common
 from repro.experiments.common import (
     clear_pinpoints_cache,
+    configure_cache,
+    map_benchmarks,
+    measure_benchmark,
     measure_points,
     measure_whole,
     pinpoints_for,
@@ -103,3 +108,83 @@ class TestMeasurementCache:
         explicit = measure_whole(out, config=ALLCACHE_SIM)
         assert np.allclose(default.mix, explicit.mix)
         assert default.miss_rates == explicit.miss_rates
+
+
+class TestDiskTier:
+    """Two-tier behaviour: memory dicts in front of the artifact store."""
+
+    def test_metrics_survive_a_memory_clear(self, tmp_path):
+        configure_cache(tmp_path / "store")
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        first = measure_whole(out)
+        common._WHOLE_CACHE.clear()  # simulate a fresh process
+        again = measure_whole(out)
+        assert again is not first
+        assert np.array_equal(again.mix, first.mix)
+        assert again.miss_rates == first.miss_rates
+        assert again.instructions == first.instructions
+        assert again.l3_accesses == first.l3_accesses
+
+    def test_point_metrics_survive_a_memory_clear(self, tmp_path):
+        configure_cache(tmp_path / "store")
+        clear_pinpoints_cache()
+        out = pinpoints_for("620.omnetpp_s", **QUICK)
+        first = measure_points(out, out.reduced, with_warmup=True)
+        common._POINTS_CACHE.clear()
+        again = measure_points(out, out.reduced, with_warmup=True)
+        assert again is not first
+        assert again.miss_rates == first.miss_rates
+
+    def test_pipeline_bundles_survive_a_memory_clear(self, tmp_path):
+        configure_cache(tmp_path / "store")
+        clear_pinpoints_cache()
+        first = pinpoints_for("620.omnetpp_s", **QUICK)
+        common._PINPOINTS_CACHE.clear()
+        again = pinpoints_for("620.omnetpp_s", **QUICK)
+        assert again is not first
+        assert again.benchmark == first.benchmark
+        assert again.simpoints.num_points == first.simpoints.num_points
+        assert np.array_equal(
+            measure_whole(again).mix, measure_whole(first).mix
+        )
+
+    def test_clear_covers_the_disk_tier(self, tmp_path):
+        configure_cache(tmp_path / "store")
+        store = common.get_store()
+        clear_pinpoints_cache()
+        pinpoints_for("620.omnetpp_s", **QUICK)
+        assert store.info().total_artifacts > 0
+        clear_pinpoints_cache()
+        assert store.info().total_artifacts == 0
+
+    def test_no_store_means_memory_only(self):
+        configure_cache(None, enabled=False)
+        assert common.get_store() is None
+        clear_pinpoints_cache()
+        a = pinpoints_for("620.omnetpp_s", **QUICK)
+        assert pinpoints_for("620.omnetpp_s", **QUICK) is a
+
+
+class TestMeasureBenchmark:
+    def test_unknown_run_type_rejected(self):
+        with pytest.raises(ConfigError, match="unknown run type"):
+            measure_benchmark("620.omnetpp_s", runs=("bogus",),
+                              pinpoints_kwargs=QUICK)
+
+    def test_result_shape(self):
+        clear_pinpoints_cache()
+        result = measure_benchmark(
+            "620.omnetpp_s", runs=("whole", "reduced"),
+            pinpoints_kwargs=QUICK,
+        )
+        assert result["benchmark"] == "620.omnetpp_s"
+        assert result["num_points"] >= result["num_points_90"] >= 1
+        assert result["whole"].mix.shape == (4,)
+        assert set(result["reduced"].miss_rates) == {"L1D", "L2", "L3"}
+
+    def test_map_benchmarks_preserves_input_order(self):
+        clear_pinpoints_cache()
+        names = ["557.xz_r", "620.omnetpp_s"]
+        measured = map_benchmarks(names, runs=(), jobs=1, **QUICK)
+        assert [m["benchmark"] for m in measured] == names

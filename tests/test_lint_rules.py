@@ -41,6 +41,7 @@ CASES = [
     ("REP008", "rep008_bad_pkg/__init__.py", 1, "rep008_good_pkg/__init__.py"),
     ("REP009", "rep009_bad.py", 2, "rep009_good.py"),
     ("REP010", "rep010_bad.py", 3, "rep010_good.py"),
+    ("REP011", "rep011_bad.py", 4, "rep011_good.py"),
 ]
 
 

@@ -1,0 +1,73 @@
+"""The deterministic process-pool fan-out."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import parallel_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _sleep_inverse(x):
+    # Later submissions finish first, so completion order inverts
+    # submission order — the merge must still return input order.
+    time.sleep(0.05 * (3 - x))
+    return x
+
+
+def _explode_on_two(x):
+    if x == 2:
+        raise ValueError("item two is broken")
+    return x
+
+
+class TestResolveJobs:
+    def test_auto_detects_cores(self):
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(None) == expected
+        assert resolve_jobs(0) == expected
+
+    def test_explicit_counts_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    @pytest.mark.parametrize("bad", [-1, -8, True, 1.5, "4"])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_jobs(bad)
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, range(6), jobs=1) == [
+            0, 1, 4, 9, 16, 25,
+        ]
+
+    def test_single_item_stays_serial(self):
+        # A lambda is unpicklable: proof no pool was spun up.
+        assert parallel_map(lambda x: x + 1, [41], jobs=4) == [42]
+
+    def test_parallel_results_in_submission_order(self):
+        assert parallel_map(_sleep_inverse, [0, 1, 2, 3], jobs=4) == [
+            0, 1, 2, 3,
+        ]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=3) == parallel_map(
+            _square, items, jobs=1
+        )
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="item two"):
+            parallel_map(_explode_on_two, range(5), jobs=2)
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []

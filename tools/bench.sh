@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Time the experiment pipeline (serial vs parallel vs warm artifact store)
+# and record the numbers in BENCH_pipeline.json at the repository root.
+#
+#   tools/bench.sh             # the pipeline benchmark only
+#   tools/bench.sh benchmarks/ # the full figure-regeneration harness
+set -eu
+cd "$(dirname "$0")/.."
+target="${1:-benchmarks/bench_perf_pipeline.py}"
+[ "$#" -gt 0 ] && shift
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest "$target" -q -s "$@"
