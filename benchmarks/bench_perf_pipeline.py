@@ -8,26 +8,43 @@ artifact store so prior runs cannot contaminate the cold measurements:
 3. warm          -- memory tier dropped (as a fresh process would see),
                     every artifact served from the disk store
 
+Timing runs on the telemetry clock, and the serial cold pass records a
+full trace, so alongside the top-level wall numbers the record carries a
+per-stage breakdown (pipeline / cache-sim / sniper / store-io) summed
+from the recorded spans.
+
 The numbers land in ``BENCH_pipeline.json`` at the repository root (the
-perf trajectory the acceptance criteria track), and the rendered output
-of all three passes must be byte-identical — speed never changes results.
+perf trajectory the acceptance criteria track) with the span-level
+manifest next to it in ``BENCH_trace_summary.json``, and the rendered
+output of all three passes must be byte-identical — speed never changes
+results.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.experiments import common
 from repro.experiments.common import clear_pinpoints_cache, configure_cache, set_store
 from repro.experiments.fig7 import render_fig7, run_fig7
 from repro.experiments.fig8 import render_fig8, run_fig8
 from repro.experiments.fig10 import render_fig10, run_fig10
 from repro.parallel import resolve_jobs
+from repro.telemetry.clock import monotonic_ns
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = _ROOT / "BENCH_pipeline.json"
+TRACE_SUMMARY_PATH = _ROOT / "BENCH_trace_summary.json"
+
+#: Span-name prefixes folded into each reported stage.
+_STAGES = {
+    "pipeline": ("pinpoints.",),
+    "cache_sim": ("cache.",),
+    "sniper": ("sniper.",),
+    "store_io": ("store.",),
+}
 
 
 def _sweep(jobs: int) -> str:
@@ -46,18 +63,34 @@ def _drop_memory_tier() -> None:
 
 
 def _timed(fn):
-    start = time.perf_counter()
+    start = monotonic_ns()
     result = fn()
-    return result, time.perf_counter() - start
+    return result, (monotonic_ns() - start) / 1e9
+
+
+def _stage_breakdown(recorder: telemetry.TraceRecorder) -> dict:
+    """Seconds spent per stage, summed over the recorder's spans.
+
+    Stages overlap (store reads happen inside pipeline spans), so the
+    breakdown localizes time rather than summing to the wall total.
+    """
+    totals = {stage: 0 for stage in _STAGES}
+    for event in recorder.events:
+        for stage, prefixes in _STAGES.items():
+            if event["name"].startswith(prefixes):
+                totals[stage] += event["dur"]
+    return {stage: round(ns / 1e9, 3) for stage, ns in totals.items()}
 
 
 def test_pipeline_serial_parallel_warm(tmp_path):
-    cores = os.cpu_count() or 1
+    cores = resolve_jobs(None)
     jobs = resolve_jobs(None)
     previous = configure_cache(tmp_path / "store")
+    recorder = telemetry.TraceRecorder()
     try:
         clear_pinpoints_cache()
-        serial, serial_cold_s = _timed(lambda: _sweep(jobs=1))
+        with telemetry.using_recorder(recorder):
+            serial, serial_cold_s = _timed(lambda: _sweep(jobs=1))
 
         clear_pinpoints_cache()
         parallel, parallel_cold_s = _timed(lambda: _sweep(jobs=jobs))
@@ -78,8 +111,11 @@ def test_pipeline_serial_parallel_warm(tmp_path):
         "parallel_speedup": round(serial_cold_s / parallel_cold_s, 2),
         "warm_speedup": round(serial_cold_s / warm_s, 2),
         "outputs_identical": identical,
+        "serial_cold_stages_s": _stage_breakdown(recorder),
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    manifest = telemetry.summarize(recorder)
+    telemetry.write_summary(TRACE_SUMMARY_PATH, manifest)
     print()
     print(json.dumps(record, indent=2))
 
@@ -90,3 +126,8 @@ def test_pipeline_serial_parallel_warm(tmp_path):
     # Per-benchmark fan-out only pays off with real cores under it.
     if cores >= 4:
         assert record["parallel_speedup"] >= 2.0
+    # The trace accounts for the bulk of the serial pass: the pipeline
+    # and cache-sim stages dominate a cold sweep.
+    stages = record["serial_cold_stages_s"]
+    assert stages["pipeline"] > 0.0
+    assert stages["cache_sim"] > 0.0

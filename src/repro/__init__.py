@@ -53,6 +53,7 @@ from repro.simpoint import (
     variance_sweep,
 )
 from repro.sniper import RegionTiming, SniperSimulator, TimingParams
+from repro.telemetry import TraceRecorder, span, using_recorder
 from repro.workloads import (
     BenchmarkDescriptor,
     SyntheticProgram,
@@ -61,7 +62,16 @@ from repro.workloads import (
     get_descriptor,
 )
 
-__version__ = "1.0.0"
+try:
+    # Single source of truth is the installed package metadata
+    # (pyproject.toml's version); the literal below only covers running
+    # straight from a source tree via PYTHONPATH=src.
+    from importlib.metadata import PackageNotFoundError as _PkgNotFound
+    from importlib.metadata import version as _pkg_version
+
+    __version__ = _pkg_version("repro")
+except _PkgNotFound:
+    __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -90,4 +100,6 @@ __all__ = [
     # timing
     "SniperSimulator", "TimingParams", "RegionTiming",
     "NativeMachine", "PerfCounters",
+    # telemetry
+    "TraceRecorder", "span", "using_recorder",
 ]

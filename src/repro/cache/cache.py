@@ -36,6 +36,7 @@ import numpy as np
 from repro.cache.stats import CacheStats
 from repro.config import CacheConfig, TRACE_LINE_BYTES
 from repro.errors import SimulationError
+from repro.telemetry.recorder import get_recorder
 
 
 class CacheLevel:
@@ -176,6 +177,12 @@ class CacheLevel:
                 miss, writebacks = self._access_associative(lines, writes)
         if self.recording:
             self.stats.record(int(lines.size), int(miss.sum()), writebacks)
+        recorder = get_recorder()
+        if recorder is not None:
+            # Telemetry is a side channel: counters observe the batch,
+            # they never influence hit/miss results.
+            recorder.count("cache.accesses", int(lines.size), level=self.name)
+            recorder.count("cache.batches", 1, level=self.name)
         return miss
 
     def _access_direct_mapped(self, lines: np.ndarray, writes: np.ndarray):
@@ -286,7 +293,15 @@ class CacheLevel:
             return
         set_idx = lines & self._set_mask
         deepest = int(np.bincount(set_idx, minlength=1).max())
-        if lines.size >= self._WAVE_AMORTIZE * deepest:
+        wave = lines.size >= self._WAVE_AMORTIZE * deepest
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count(
+                "cache.strategy",
+                path="wave" if wave else "sequential",
+                level=self.name,
+            )
+        if wave:
             # LRU stacks, way 0 = MRU, packed as tag << 1 | dirty; -1
             # means empty.  Valid tags always occupy a prefix of the
             # ways (inserts shift empties toward the LRU end and hits

@@ -7,6 +7,8 @@ Examples::
     repro-spec2017 fig8 --benchmarks 623.xalancbmk_s 505.mcf_r
     repro-spec2017 fig8 --jobs 4          # per-benchmark process fan-out
     repro-spec2017 cache info             # on-disk artifact store status
+    repro-spec2017 trace fig7 --jobs 2 --trace-out run.trace.json
+    repro-spec2017 trace view run.trace.json
     python -m repro fig12
 """
 
@@ -50,6 +52,65 @@ _SUITE_EXPERIMENTS = {
 _PARALLEL_EXPERIMENTS = {"table2", "fig7", "fig8", "fig10"}
 
 
+def _add_experiment_options(exp: argparse.ArgumentParser, name: str) -> None:
+    """Wire the options an experiment runner understands onto a parser.
+
+    Shared between the plain per-experiment subcommands and their
+    ``trace <experiment>`` twins, so the two never drift apart.
+    """
+    if name in _SUITE_EXPERIMENTS:
+        exp.add_argument(
+            "--benchmarks", nargs="+", metavar="NAME",
+            help="subset of benchmarks (default: full Table II suite)",
+        )
+    if name in _PARALLEL_EXPERIMENTS:
+        exp.add_argument(
+            "--jobs", type=int, default=0, metavar="N",
+            help="worker processes for the per-benchmark fan-out "
+                 "(1 = serial, 0 = one per CPU core; output is "
+                 "identical either way)",
+        )
+    exp.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact store directory (default: REPRO_CACHE_DIR or "
+             "~/.cache/repro-spec2017)",
+    )
+    exp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk artifact store for this run",
+    )
+    if name in ("fig3a", "fig3b"):
+        exp.add_argument(
+            "--benchmark", default="623.xalancbmk_s",
+            help="benchmark to sweep (paper: 623.xalancbmk_s)",
+        )
+
+
+def _experiment_kwargs(name: str, args) -> Optional[dict]:
+    """Translate parsed experiment options into runner kwargs.
+
+    Returns None (after printing to stderr) when a benchmark name does
+    not validate.
+    """
+    kwargs = {}
+    if name in _SUITE_EXPERIMENTS and args.benchmarks:
+        valid = set(benchmark_names())
+        if name == "table2-projected":
+            from repro.workloads.future import FUTURE_WORK
+
+            valid |= set(FUTURE_WORK)
+        unknown = [b for b in args.benchmarks if b not in valid]
+        if unknown:
+            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+            return None
+        kwargs["benchmarks"] = args.benchmarks
+    if name in _PARALLEL_EXPERIMENTS:
+        kwargs["jobs"] = args.jobs
+    if name in ("fig3a", "fig3b"):
+        kwargs["benchmark"] = args.benchmark
+    return kwargs
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-spec2017",
@@ -58,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "Sampling on Contemporary Workloads: The Case of SPEC CPU2017' "
             "(IISWC 2019)."
         ),
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the registered benchmarks")
@@ -96,34 +163,36 @@ def _build_parser() -> argparse.ArgumentParser:
             help="store directory (default: REPRO_CACHE_DIR or "
                  "~/.cache/repro-spec2017)",
         )
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with telemetry enabled, or summarize a "
+             "trace file",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    view = trace_sub.add_parser(
+        "view", help="summarize a trace / summary JSON file"
+    )
+    view.add_argument("file", help="Chrome trace or summary manifest JSON")
+    for name in _EXPERIMENTS:
+        traced = trace_sub.add_parser(
+            name, help=f"regenerate {name} under tracing"
+        )
+        _add_experiment_options(traced, name)
+        traced.add_argument(
+            "--trace-out", metavar="FILE", default=None,
+            help="write a Chrome trace-event file (chrome://tracing)",
+        )
+        traced.add_argument(
+            "--events-out", metavar="FILE", default=None,
+            help="write the raw span/metric event log as JSONL",
+        )
+        traced.add_argument(
+            "--summary-out", metavar="FILE", default=None,
+            help="write the per-run summary manifest as JSON",
+        )
     for name in _EXPERIMENTS:
         exp = sub.add_parser(name, help=f"regenerate {name}")
-        if name in _SUITE_EXPERIMENTS:
-            exp.add_argument(
-                "--benchmarks", nargs="+", metavar="NAME",
-                help="subset of benchmarks (default: full Table II suite)",
-            )
-        if name in _PARALLEL_EXPERIMENTS:
-            exp.add_argument(
-                "--jobs", type=int, default=0, metavar="N",
-                help="worker processes for the per-benchmark fan-out "
-                     "(1 = serial, 0 = one per CPU core; output is "
-                     "identical either way)",
-            )
-        exp.add_argument(
-            "--cache-dir", metavar="DIR", default=None,
-            help="artifact store directory (default: REPRO_CACHE_DIR or "
-                 "~/.cache/repro-spec2017)",
-        )
-        exp.add_argument(
-            "--no-cache", action="store_true",
-            help="disable the on-disk artifact store for this run",
-        )
-        if name in ("fig3a", "fig3b"):
-            exp.add_argument(
-                "--benchmark", default="623.xalancbmk_s",
-                help="benchmark to sweep (paper: 623.xalancbmk_s)",
-            )
+        _add_experiment_options(exp, name)
     return parser
 
 
@@ -174,6 +243,67 @@ def _run_replay_archive(directory: str) -> int:
     return 0
 
 
+def _run_trace_view(path: str) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.telemetry import render_summary, summarize_payload
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace file {path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        manifest = summarize_payload(payload)
+    except ReproError as exc:
+        print(f"trace view failed: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(manifest))
+    return 0
+
+
+def _run_trace(args) -> int:
+    if args.trace_command == "view":
+        return _run_trace_view(args.file)
+
+    from repro import telemetry
+    from repro.experiments.common import configure_cache, set_store
+
+    name = args.trace_command
+    runner, renderer = _EXPERIMENTS[name]
+    kwargs = _experiment_kwargs(name, args)
+    if kwargs is None:
+        return 2
+    recorder = telemetry.TraceRecorder()
+    previous_store = configure_cache(args.cache_dir, enabled=not args.no_cache)
+    try:
+        with telemetry.using_recorder(recorder):
+            with telemetry.span("experiment", experiment=name):
+                result = runner(**kwargs)
+        print(renderer(result))
+    finally:
+        set_store(previous_store)
+    manifest = telemetry.summarize(
+        recorder, wall_time_s=telemetry.wall_time_s()
+    )
+    print()
+    print(telemetry.render_summary(manifest))
+    if args.trace_out:
+        path = telemetry.write_chrome_trace(
+            args.trace_out, recorder, summary=manifest
+        )
+        print(f"chrome trace written to {path}")
+    if args.events_out:
+        path = telemetry.write_jsonl(args.events_out, recorder)
+        print(f"event log written to {path}")
+    if args.summary_out:
+        path = telemetry.write_summary(args.summary_out, manifest)
+        print(f"summary manifest written to {path}")
+    return 0
+
+
 def _run_cache(args) -> int:
     from repro.errors import StoreError
     from repro.parallel import ArtifactStore, default_cache_dir
@@ -221,24 +351,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay_archive(args.directory)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "trace":
+        return _run_trace(args)
 
     runner, renderer = _EXPERIMENTS[args.command]
-    kwargs = {}
-    if args.command in _SUITE_EXPERIMENTS and args.benchmarks:
-        valid = set(benchmark_names())
-        if args.command == "table2-projected":
-            from repro.workloads.future import FUTURE_WORK
-
-            valid |= set(FUTURE_WORK)
-        unknown = [b for b in args.benchmarks if b not in valid]
-        if unknown:
-            print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
-            return 2
-        kwargs["benchmarks"] = args.benchmarks
-    if args.command in _PARALLEL_EXPERIMENTS:
-        kwargs["jobs"] = args.jobs
-    if args.command in ("fig3a", "fig3b"):
-        kwargs["benchmark"] = args.benchmark
+    kwargs = _experiment_kwargs(args.command, args)
+    if kwargs is None:
+        return 2
 
     from repro.experiments.common import configure_cache, set_store
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ClusteringError
+from repro.telemetry.recorder import get_recorder
 
 
 @dataclass
@@ -201,4 +202,8 @@ def kmeans(
     variances = np.zeros(k)
     nonempty = counts > 0
     variances[nonempty] = sums[nonempty] / counts[nonempty]
+    recorder = get_recorder()
+    if recorder is not None:
+        recorder.count("clustering.iterations", int(iters), k=k)
+        recorder.count("clustering.runs", 1)
     return KMeansResult(labels, centers, inertia, iters, variances)

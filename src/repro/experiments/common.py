@@ -37,6 +37,8 @@ from repro.pin.tools.ldstmix import LdStMix
 from repro.pinball.pinball import RegionalPinball
 from repro.pinpoints.pipeline import PinPointsOutput, run_pinpoints
 from repro.stats.compare import weighted_average, weighted_mix
+from repro.telemetry.recorder import count as telemetry_count
+from repro.telemetry.recorder import span
 from repro.workloads.spec2017 import benchmark_names
 
 #: Cache levels reported throughout the evaluation.
@@ -175,6 +177,7 @@ def measure_whole(
     """
     key = _metrics_key(out, config)
     if key in _WHOLE_CACHE:
+        telemetry_count("memtier.hit", kind="whole")
         metrics = _WHOLE_CACHE[key]
         _store_put_metrics("whole", key, metrics)
         return metrics
@@ -182,9 +185,11 @@ def measure_whole(
     if stored is not None:
         _WHOLE_CACHE[key] = stored
         return stored
+    telemetry_count("memtier.miss", kind="whole")
     cache = AllCache(config)
     mix = LdStMix()
-    out.replayer().replay(out.whole, [cache, mix])
+    with span("cache.replay", run="whole", benchmark=out.benchmark):
+        out.replayer().replay(out.whole, [cache, mix])
     stats = cache.stats()
     metrics = RunMetrics(
         instructions=mix.total_instructions,
@@ -218,6 +223,7 @@ def measure_points(
         ),
     )
     if key in _POINTS_CACHE:
+        telemetry_count("memtier.hit", kind="points")
         metrics = _POINTS_CACHE[key]
         _store_put_metrics("points", key, metrics)
         return metrics
@@ -225,20 +231,28 @@ def measure_points(
     if stored is not None:
         _POINTS_CACHE[key] = stored
         return stored
+    telemetry_count("memtier.miss", kind="points")
     replayer = out.replayer()
     mixes, weights, instructions, l3_accesses = [], [], 0, 0
     rates: Dict[str, List[float]] = {lv: [] for lv in LEVELS}
-    for pinball in pinballs:
-        cache = AllCache(config)
-        mix = LdStMix()
-        replayer.replay(pinball, [cache, mix], with_warmup=with_warmup)
-        stats = cache.stats()
-        for lv in LEVELS:
-            rates[lv].append(stats[lv].miss_rate)
-        mixes.append(mix.fractions())
-        weights.append(pinball.weight)
-        instructions += mix.total_instructions
-        l3_accesses += stats["L3"].accesses
+    with span(
+        "cache.replay",
+        run="points",
+        benchmark=out.benchmark,
+        points=len(pinballs),
+        warmup=with_warmup,
+    ):
+        for pinball in pinballs:
+            cache = AllCache(config)
+            mix = LdStMix()
+            replayer.replay(pinball, [cache, mix], with_warmup=with_warmup)
+            stats = cache.stats()
+            for lv in LEVELS:
+                rates[lv].append(stats[lv].miss_rate)
+            mixes.append(mix.fractions())
+            weights.append(pinball.weight)
+            instructions += mix.total_instructions
+            l3_accesses += stats["L3"].accesses
     metrics = RunMetrics(
         instructions=instructions,
         mix=weighted_mix(mixes, weights),
@@ -266,6 +280,7 @@ def pinpoints_for(benchmark: str, **kwargs) -> PinPointsOutput:
     key = (benchmark,) + tuple(sorted(kwargs.items()))
     params = {"benchmark": benchmark, "kwargs": dict(kwargs)}
     if key in _PINPOINTS_CACHE:
+        telemetry_count("memtier.hit", kind="pinpoints")
         out = _PINPOINTS_CACHE[key]
         _store_put_pinpoints(params, out)
         return out
@@ -277,6 +292,7 @@ def pinpoints_for(benchmark: str, **kwargs) -> PinPointsOutput:
         if stored is not None:
             _PINPOINTS_CACHE[key] = stored
             return stored
+    telemetry_count("memtier.miss", kind="pinpoints")
     out = run_pinpoints(benchmark, **kwargs)
     _PINPOINTS_CACHE[key] = out
     _store_put_pinpoints(params, out)
@@ -334,24 +350,25 @@ def measure_benchmark(
             raise ConfigError(
                 f"unknown run type {run!r}; expected one of {RUN_TYPES}"
             )
-    out = pinpoints_for(benchmark, **(pinpoints_kwargs or {}))
-    result: Dict[str, object] = {
-        "benchmark": out.benchmark,
-        "num_points": out.simpoints.num_points,
-        "num_points_90": len(out.reduced),
-    }
-    for run in runs:
-        if run == "whole":
-            result[run] = measure_whole(out, config)
-        elif run == "regional":
-            result[run] = measure_points(out, out.regional, config=config)
-        elif run == "reduced":
-            result[run] = measure_points(out, out.reduced, config=config)
-        else:
-            result[run] = measure_points(
-                out, out.regional, with_warmup=True, config=config
-            )
-    return result
+    with span("measure.benchmark", benchmark=benchmark, runs=len(runs)):
+        out = pinpoints_for(benchmark, **(pinpoints_kwargs or {}))
+        result: Dict[str, object] = {
+            "benchmark": out.benchmark,
+            "num_points": out.simpoints.num_points,
+            "num_points_90": len(out.reduced),
+        }
+        for run in runs:
+            if run == "whole":
+                result[run] = measure_whole(out, config)
+            elif run == "regional":
+                result[run] = measure_points(out, out.regional, config=config)
+            elif run == "reduced":
+                result[run] = measure_points(out, out.reduced, config=config)
+            else:
+                result[run] = measure_points(
+                    out, out.regional, with_warmup=True, config=config
+                )
+        return result
 
 
 def map_benchmarks(

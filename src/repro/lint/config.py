@@ -11,6 +11,7 @@ underscores interchangeable)::
     exclude = ["lint_fixtures", "*/_vendor/*"]  # path globs/substrings
     rep008-all-modules = false   # REP008 on every module, not just __init__
     rep010-allowed = ["repro/config.py"]      # modules that may own geometry
+    rep012-allowed = ["repro/telemetry/clock.py"]  # modules that may read clocks
 
     [tool.repro-lint.severity]
     REP002 = "warning"                        # error | warning | off
@@ -47,6 +48,7 @@ _KNOWN_KEYS = {
     "exclude",
     "rep008_all_modules",
     "rep010_allowed",
+    "rep012_allowed",
     "severity",
 }
 
@@ -69,6 +71,8 @@ class LintConfig:
     rep008_all_modules: bool = False
     #: Modules allowed to define cache-geometry literals (REP010).
     rep010_allowed: Tuple[str, ...] = ("repro/config.py",)
+    #: Modules allowed to read host clocks directly (REP012).
+    rep012_allowed: Tuple[str, ...] = ("repro/telemetry/clock.py",)
     #: Directory paths/baselines resolve against (pyproject's directory).
     root: Optional[Path] = None
 
@@ -153,6 +157,9 @@ def _parse_section(section: Mapping, root: Path) -> LintConfig:
         rep008_all_modules=bool(normalized.get("rep008_all_modules", False)),
         rep010_allowed=tuple(
             normalized.get("rep010_allowed", ("repro/config.py",))
+        ),
+        rep012_allowed=tuple(
+            normalized.get("rep012_allowed", ("repro/telemetry/clock.py",))
         ),
         root=root,
     )

@@ -1,4 +1,4 @@
-"""The simulation-correctness rule set (REP001–REP011).
+"""The simulation-correctness rule set (REP001–REP012).
 
 Every rule here guards a way a simulation codebase silently loses
 determinism or fidelity: hidden global RNG state, float round-trip
@@ -16,7 +16,10 @@ from typing import Iterator, Optional, Tuple
 
 from repro.lint.registry import rule
 
-__all__ = ["NUMPY_GLOBAL_RNG_FNS", "STDLIB_GLOBAL_RNG_FNS", "WALL_CLOCK_CALLS"]
+__all__ = [
+    "MONOTONIC_CLOCK_CALLS", "NUMPY_GLOBAL_RNG_FNS", "STDLIB_GLOBAL_RNG_FNS",
+    "WALL_CLOCK_CALLS",
+]
 
 Yield = Iterator[Tuple[ast.AST, str]]
 
@@ -529,3 +532,47 @@ def check_completion_order_reduction(ctx) -> Yield:
                         "futures in a list and take future.result() in "
                         "submission order instead"
                     )
+
+
+#: Monotonic/CPU clock reads that must route through the telemetry clock.
+MONOTONIC_CLOCK_CALLS = frozenset({
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+})
+
+#: Every host-clock read REP012 fences off (wall + monotonic families).
+_RAW_CLOCK_CALLS = WALL_CLOCK_CALLS | MONOTONIC_CLOCK_CALLS
+
+
+@rule(
+    "REP012",
+    "raw-clock",
+    hazard=(
+        "host-clock reads scattered through library code bypass the "
+        "telemetry clock module, so spans cannot be made deterministic "
+        "under a fake clock and timing concerns leak into simulation "
+        "logic; route all clock reads through repro.telemetry.clock."
+    ),
+)
+def check_raw_clock(ctx) -> Yield:
+    if _inside_test_path(ctx.rel_path):
+        return
+    allowed = ctx.config.rep012_allowed
+    if any(ctx.rel_path.endswith(suffix) for suffix in allowed):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        if name in _RAW_CLOCK_CALLS:
+            yield node, (
+                f"{name}() reads a host clock outside "
+                "repro.telemetry.clock; use monotonic_ns()/wall_time_s() "
+                "from the telemetry clock module instead"
+            )

@@ -16,6 +16,14 @@ functions and ``functools.partial`` over them, never closures.
 ``jobs`` semantics everywhere in this package: ``None``/``0`` means
 auto-detect (one worker per CPU core), ``1`` means run serially
 in-process (no pool, no pickling), ``N > 1`` means a pool of N workers.
+
+Telemetry: with a recorder active, each worker call runs under a fresh
+:class:`~repro.telemetry.recorder.TraceRecorder` whose snapshot ships
+back alongside the result and is merged into the parent recorder **in
+submission order** (worker events get ``tid = 1 + item index``), so
+traces and aggregated metrics are deterministic regardless of worker
+completion interleaving.  With telemetry disabled, the wrapper is not
+installed at all — results are the bare ``fn`` return values.
 """
 
 from __future__ import annotations
@@ -23,9 +31,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from repro.errors import ConfigError
+from repro.telemetry.recorder import (
+    TraceRecorder,
+    get_recorder,
+    set_recorder,
+    span,
+)
 
 __all__ = ["parallel_map", "resolve_jobs"]
 
@@ -54,6 +69,31 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
+@dataclass
+class _TracedResult:
+    """A worker's return value plus its telemetry snapshot."""
+
+    result: object
+    telemetry: dict
+
+
+def _traced_call(fn: Callable, item) -> _TracedResult:
+    """Run one item under a private worker recorder (pool-side wrapper).
+
+    Module-level (not a closure) so it pickles on spawn-only platforms.
+    The previous recorder — on fork, the parent's inherited copy — is
+    restored afterwards because pool workers are reused across tasks and
+    each task must capture only its own events.
+    """
+    worker_recorder = TraceRecorder()
+    previous = set_recorder(worker_recorder)
+    try:
+        result = fn(item)
+    finally:
+        set_recorder(previous)
+    return _TracedResult(result=result, telemetry=worker_recorder.snapshot())
+
+
 def parallel_map(
     fn: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
@@ -69,15 +109,40 @@ def parallel_map(
     """
     work = list(items)
     workers = resolve_jobs(jobs)
+    recorder = get_recorder()
     if workers <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
+        # Serial reference path: events flow straight into the active
+        # recorder (no wrapping), which is also what the merged parallel
+        # trace must aggregate to.
+        with span("parallel.map", items=len(work)):
+            if recorder is not None:
+                recorder.count("parallel.tasks", len(work))
+                recorder.gauge("parallel.workers", 1)
+            return [fn(item) for item in work]
     with ProcessPoolExecutor(
         max_workers=min(workers, len(work)), mp_context=_mp_context()
     ) as pool:
-        futures = [pool.submit(fn, item) for item in work]
-        try:
-            return [future.result() for future in futures]
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+        with span("parallel.map", items=len(work)):
+            if recorder is None:
+                futures = [pool.submit(fn, item) for item in work]
+            else:
+                recorder.count("parallel.tasks", len(work))
+                recorder.gauge(
+                    "parallel.workers", min(workers, len(work))
+                )
+                futures = [
+                    pool.submit(_traced_call, fn, item) for item in work
+                ]
+            try:
+                results: List[_ResultT] = []
+                for index, future in enumerate(futures):
+                    outcome = future.result()
+                    if recorder is not None:
+                        recorder.merge(outcome.telemetry, tid=index + 1)
+                        outcome = outcome.result
+                    results.append(outcome)
+                return results
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise

@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.errors import StoreError
+from repro.telemetry.recorder import get_recorder, span
 
 __all__ = [
     "ArtifactStore",
@@ -185,46 +186,70 @@ class ArtifactStore:
         """Whether an artifact for ``params`` exists (no payload read)."""
         return self.path_for(kind, self.key(kind, params), fmt).is_file()
 
+    @staticmethod
+    def _note_read(kind: str, hit: bool) -> None:
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count("store.hit" if hit else "store.miss", kind=kind)
+
     def get_json(self, kind: str, params):
         """Stored JSON payload for ``params``, or None (missing/corrupt)."""
         path = self.path_for(kind, self.key(kind, params), "json")
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            return None
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            self._discard(path)
-            return None
+        with span("store.get", kind=kind, fmt="json"):
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                self._note_read(kind, hit=False)
+                return None
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self._discard(path)
+                self._note_read(kind, hit=False)
+                return None
+        self._note_read(kind, hit=True)
+        return payload
 
     def get_pickle(self, kind: str, params):
         """Stored pickled object for ``params``, or None (missing/corrupt)."""
         path = self.path_for(kind, self.key(kind, params), "pickle")
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            return None
-        try:
-            return pickle.loads(raw)
-        except Exception:  # repro-lint: disable=REP006 -- unpickling corrupt bytes can raise nearly anything; the artifact is discarded and recomputed
-            self._discard(path)
-            return None
+        with span("store.get", kind=kind, fmt="pickle"):
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                self._note_read(kind, hit=False)
+                return None
+            try:
+                payload = pickle.loads(raw)
+            except Exception:  # repro-lint: disable=REP006 -- unpickling corrupt bytes can raise nearly anything; the artifact is discarded and recomputed
+                self._discard(path)
+                self._note_read(kind, hit=False)
+                return None
+        self._note_read(kind, hit=True)
+        return payload
 
     # -- writes --------------------------------------------------------
 
     def put_json(self, kind: str, params, payload) -> Path:
         """Persist a JSON payload; returns the artifact path."""
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
-        path = self.path_for(kind, self.key(kind, params), "json")
-        self._atomic_write(path, data)
+        with span("store.put", kind=kind, fmt="json"):
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            path = self.path_for(kind, self.key(kind, params), "json")
+            self._atomic_write(path, data)
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count("store.put", kind=kind)
         return path
 
     def put_pickle(self, kind: str, params, payload) -> Path:
         """Persist a pickled object; returns the artifact path."""
-        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        path = self.path_for(kind, self.key(kind, params), "pickle")
-        self._atomic_write(path, data)
+        with span("store.put", kind=kind, fmt="pickle"):
+            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            path = self.path_for(kind, self.key(kind, params), "pickle")
+            self._atomic_write(path, data)
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count("store.put", kind=kind)
         return path
 
     def _atomic_write(self, path: Path, data: bytes) -> None:

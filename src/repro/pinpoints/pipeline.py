@@ -23,6 +23,7 @@ from repro.simpoint.simpoints import (
     SimPointAnalysis,
     SimPointResult,
 )
+from repro.telemetry.recorder import get_recorder, span
 from repro.workloads.program import SyntheticProgram
 from repro.workloads.scaling import (
     DEFAULT_SLICE_INSTRUCTIONS,
@@ -84,26 +85,41 @@ def run_pinpoints(
         A :class:`PinPointsOutput` bundle.
     """
     descriptor = get_descriptor(benchmark)
-    if program is None:
-        from repro.workloads.spec2017 import build_program
+    with span("pinpoints.run", benchmark=descriptor.spec_id):
+        if program is None:
+            from repro.workloads.spec2017 import build_program
 
-        program = build_program(
-            descriptor.spec_id, slice_size=slice_size, total_slices=total_slices
-        )
-    if analysis is None:
-        analysis = SimPointAnalysis(max_k=max_k, seed=descriptor.seed)
+            program = build_program(
+                descriptor.spec_id,
+                slice_size=slice_size,
+                total_slices=total_slices,
+            )
+        if analysis is None:
+            analysis = SimPointAnalysis(max_k=max_k, seed=descriptor.seed)
 
-    logger = PinPlayLogger(descriptor.spec_id, program)
-    whole = logger.log_whole()
+        logger = PinPlayLogger(descriptor.spec_id, program)
+        with span("pinpoints.log_whole", benchmark=descriptor.spec_id):
+            whole = logger.log_whole()
 
-    profiler = BBVProfiler(program.block_sizes)
-    Engine([profiler]).run(whole.replay_slices(program))
-    result = analysis.analyze(profiler.matrix(), profiler.slice_indices())
+        profiler = BBVProfiler(program.block_sizes)
+        with span("pinpoints.bbv", benchmark=descriptor.spec_id):
+            Engine([profiler]).run(whole.replay_slices(program))
+        with span("pinpoints.simpoint", benchmark=descriptor.spec_id):
+            result = analysis.analyze(
+                profiler.matrix(), profiler.slice_indices()
+            )
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count("pinpoints.slices", program.num_slices)
+            recorder.observe("simpoint.points", result.num_points)
 
-    regional = logger.log_regions(result.points, warmup_slices=warmup_slices)
-    reduced_points = reduce_to_percentile(result.points, percentile)
-    reduced_indices = {p.slice_index for p in reduced_points}
-    reduced = [rp for rp in regional if rp.region_start in reduced_indices]
+        with span("pinpoints.regions", benchmark=descriptor.spec_id):
+            regional = logger.log_regions(
+                result.points, warmup_slices=warmup_slices
+            )
+        reduced_points = reduce_to_percentile(result.points, percentile)
+        reduced_indices = {p.slice_index for p in reduced_points}
+        reduced = [rp for rp in regional if rp.region_start in reduced_indices]
 
     return PinPointsOutput(
         benchmark=descriptor.spec_id,

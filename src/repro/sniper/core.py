@@ -19,6 +19,7 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.config import SNIPER_SIM, SystemConfig
 from repro.errors import SimulationError
 from repro.isa.trace import SliceTrace
+from repro.telemetry.recorder import get_recorder, span
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,19 @@ class SniperSimulator:
         Returns:
             Aggregated :class:`RegionTiming` for the measured slices.
         """
+        with span("sniper.region"):
+            timing = self._run_region(slices, warmup)
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count("sniper.instructions", timing.instructions)
+            recorder.count("sniper.regions", 1)
+        return timing
+
+    def _run_region(
+        self,
+        slices: Iterable[SliceTrace],
+        warmup: Iterable[SliceTrace],
+    ) -> RegionTiming:
         hierarchy = CacheHierarchy(self.system.caches)
 
         hierarchy.set_recording(False)

@@ -1,0 +1,63 @@
+"""Structured tracing & metrics for the whole sampling pipeline.
+
+Four pieces (see DESIGN.md §9 for the architecture and event schema):
+
+* :mod:`repro.telemetry.clock` — the only module allowed to read host
+  clocks (lint rule REP012 enforces the containment).
+* :mod:`repro.telemetry.recorder` — hierarchical spans with tags, the
+  module-level active-recorder slot (``None`` → every instrumentation
+  point is a near-free no-op), and deterministic worker→parent merge.
+* :mod:`repro.telemetry.metrics` — counters / gauges / histogram
+  summaries with associative merge semantics.
+* :mod:`repro.telemetry.exporters` — JSONL event logs, Chrome
+  trace-event JSON, and per-run summary manifests.
+
+Quickstart::
+
+    from repro import telemetry
+
+    with telemetry.using_recorder(telemetry.TraceRecorder()) as rec:
+        run_fig7(jobs=4)                       # instrumented end-to-end
+        telemetry.write_chrome_trace("run.trace.json", rec)
+
+or, from the CLI: ``repro-spec2017 trace fig7 --trace-out run.trace.json``
+then ``repro-spec2017 trace view run.trace.json``.
+"""
+
+from repro.telemetry.clock import FakeClock, monotonic_ns, wall_time_s
+from repro.telemetry.exporters import (
+    SUMMARY_SCHEMA,
+    chrome_trace,
+    jsonl_lines,
+    render_summary,
+    summarize,
+    summarize_payload,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary,
+)
+from repro.telemetry.metrics import HistogramSummary, MetricsRegistry, metric_key
+from repro.telemetry.recorder import (
+    TraceRecorder,
+    count,
+    gauge,
+    get_recorder,
+    observe,
+    set_recorder,
+    span,
+    using_recorder,
+)
+
+__all__ = [
+    # clock
+    "FakeClock", "monotonic_ns", "wall_time_s",
+    # recorder
+    "TraceRecorder", "count", "gauge", "get_recorder", "observe",
+    "set_recorder", "span", "using_recorder",
+    # metrics
+    "HistogramSummary", "MetricsRegistry", "metric_key",
+    # exporters
+    "SUMMARY_SCHEMA", "chrome_trace", "jsonl_lines", "render_summary",
+    "summarize", "summarize_payload", "write_chrome_trace", "write_jsonl",
+    "write_summary",
+]

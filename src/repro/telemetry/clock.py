@@ -1,0 +1,52 @@
+"""The only module in ``repro`` allowed to read host clocks.
+
+Every other module routes timing through the telemetry recorder (which
+takes its clock from here) so that lint rule REP012 can enforce a single
+containment point: raw clock reads scattered through simulation code are
+a nondeterminism hazard, both for results (wall time leaking into
+artifacts) and for caching (timestamps breaking content addresses).
+
+:func:`monotonic_ns` is the span clock — monotonic, comparable across
+forked worker processes on platforms where ``perf_counter`` is backed by
+``CLOCK_MONOTONIC`` (Linux), and never used for anything but telemetry
+durations.  :func:`wall_time_s` exists solely to stamp run manifests;
+simulation code must never call it.
+
+:class:`FakeClock` is the deterministic stand-in tests inject into
+:class:`~repro.telemetry.recorder.TraceRecorder` so exporter output can
+be compared against golden files.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["FakeClock", "monotonic_ns", "wall_time_s"]
+
+
+def monotonic_ns() -> int:
+    """Current monotonic time in nanoseconds (the span clock)."""
+    return time.perf_counter_ns()
+
+
+def wall_time_s() -> float:
+    """Wall-clock seconds since the epoch, for run-manifest stamps only."""
+    return time.time()  # repro-lint: disable=REP004 -- manifest metadata, never feeds simulated results
+
+
+class FakeClock:
+    """Deterministic clock: advances a fixed step on every read.
+
+    Args:
+        start_ns: First value returned.
+        step_ns: Increment applied after each read.
+    """
+
+    def __init__(self, start_ns: int = 0, step_ns: int = 1000) -> None:
+        self._now = int(start_ns)
+        self._step = int(step_ns)
+
+    def __call__(self) -> int:
+        now = self._now
+        self._now += self._step
+        return now

@@ -1,0 +1,260 @@
+"""Exporters: JSONL event log, Chrome trace-event JSON, run summaries.
+
+Three views of one recorder, all deterministic given a deterministic
+clock (tests inject :class:`~repro.telemetry.clock.FakeClock` and diff
+against golden payloads):
+
+* :func:`jsonl_lines` / :func:`write_jsonl` — one JSON object per line:
+  every span event in close order, then every metric sorted by key.
+  This is the append-friendly archival format.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``chrome://tracing`` / Perfetto): complete
+  (``"ph": "X"``) events with microsecond timestamps rebased to the
+  earliest span, thread-name metadata rows per merged worker, and the
+  run summary embedded under ``otherData`` (ignored by viewers, read
+  back by ``trace view``).
+* :func:`summarize` / :func:`render_summary` — a per-run manifest:
+  span durations aggregated by name, plus all counters, gauges, and
+  histogram summaries.
+
+:func:`summarize_payload` accepts either file format back, which is what
+``repro-spec2017 trace view`` runs on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ConfigError
+from repro.telemetry.recorder import MAIN_TID, TraceRecorder
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "chrome_trace",
+    "jsonl_lines",
+    "render_summary",
+    "summarize",
+    "summarize_payload",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_summary",
+]
+
+#: Schema tag stamped into summary manifests.
+SUMMARY_SCHEMA = "repro-trace-summary-v1"
+
+
+def _tids(recorder: TraceRecorder) -> List[int]:
+    return sorted({int(event["tid"]) for event in recorder.events})
+
+
+def jsonl_lines(recorder: TraceRecorder) -> List[str]:
+    """Serialize a recorder as JSONL: span events, then sorted metrics."""
+    lines = []
+    for event in recorder.events:
+        lines.append(json.dumps({"type": "span", **event}, sort_keys=True))
+    snapshot = recorder.metrics.snapshot()
+    for family in ("counters", "gauges"):
+        for key in sorted(snapshot[family]):
+            lines.append(
+                json.dumps(
+                    {
+                        "type": family[:-1],
+                        "name": key,
+                        "value": snapshot[family][key],
+                    },
+                    sort_keys=True,
+                )
+            )
+    for key in sorted(snapshot["histograms"]):
+        lines.append(
+            json.dumps(
+                {"type": "histogram", "name": key,
+                 **snapshot["histograms"][key]},
+                sort_keys=True,
+            )
+        )
+    return lines
+
+
+def write_jsonl(path, recorder: TraceRecorder) -> Path:
+    """Write the JSONL event log; returns the path."""
+    path = Path(path)
+    path.write_text("\n".join(jsonl_lines(recorder)) + "\n", encoding="utf-8")
+    return path
+
+
+def chrome_trace(
+    recorder: TraceRecorder, summary: Optional[Mapping] = None
+) -> dict:
+    """Build a Chrome trace-event document from a recorder.
+
+    Timestamps are rebased to the earliest span start so traces open at
+    t=0; tid 0 is the driving process, tid N (>0) the worker that ran
+    submitted item N-1.
+    """
+    t0 = min((int(e["ts"]) for e in recorder.events), default=0)
+    events: List[dict] = []
+    for tid in _tids(recorder):
+        name = "main" if tid == MAIN_TID else f"worker-{tid}"
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for event in recorder.events:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": int(event["tid"]),
+                "name": event["name"],
+                "ts": (int(event["ts"]) - t0) / 1000.0,
+                "dur": int(event["dur"]) / 1000.0,
+                "args": {
+                    **event["args"],
+                    "depth": event["depth"],
+                    "seq": event["seq"],
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "summary": dict(summary) if summary is not None
+            else summarize(recorder),
+        },
+    }
+
+
+def write_chrome_trace(
+    path, recorder: TraceRecorder, summary: Optional[Mapping] = None
+) -> Path:
+    """Write a ``chrome://tracing``-loadable trace file; returns the path."""
+    path = Path(path)
+    document = chrome_trace(recorder, summary=summary)
+    path.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def summarize(
+    recorder: TraceRecorder, wall_time_s: Optional[float] = None
+) -> dict:
+    """Aggregate a recorder into the per-run summary manifest."""
+    spans: Dict[str, Dict[str, float]] = {}
+    for event in recorder.events:
+        entry = spans.setdefault(
+            str(event["name"]), {"count": 0, "total_ns": 0, "max_ns": 0}
+        )
+        dur = int(event["dur"])
+        entry["count"] += 1
+        entry["total_ns"] += dur
+        entry["max_ns"] = max(entry["max_ns"], dur)
+    manifest = {
+        "schema": SUMMARY_SCHEMA,
+        "events": len(recorder.events),
+        "tids": _tids(recorder),
+        "spans": {name: spans[name] for name in sorted(spans)},
+        **recorder.metrics.snapshot(),
+    }
+    if wall_time_s is not None:
+        manifest["wall_time_unix"] = wall_time_s
+    return manifest
+
+
+def write_summary(path, manifest: Mapping) -> Path:
+    """Write a summary manifest as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def summarize_payload(payload: Mapping) -> dict:
+    """Summary manifest from either file format (``trace view``).
+
+    Accepts a summary manifest (returned as-is), or a Chrome trace
+    document (the embedded summary is preferred; span aggregates are
+    rebuilt from ``traceEvents`` for foreign traces without one).
+    """
+    if payload.get("schema") == SUMMARY_SCHEMA:
+        return dict(payload)
+    if "traceEvents" in payload:
+        embedded = payload.get("otherData", {}).get("summary")
+        if isinstance(embedded, Mapping) and embedded.get("schema") == SUMMARY_SCHEMA:
+            return dict(embedded)
+        spans: Dict[str, Dict[str, float]] = {}
+        tids = set()
+        complete = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        for event in complete:
+            tids.add(int(event.get("tid", 0)))
+            entry = spans.setdefault(
+                str(event["name"]), {"count": 0, "total_ns": 0, "max_ns": 0}
+            )
+            dur = float(event.get("dur", 0.0)) * 1000.0
+            entry["count"] += 1
+            entry["total_ns"] += dur
+            entry["max_ns"] = max(entry["max_ns"], dur)
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "events": len(complete),
+            "tids": sorted(tids),
+            "spans": {name: spans[name] for name in sorted(spans)},
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+    raise ConfigError(
+        "unrecognized trace payload: expected a summary manifest "
+        f"({SUMMARY_SCHEMA!r}) or a Chrome trace-event document"
+    )
+
+
+def render_summary(manifest: Mapping) -> str:
+    """Human-readable rendering of a summary manifest."""
+    lines = [f"telemetry summary ({manifest.get('events', 0)} span events, "
+             f"{len(manifest.get('tids', []))} thread(s))"]
+    spans = manifest.get("spans", {})
+    if spans:
+        lines.append("spans:")
+        width = max(len(name) for name in spans)
+        for name in sorted(spans):
+            entry = spans[name]
+            lines.append(
+                f"  {name:{width}s}  x{entry['count']:<6d} "
+                f"total {entry['total_ns'] / 1e6:10.3f} ms  "
+                f"max {entry['max_ns'] / 1e6:10.3f} ms"
+            )
+    counters = manifest.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:{width}s}  {counters[name]}")
+    gauges = manifest.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:{width}s}  {gauges[name]:g}")
+    histograms = manifest.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name:{width}s}  n={h['count']} mean={mean:g} "
+                f"min={h['min']:g} max={h['max']:g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""The metrics half of the telemetry subsystem.
+
+Three metric families, all keyed by a name plus optional tags:
+
+* **counters** — monotonically increasing integers (store hits/misses,
+  cache accesses, pool tasks).  Merging is addition, so the aggregate
+  over any partition of the work is independent of how the work was
+  partitioned — the property the worker→parent merge test pins down.
+* **gauges** — last-written floats (worker counts, chosen k).  Merging
+  is last-write-wins in submission order, which is deterministic.
+* **histograms** — compact summaries (count/total/min/max) of observed
+  values.  Full sample lists are deliberately not kept: summaries merge
+  associatively and keep worker payloads small.
+
+Tags are folded into the key deterministically (sorted, rendered as
+``name{k=v,...}``), so two processes recording the same logical metric
+always produce the same key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["HistogramSummary", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(name: str, tags: Optional[Mapping[str, object]] = None) -> str:
+    """Canonical registry key for a metric name plus tags.
+
+    Tags are sorted by tag name so the key never depends on call-site
+    keyword order: ``metric_key("hits", {"kind": "json"})`` ==
+    ``"hits{kind=json}"``.
+    """
+    if not name:
+        raise ConfigError("metric name must be non-empty")
+    if not tags:
+        return name
+    rendered = ",".join(f"{k}={tags[k]}" for k in sorted(tags))
+    return f"{name}{{{rendered}}}"
+
+
+@dataclass
+class HistogramSummary:
+    """Associatively mergeable summary of an observed-value stream."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def merge(self, other: "HistogramSummary") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HistogramSummary":
+        return cls(
+            count=int(payload["count"]),
+            total=float(payload["total"]),
+            minimum=float(payload["min"]),
+            maximum=float(payload["max"]),
+        )
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histogram summaries for one recorder."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramSummary] = {}
+
+    def count(self, name: str, n: int = 1, **tags) -> None:
+        """Add ``n`` to a counter (created at zero on first use)."""
+        key = metric_key(name, tags)
+        self.counters[key] = self.counters.get(key, 0) + int(n)
+
+    def gauge(self, name: str, value: float, **tags) -> None:
+        """Set a gauge to ``value`` (last write wins)."""
+        self.gauges[metric_key(name, tags)] = float(value)
+
+    def observe(self, name: str, value: float, **tags) -> None:
+        """Record one observation into a histogram summary."""
+        key = metric_key(name, tags)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = HistogramSummary()
+        hist.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters add, gauges overwrite)."""
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(other.gauges)
+        for key, hist in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = HistogramSummary(
+                    hist.count, hist.total, hist.minimum, hist.maximum
+                )
+            else:
+                mine.merge(hist)
+
+    def snapshot(self) -> dict:
+        """Plain-data (picklable, JSON-able) copy of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                key: hist.to_dict()
+                for key, hist in self.histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, payload: Mapping) -> None:
+        """Fold a :meth:`snapshot` payload in (the cross-process path)."""
+        for key, value in payload.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + int(value)
+        for key, value in payload.get("gauges", {}).items():
+            self.gauges[key] = float(value)
+        for key, raw in payload.get("histograms", {}).items():
+            incoming = HistogramSummary.from_dict(raw)
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = incoming
+            else:
+                mine.merge(incoming)

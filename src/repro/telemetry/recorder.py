@@ -1,0 +1,227 @@
+"""Hierarchical spans, the active-recorder slot, and cross-process merge.
+
+Telemetry is **off by default**: the module-level recorder slot holds
+``None``, the :func:`span` fast path returns one shared no-op context
+manager, and the :func:`count`/:func:`gauge`/:func:`observe` helpers
+return after a single global load — instrumented hot paths (cache
+batches, store lookups) pay one ``is None`` check when disabled.
+
+When a :class:`TraceRecorder` is installed (``repro-spec2017 trace``,
+the bench harness, tests), spans capture monotonic start/duration with
+parent/child nesting and tags, and metrics accumulate in a
+:class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+Cross-process aggregation: :func:`repro.parallel.pool.parallel_map`
+wraps worker calls so each forked worker records into a private
+recorder whose :meth:`~TraceRecorder.snapshot` ships back with the
+result; the parent folds snapshots in **submission order** via
+:meth:`~TraceRecorder.merge`, tagging each worker's events with a
+deterministic ``tid`` (1 + item index).  Counters merge additively, so
+the aggregate is identical for any job count — the property the
+telemetry test suite pins against a serial run.
+
+Telemetry never feeds simulated results: recorders are a side channel,
+results dicts are never extended, and the parallel/serial byte-identity
+tests run with tracing enabled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.telemetry.clock import monotonic_ns
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "TraceRecorder",
+    "count",
+    "gauge",
+    "get_recorder",
+    "observe",
+    "set_recorder",
+    "span",
+    "using_recorder",
+]
+
+#: tid assigned to events recorded in the driving process.
+MAIN_TID = 0
+
+
+class _Span:
+    """One active span; records an event dict on exit."""
+
+    __slots__ = ("_recorder", "name", "tags", "_start_ns")
+
+    def __init__(self, recorder: "TraceRecorder", name: str, tags: dict) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.tags = tags
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = self._recorder._enter_span()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder._exit_span(self)
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class TraceRecorder:
+    """Collects span events and metrics for one run (or one worker task).
+
+    Args:
+        clock: Nanosecond clock used for span timestamps; defaults to the
+            telemetry monotonic clock.  Tests inject a
+            :class:`~repro.telemetry.clock.FakeClock` so exported traces
+            are byte-stable.
+
+    Attributes:
+        events: Completed span events, in close order.  Each event is a
+            plain dict — ``name``, ``ts`` (ns), ``dur`` (ns), ``tid``,
+            ``depth``, ``seq``, ``args`` — so snapshots pickle cheaply
+            and exporters need no further conversion.
+        metrics: The run's :class:`MetricsRegistry`.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock if clock is not None else monotonic_ns
+        self.events: List[Dict[str, object]] = []
+        self.metrics = MetricsRegistry()
+        self._depth = 0
+        self._seq = 0
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str, **tags) -> _Span:
+        """Context manager timing a named, tagged region of work."""
+        return _Span(self, name, tags)
+
+    def _enter_span(self) -> int:
+        self._depth += 1
+        return self.clock()
+
+    def _exit_span(self, span: _Span) -> None:
+        end = self.clock()
+        self._depth -= 1
+        self.events.append(
+            {
+                "name": span.name,
+                "ts": span._start_ns,
+                "dur": end - span._start_ns,
+                "tid": MAIN_TID,
+                "depth": self._depth,
+                "seq": self._seq,
+                "args": span.tags,
+            }
+        )
+        self._seq += 1
+
+    # -- metrics -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1, **tags) -> None:
+        self.metrics.count(name, n, **tags)
+
+    def gauge(self, name: str, value: float, **tags) -> None:
+        self.metrics.gauge(name, value, **tags)
+
+    def observe(self, name: str, value: float, **tags) -> None:
+        self.metrics.observe(name, value, **tags)
+
+    # -- cross-process shipping ----------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of all events and metrics (worker payload)."""
+        return {
+            "events": [dict(event) for event in self.events],
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def merge(self, payload: Mapping, tid: int) -> None:
+        """Fold a worker :meth:`snapshot` in, tagging its events ``tid``.
+
+        Called in submission order by the pool, so merged output is
+        deterministic regardless of worker completion interleaving.
+        """
+        for event in payload.get("events", ()):
+            merged = dict(event)
+            merged["tid"] = tid
+            self.events.append(merged)
+        self.metrics.merge_snapshot(payload.get("metrics", {}))
+
+    def span_names(self) -> List[str]:
+        """Distinct recorded span names, sorted (test/summary helper)."""
+        return sorted({str(event["name"]) for event in self.events})
+
+
+#: The active recorder, or None when telemetry is disabled.
+_RECORDER: Optional[TraceRecorder] = None
+
+
+def get_recorder() -> Optional[TraceRecorder]:
+    """The active recorder, or None (telemetry disabled)."""
+    return _RECORDER
+
+
+def set_recorder(
+    recorder: Optional[TraceRecorder],
+) -> Optional[TraceRecorder]:
+    """Install (or, with None, disable) the recorder; returns the old one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def using_recorder(recorder: Optional[TraceRecorder]) -> Iterator:
+    """Scope ``recorder`` as the active one, restoring the previous."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def span(name: str, **tags):
+    """A span on the active recorder, or a shared no-op when disabled."""
+    recorder = _RECORDER
+    if recorder is None:
+        return _NOOP_SPAN
+    return recorder.span(name, **tags)
+
+
+def count(name: str, n: int = 1, **tags) -> None:
+    """Increment a counter on the active recorder (no-op when disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.count(name, n, **tags)
+
+
+def gauge(name: str, value: float, **tags) -> None:
+    """Set a gauge on the active recorder (no-op when disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.gauge(name, value, **tags)
+
+
+def observe(name: str, value: float, **tags) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.observe(name, value, **tags)

@@ -25,10 +25,13 @@ def _hermetic_store(tmp_path, monkeypatch):
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-store"))
     from repro.experiments.common import get_store, set_store
+    from repro.telemetry.recorder import set_recorder
 
     previous = get_store()
+    previous_recorder = set_recorder(None)
     yield
     set_store(previous)
+    set_recorder(previous_recorder)
 
 
 def make_phase(phase_id: int, weight: float = 0.5, **overrides) -> PhaseSpec:

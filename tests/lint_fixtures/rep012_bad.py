@@ -1,0 +1,21 @@
+"""REP012 fixtures: raw host-clock reads outside the telemetry clock."""
+
+import time
+from time import perf_counter_ns as ticks
+
+
+def time_a_stage():
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def aliased_monotonic():
+    return ticks(), time.monotonic_ns()
+
+
+def cpu_clocks():
+    return time.process_time(), time.thread_time_ns()
+
+
+def wall_clock_is_also_raw():
+    return time.time()

@@ -1,0 +1,17 @@
+"""REP012 fixtures: clock reads routed through repro.telemetry.clock."""
+
+from repro.telemetry.clock import monotonic_ns, wall_time_s
+
+
+def time_a_stage():
+    start = monotonic_ns()
+    return monotonic_ns() - start
+
+
+def stamp_manifest():
+    return {"wall_time_unix": wall_time_s()}
+
+
+def modeled_time(cycles: int, frequency_ghz: float) -> float:
+    # Simulated time comes from the timing model, never a host clock.
+    return cycles / (frequency_ghz * 1e9)

@@ -1,7 +1,10 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import main
 
 
@@ -41,3 +44,83 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro-spec2017 {repro.__version__}"
+
+    def test_version_matches_package_metadata(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+@pytest.mark.slow
+class TestTraceCli:
+    ARGS = ["trace", "fig10", "--benchmarks", "620.omnetpp_s", "557.xz_r",
+            "--jobs", "2"]
+
+    def test_trace_writes_all_three_exports(self, tmp_path, capsys):
+        from repro.experiments.common import clear_pinpoints_cache
+
+        clear_pinpoints_cache()  # cold memory tier: workers run pipelines
+        trace_path = tmp_path / "run.trace.json"
+        events_path = tmp_path / "run.events.jsonl"
+        summary_path = tmp_path / "run.summary.json"
+        assert main(self.ARGS + [
+            "--trace-out", str(trace_path),
+            "--events-out", str(events_path),
+            "--summary-out", str(summary_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+
+        trace = json.loads(trace_path.read_text())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        # Spans from the pipeline, store, and cache layers, per-worker.
+        for prefix in ("pinpoints.", "store.", "cache."):
+            assert any(n.startswith(prefix) for n in names), prefix
+        assert any(e["tid"] > 0 for e in complete)
+        threads = {e["args"]["name"] for e in trace["traceEvents"]
+                   if e["ph"] == "M"}
+        assert {"main", "worker-1", "worker-2"} <= threads
+
+        first = json.loads(events_path.read_text().splitlines()[0])
+        assert first["type"] == "span"
+        summary = json.loads(summary_path.read_text())
+        assert summary["schema"] == "repro-trace-summary-v1"
+        assert summary["counters"]["parallel.tasks"] == 2
+
+    #: Single-benchmark serial variant for the cheaper checks.
+    QUICK_ARGS = ["trace", "fig10", "--benchmarks", "620.omnetpp_s",
+                  "--jobs", "1"]
+
+    def test_trace_view_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        assert main(self.QUICK_ARGS + ["--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "view", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        # cache.replay always runs (RunMetrics are store-keyed, but this
+        # process's memory tier starts cold for metrics of this run).
+        assert "cache.replay" in out
+        assert "measure.benchmark" in out
+
+    def test_trace_view_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "view", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_benchmark(self, capsys):
+        assert main(["trace", "fig10", "--benchmarks", "999.bogus"]) == 2
+        assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_trace_leaves_no_recorder_installed(self, tmp_path):
+        from repro.telemetry import get_recorder
+
+        assert main(self.QUICK_ARGS + ["--trace-out",
+                                       str(tmp_path / "t.json")]) == 0
+        assert get_recorder() is None

@@ -178,6 +178,7 @@ class TestConfig:
             "disable = [\"REP008\"]\n"
             "exclude = [\"vendored\"]\n"
             "rep008-all-modules = true\n"
+            "rep012-allowed = [\"repro/clockproxy.py\"]\n"
             "[tool.repro-lint.severity]\n"
             "REP002 = \"warning\"\n",
             encoding="utf-8",
@@ -188,6 +189,7 @@ class TestConfig:
         assert config.disable == frozenset({"REP008"})
         assert config.exclude == ("vendored",)
         assert config.rep008_all_modules is True
+        assert config.rep012_allowed == ("repro/clockproxy.py",)
         assert config.severity["REP002"] is Severity.WARNING
         assert config.root == tmp_path
 
@@ -302,7 +304,7 @@ class TestCli:
         out = capsys.readouterr().out
         for spec in all_rules():
             assert spec.id in out
-        assert len(all_rules()) == 11
+        assert len(all_rules()) == 12
 
     def test_main_cli_forwards_lint(self, capsys):
         from repro.cli import main as repro_main

@@ -42,6 +42,7 @@ CASES = [
     ("REP009", "rep009_bad.py", 2, "rep009_good.py"),
     ("REP010", "rep010_bad.py", 3, "rep010_good.py"),
     ("REP011", "rep011_bad.py", 4, "rep011_good.py"),
+    ("REP012", "rep012_bad.py", 7, "rep012_good.py"),
 ]
 
 
@@ -98,6 +99,20 @@ class TestRuleDetails:
             "REP010", "rep010_bad.py", rep010_allowed=("rep010_bad.py",)
         )
         assert findings == []
+
+    def test_rep012_respects_allowed_modules(self):
+        findings = run_rule(
+            "REP012", "rep012_bad.py", rep012_allowed=("rep012_bad.py",)
+        )
+        assert findings == []
+
+    def test_rep012_covers_both_clock_families(self):
+        messages = " ".join(
+            f.message for f in run_rule("REP012", "rep012_bad.py")
+        )
+        assert "time.perf_counter" in messages
+        assert "time.time" in messages
+        assert "repro.telemetry.clock" in messages
 
     def test_rep010_names_literal_kwargs(self):
         findings = run_rule("REP010", "rep010_bad.py")

@@ -1,0 +1,382 @@
+"""Telemetry subsystem: spans, metrics, worker merge, exporters, no-op mode.
+
+The two load-bearing contracts:
+
+* **Determinism** — with a :class:`FakeClock`, every exporter's output is
+  byte-stable, and the worker→parent merge aggregates to the same
+  metrics for any job count (partition independence).
+* **Isolation** — telemetry never perturbs results: disabled, the
+  instrumented paths are shared no-ops and the pool ships raw results;
+  enabled, result dicts gain no keys and rendered experiment output is
+  byte-identical to an untraced run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigError
+from repro.experiments.common import clear_pinpoints_cache, measure_benchmark
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.parallel import parallel_map
+from repro.telemetry import (
+    SUMMARY_SCHEMA,
+    FakeClock,
+    HistogramSummary,
+    MetricsRegistry,
+    TraceRecorder,
+    chrome_trace,
+    jsonl_lines,
+    metric_key,
+    render_summary,
+    summarize,
+    summarize_payload,
+    using_recorder,
+)
+from repro.telemetry.recorder import MAIN_TID, get_recorder
+
+from conftest import QUICK
+
+
+def _traced_square(n: int) -> int:
+    """Pool worker that records spans and every metric family."""
+    with telemetry.span("task.unit", n=n):
+        telemetry.count("task.calls")
+        telemetry.count("task.value", n)
+        telemetry.observe("task.size", n)
+    return n * n
+
+
+class TestClock:
+    def test_fake_clock_is_deterministic(self):
+        clock = FakeClock(start_ns=10, step_ns=5)
+        assert [clock(), clock(), clock()] == [10, 15, 20]
+        assert [FakeClock()(), FakeClock()()] == [0, 0]
+
+    def test_monotonic_ns_advances(self):
+        first = telemetry.monotonic_ns()
+        assert telemetry.monotonic_ns() >= first
+
+
+class TestMetricKey:
+    def test_tags_render_sorted(self):
+        assert metric_key("hits", {"kind": "json", "b": 1}) == "hits{b=1,kind=json}"
+        assert metric_key("hits", {"b": 1, "kind": "json"}) == "hits{b=1,kind=json}"
+
+    def test_no_tags_is_bare_name(self):
+        assert metric_key("hits") == "hits"
+        assert metric_key("hits", {}) == "hits"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            metric_key("")
+
+
+class TestMetricsRegistry:
+    def test_families_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("hits", 2, kind="json")
+        reg.count("hits", 3, kind="json")
+        reg.gauge("workers", 1)
+        reg.gauge("workers", 4)
+        reg.observe("points", 3.0)
+        reg.observe("points", 25.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits{kind=json}": 5}
+        assert snap["gauges"] == {"workers": 4.0}
+        assert snap["histograms"] == {
+            "points": {"count": 2, "total": 28.0, "min": 3.0, "max": 25.0}
+        }
+
+    def test_merge_is_partition_independent(self):
+        ops = [("a", 2), ("b", 5), ("a", 1), ("b", 7), ("a", 4)]
+        whole = MetricsRegistry()
+        for name, n in ops:
+            whole.count(name, n)
+            whole.observe("sizes", n)
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for part, chunk in ((left, ops[:2]), (right, ops[2:])):
+            for name, n in chunk:
+                part.count(name, n)
+                part.observe("sizes", n)
+        merged = MetricsRegistry()
+        merged.merge(left)
+        merged.merge(right)
+        assert merged.snapshot() == whole.snapshot()
+
+    def test_snapshot_merge_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.count("hits", 3)
+        reg.gauge("k", 25)
+        reg.observe("points", 7.0)
+        clone = MetricsRegistry()
+        clone.merge_snapshot(json.loads(json.dumps(reg.snapshot())))
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_histogram_summary_merge(self):
+        a, b = HistogramSummary(), HistogramSummary()
+        a.observe(1.0)
+        a.observe(9.0)
+        b.observe(4.0)
+        a.merge(b)
+        assert a.to_dict() == {"count": 3, "total": 14.0, "min": 1.0, "max": 9.0}
+        assert HistogramSummary.from_dict(a.to_dict()) == a
+
+
+class TestSpans:
+    def test_nesting_depth_and_close_order(self):
+        rec = TraceRecorder(clock=FakeClock(start_ns=1000, step_ns=1000))
+        with rec.span("outer", kind="demo"):
+            with rec.span("inner"):
+                pass
+            with rec.span("sibling"):
+                pass
+        assert [e["name"] for e in rec.events] == ["inner", "sibling", "outer"]
+        assert [e["depth"] for e in rec.events] == [1, 1, 0]
+        assert [e["seq"] for e in rec.events] == [0, 1, 2]
+        assert all(e["tid"] == MAIN_TID for e in rec.events)
+        inner, sibling, outer = rec.events
+        assert inner == {
+            "name": "inner", "ts": 2000, "dur": 1000, "tid": 0,
+            "depth": 1, "seq": 0, "args": {},
+        }
+        assert sibling["ts"] == 4000 and sibling["dur"] == 1000
+        assert outer["ts"] == 1000 and outer["dur"] == 5000
+        assert outer["args"] == {"kind": "demo"}
+        assert rec.span_names() == ["inner", "outer", "sibling"]
+
+    def test_identical_runs_record_identical_events(self):
+        def record():
+            rec = TraceRecorder(clock=FakeClock())
+            with rec.span("a"):
+                with rec.span("b", x=1):
+                    rec.count("n")
+            return rec
+        assert record().events == record().events
+        assert record().snapshot() == record().snapshot()
+
+    def test_merge_retags_worker_events(self):
+        worker = TraceRecorder(clock=FakeClock())
+        with worker.span("w.task"):
+            worker.count("w.calls")
+        parent = TraceRecorder(clock=FakeClock())
+        parent.merge(worker.snapshot(), tid=3)
+        assert [e["tid"] for e in parent.events] == [3]
+        assert parent.metrics.counters == {"w.calls": 1}
+        # The worker's own events are untouched by the merge.
+        assert worker.events[0]["tid"] == MAIN_TID
+
+
+class TestRecorderSlot:
+    def test_disabled_by_default(self):
+        assert get_recorder() is None
+
+    def test_using_recorder_scopes_and_restores(self):
+        rec = TraceRecorder()
+        with using_recorder(rec) as active:
+            assert active is rec
+            assert get_recorder() is rec
+            with using_recorder(None):
+                assert get_recorder() is None
+            assert get_recorder() is rec
+        assert get_recorder() is None
+
+    def test_disabled_span_is_one_shared_noop(self):
+        assert telemetry.span("a", x=1) is telemetry.span("b")
+        with telemetry.span("a"):
+            pass  # must be usable as a context manager
+
+    def test_disabled_metric_helpers_are_noops(self):
+        telemetry.count("hits", 3)
+        telemetry.gauge("workers", 2)
+        telemetry.observe("points", 1.0)
+        assert get_recorder() is None
+
+    def test_enabled_helpers_hit_the_active_recorder(self):
+        rec = TraceRecorder(clock=FakeClock())
+        with using_recorder(rec):
+            with telemetry.span("a", x=1):
+                telemetry.count("hits")
+                telemetry.gauge("workers", 2)
+                telemetry.observe("points", 4.0)
+        assert rec.span_names() == ["a"]
+        assert rec.metrics.counters == {"hits": 1}
+        assert rec.metrics.gauges == {"workers": 2.0}
+        assert rec.metrics.histograms["points"].count == 1
+
+
+def _golden_recorder() -> TraceRecorder:
+    rec = TraceRecorder(clock=FakeClock(start_ns=1000, step_ns=1000))
+    with rec.span("outer", kind="demo"):
+        with rec.span("inner"):
+            rec.count("hits", 2, kind="json")
+        rec.gauge("workers", 2)
+        rec.observe("points", 25.0)
+    return rec
+
+
+#: The manifest `summarize(_golden_recorder())` must produce, verbatim.
+GOLDEN_SUMMARY = {
+    "schema": SUMMARY_SCHEMA,
+    "events": 2,
+    "tids": [0],
+    "spans": {
+        "inner": {"count": 1, "total_ns": 1000, "max_ns": 1000},
+        "outer": {"count": 1, "total_ns": 3000, "max_ns": 3000},
+    },
+    "counters": {"hits{kind=json}": 2},
+    "gauges": {"workers": 2.0},
+    "histograms": {
+        "points": {"count": 1, "total": 25.0, "min": 25.0, "max": 25.0}
+    },
+}
+
+
+class TestExporters:
+    def test_jsonl_golden(self):
+        lines = jsonl_lines(_golden_recorder())
+        assert [json.loads(line) for line in lines] == [
+            {"type": "span", "name": "inner", "ts": 2000, "dur": 1000,
+             "tid": 0, "depth": 1, "seq": 0, "args": {}},
+            {"type": "span", "name": "outer", "ts": 1000, "dur": 3000,
+             "tid": 0, "depth": 0, "seq": 1, "args": {"kind": "demo"}},
+            {"type": "counter", "name": "hits{kind=json}", "value": 2},
+            {"type": "gauge", "name": "workers", "value": 2.0},
+            {"type": "histogram", "name": "points", "count": 1,
+             "total": 25.0, "min": 25.0, "max": 25.0},
+        ]
+        # Byte-stable: the same scenario always serializes identically.
+        assert lines == jsonl_lines(_golden_recorder())
+
+    def test_chrome_trace_golden(self):
+        document = chrome_trace(_golden_recorder())
+        assert document == {
+            "traceEvents": [
+                {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+                 "args": {"name": "main"}},
+                {"ph": "X", "pid": 1, "tid": 0, "name": "inner",
+                 "ts": 1.0, "dur": 1.0, "args": {"depth": 1, "seq": 0}},
+                {"ph": "X", "pid": 1, "tid": 0, "name": "outer",
+                 "ts": 0.0, "dur": 3.0,
+                 "args": {"kind": "demo", "depth": 0, "seq": 1}},
+            ],
+            "displayTimeUnit": "ms",
+            "otherData": {"summary": GOLDEN_SUMMARY},
+        }
+
+    def test_summarize_golden(self):
+        assert summarize(_golden_recorder()) == GOLDEN_SUMMARY
+        stamped = summarize(_golden_recorder(), wall_time_s=12.5)
+        assert stamped["wall_time_unix"] == 12.5
+
+    def test_write_exporters_roundtrip(self, tmp_path):
+        rec = _golden_recorder()
+        trace_path = telemetry.write_chrome_trace(tmp_path / "t.json", rec)
+        events_path = telemetry.write_jsonl(tmp_path / "e.jsonl", rec)
+        summary_path = telemetry.write_summary(
+            tmp_path / "s.json", summarize(rec)
+        )
+        trace = json.loads(trace_path.read_text())
+        assert trace["otherData"]["summary"] == GOLDEN_SUMMARY
+        assert [json.loads(l) for l in
+                events_path.read_text().splitlines()][0]["type"] == "span"
+        assert json.loads(summary_path.read_text()) == GOLDEN_SUMMARY
+
+    def test_summarize_payload_accepts_both_formats(self):
+        assert summarize_payload(GOLDEN_SUMMARY) == GOLDEN_SUMMARY
+        assert summarize_payload(chrome_trace(_golden_recorder())) == GOLDEN_SUMMARY
+
+    def test_summarize_payload_rebuilds_foreign_traces(self):
+        foreign = {
+            "traceEvents": [
+                {"ph": "X", "tid": 2, "name": "stage", "ts": 0.0, "dur": 1.5},
+                {"ph": "M", "tid": 2, "name": "thread_name", "args": {}},
+            ]
+        }
+        manifest = summarize_payload(foreign)
+        assert manifest["events"] == 1
+        assert manifest["tids"] == [2]
+        assert manifest["spans"]["stage"]["total_ns"] == 1500.0
+
+    def test_summarize_payload_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="unrecognized trace payload"):
+            summarize_payload({"what": "ever"})
+
+    def test_render_summary(self):
+        text = render_summary(GOLDEN_SUMMARY)
+        assert "2 span events, 1 thread(s)" in text
+        assert "outer" in text and "hits{kind=json}" in text
+        assert "n=1 mean=25 min=25 max=25" in text
+
+
+class TestWorkerMerge:
+    ITEMS = [2, 3, 4]
+
+    def _run(self, jobs: int) -> TraceRecorder:
+        rec = TraceRecorder()
+        with using_recorder(rec):
+            assert parallel_map(_traced_square, self.ITEMS, jobs=jobs) == [
+                4, 9, 16,
+            ]
+        return rec
+
+    def test_parallel_counters_match_serial(self):
+        serial, parallel = self._run(jobs=1), self._run(jobs=2)
+        assert parallel.metrics.counters == serial.metrics.counters
+        assert serial.metrics.counters["task.calls"] == 3
+        assert serial.metrics.counters["task.value"] == 9
+        assert parallel.metrics.histograms["task.size"].to_dict() == (
+            serial.metrics.histograms["task.size"].to_dict()
+        )
+
+    def test_worker_events_merge_with_submission_tids(self):
+        rec = self._run(jobs=2)
+        task_events = [e for e in rec.events if e["name"] == "task.unit"]
+        # One span per item, tagged with 1 + submission index.
+        assert sorted(e["tid"] for e in task_events) == [1, 2, 3]
+        by_tid = {e["tid"]: e["args"]["n"] for e in task_events}
+        assert by_tid == {1: 2, 2: 3, 3: 4}
+
+    def test_serial_events_stay_on_main_tid(self):
+        rec = self._run(jobs=1)
+        assert {e["tid"] for e in rec.events} == {MAIN_TID}
+        assert rec.metrics.gauges["parallel.workers"] == 1.0
+
+
+class TestNeverPerturbsResults:
+    def test_disabled_pool_ships_raw_results(self):
+        assert get_recorder() is None
+        assert parallel_map(_traced_square, [5, 6], jobs=2) == [25, 36]
+
+    def test_result_dict_gains_no_keys_under_tracing(self):
+        clear_pinpoints_cache()
+        baseline = measure_benchmark(
+            "620.omnetpp_s", runs=("whole",), pinpoints_kwargs=QUICK
+        )
+        clear_pinpoints_cache()
+        with using_recorder(TraceRecorder()) as rec:
+            traced = measure_benchmark(
+                "620.omnetpp_s", runs=("whole",), pinpoints_kwargs=QUICK
+            )
+        assert set(traced) == set(baseline)
+        assert traced["num_points"] == baseline["num_points"]
+        # ...while the trace itself saw all three layers.
+        assert any(n.startswith("pinpoints.") for n in rec.span_names())
+        assert any(n.startswith("cache.") for n in rec.span_names())
+
+    @pytest.mark.slow
+    def test_rendered_output_byte_identical_with_tracing(self):
+        benchmarks = ["620.omnetpp_s"]
+        clear_pinpoints_cache()
+        untraced = render_fig10(run_fig10(benchmarks, jobs=1, **QUICK))
+        clear_pinpoints_cache()
+        with using_recorder(TraceRecorder()):
+            traced_serial = render_fig10(run_fig10(benchmarks, jobs=1, **QUICK))
+        clear_pinpoints_cache()
+        with using_recorder(TraceRecorder()):
+            traced_parallel = render_fig10(run_fig10(benchmarks, jobs=2, **QUICK))
+        assert traced_serial == untraced
+        assert traced_parallel == untraced

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Time the experiment pipeline (serial vs parallel vs warm artifact store)
-# and record the numbers in BENCH_pipeline.json at the repository root.
+# and record the numbers in BENCH_pipeline.json at the repository root,
+# with the span-level telemetry manifest of the serial cold pass next to
+# it in BENCH_trace_summary.json.
 #
 #   tools/bench.sh             # the pipeline benchmark only
 #   tools/bench.sh benchmarks/ # the full figure-regeneration harness
