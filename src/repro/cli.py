@@ -1,11 +1,17 @@
 """Command-line interface: regenerate any paper table or figure.
 
+Every experiment subcommand (and its ``trace`` twin) is generated from
+the declarative registry in :mod:`repro.experiments.registry` — the CLI
+holds no per-experiment tables of its own.
+
 Examples::
 
     repro-spec2017 list
     repro-spec2017 table2
     repro-spec2017 fig8 --benchmarks 623.xalancbmk_s 505.mcf_r
     repro-spec2017 fig8 --jobs 4          # per-benchmark process fan-out
+    repro-spec2017 fig8 --json-out fig8.json
+    repro-spec2017 report --out-dir results
     repro-spec2017 cache info             # on-disk artifact store status
     repro-spec2017 trace fig7 --jobs 2 --trace-out run.trace.json
     repro-spec2017 trace view run.trace.json
@@ -19,51 +25,24 @@ import sys
 from typing import List, Optional
 
 from repro import experiments
-from repro.workloads.spec2017 import SPEC_CPU2017, benchmark_names
-
-#: Experiment name -> (runner, renderer).
-_EXPERIMENTS = {
-    "table2": (experiments.run_table2, experiments.render_table2),
-    "fig3a": (experiments.run_fig3_maxk, experiments.render_fig3),
-    "fig3b": (experiments.run_fig3_slice_size, experiments.render_fig3),
-    "fig4": (experiments.run_fig4, experiments.render_fig4),
-    "fig5": (experiments.run_fig5, experiments.render_fig5),
-    "fig6": (experiments.run_fig6, experiments.render_fig6),
-    "fig7": (experiments.run_fig7, experiments.render_fig7),
-    "fig8": (experiments.run_fig8, experiments.render_fig8),
-    "fig9": (experiments.run_fig9, experiments.render_fig9),
-    "fig10": (experiments.run_fig10, experiments.render_fig10),
-    "fig12": (experiments.run_fig12, experiments.render_fig12),
-    "baselines": (experiments.run_baselines, experiments.render_baselines),
-    "rate": (experiments.run_rate_scaling, experiments.render_rate_scaling),
-    "turnaround": (experiments.run_turnaround, experiments.render_turnaround),
-    "table2-projected": (
-        experiments.run_future_suite, experiments.render_future_suite,
-    ),
-}
-
-#: Experiments that take a suite subset via --benchmarks.
-_SUITE_EXPERIMENTS = {
-    "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-    "fig12", "baselines", "rate", "turnaround", "table2-projected",
-}
-
-#: Experiments whose drivers fan per-benchmark work across processes.
-_PARALLEL_EXPERIMENTS = {"table2", "fig7", "fig8", "fig10"}
+from repro.experiments.registry import ExperimentSpec, result_payload
+from repro.workloads.spec2017 import SPEC_CPU2017
 
 
-def _add_experiment_options(exp: argparse.ArgumentParser, name: str) -> None:
+def _add_experiment_options(
+    exp: argparse.ArgumentParser, spec: ExperimentSpec
+) -> None:
     """Wire the options an experiment runner understands onto a parser.
 
     Shared between the plain per-experiment subcommands and their
     ``trace <experiment>`` twins, so the two never drift apart.
     """
-    if name in _SUITE_EXPERIMENTS:
+    if spec.supports_benchmarks:
         exp.add_argument(
             "--benchmarks", nargs="+", metavar="NAME",
             help="subset of benchmarks (default: full Table II suite)",
         )
-    if name in _PARALLEL_EXPERIMENTS:
+    if spec.supports_jobs:
         exp.add_argument(
             "--jobs", type=int, default=0, metavar="N",
             help="worker processes for the per-benchmark fan-out "
@@ -79,36 +58,43 @@ def _add_experiment_options(exp: argparse.ArgumentParser, name: str) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk artifact store for this run",
     )
-    if name in ("fig3a", "fig3b"):
+    if spec.benchmark_option is not None:
         exp.add_argument(
-            "--benchmark", default="623.xalancbmk_s",
-            help="benchmark to sweep (paper: 623.xalancbmk_s)",
+            "--benchmark", default=spec.benchmark_option,
+            help=f"benchmark to sweep (paper: {spec.benchmark_option})",
         )
+    exp.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="also write the structured result payload as JSON",
+    )
 
 
-def _experiment_kwargs(name: str, args) -> Optional[dict]:
+def _experiment_kwargs(spec: ExperimentSpec, args) -> Optional[dict]:
     """Translate parsed experiment options into runner kwargs.
 
     Returns None (after printing to stderr) when a benchmark name does
-    not validate.
+    not validate against the experiment's universe.
     """
     kwargs = {}
-    if name in _SUITE_EXPERIMENTS and args.benchmarks:
-        valid = set(benchmark_names())
-        if name == "table2-projected":
-            from repro.workloads.future import FUTURE_WORK
-
-            valid |= set(FUTURE_WORK)
-        unknown = [b for b in args.benchmarks if b not in valid]
+    if spec.supports_benchmarks and args.benchmarks:
+        unknown = spec.unknown_benchmarks(args.benchmarks)
         if unknown:
             print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
             return None
         kwargs["benchmarks"] = args.benchmarks
-    if name in _PARALLEL_EXPERIMENTS:
+    if spec.supports_jobs:
         kwargs["jobs"] = args.jobs
-    if name in ("fig3a", "fig3b"):
+    if spec.benchmark_option is not None:
         kwargs["benchmark"] = args.benchmark
     return kwargs
+
+
+def _write_payload(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -126,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--version", action="version",
         version=f"%(prog)s {__version__}",
     )
+    specs = experiments.all_specs()
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the registered benchmarks")
     lint = sub.add_parser(
@@ -163,6 +150,34 @@ def _build_parser() -> argparse.ArgumentParser:
             help="store directory (default: REPRO_CACHE_DIR or "
                  "~/.cache/repro-spec2017)",
         )
+    report = sub.add_parser(
+        "report",
+        help="regenerate rendered tables and JSON payloads for every "
+             "experiment",
+    )
+    report.add_argument(
+        "--out-dir", metavar="DIR", default="results",
+        help="directory for <experiment>.txt / <experiment>.json "
+             "(default: results)",
+    )
+    report.add_argument(
+        "--experiments", nargs="+", metavar="NAME", default=None,
+        help="subset of experiments (default: all registered)",
+    )
+    report.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for suite-wide experiments (1 = serial, "
+             "0 = one per CPU core)",
+    )
+    report.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="artifact store directory (default: REPRO_CACHE_DIR or "
+             "~/.cache/repro-spec2017)",
+    )
+    report.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk artifact store for this run",
+    )
     trace = sub.add_parser(
         "trace",
         help="run an experiment with telemetry enabled, or summarize a "
@@ -173,11 +188,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "view", help="summarize a trace / summary JSON file"
     )
     view.add_argument("file", help="Chrome trace or summary manifest JSON")
-    for name in _EXPERIMENTS:
+    for spec in specs:
         traced = trace_sub.add_parser(
-            name, help=f"regenerate {name} under tracing"
+            spec.name, help=f"regenerate {spec.name} under tracing"
         )
-        _add_experiment_options(traced, name)
+        _add_experiment_options(traced, spec)
         traced.add_argument(
             "--trace-out", metavar="FILE", default=None,
             help="write a Chrome trace-event file (chrome://tracing)",
@@ -190,9 +205,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "--summary-out", metavar="FILE", default=None,
             help="write the per-run summary manifest as JSON",
         )
-    for name in _EXPERIMENTS:
-        exp = sub.add_parser(name, help=f"regenerate {name}")
-        _add_experiment_options(exp, name)
+    for spec in specs:
+        exp = sub.add_parser(spec.name, help=f"regenerate {spec.name}")
+        _add_experiment_options(exp, spec)
     return parser
 
 
@@ -271,18 +286,21 @@ def _run_trace(args) -> int:
     from repro import telemetry
     from repro.experiments.common import configure_cache, set_store
 
-    name = args.trace_command
-    runner, renderer = _EXPERIMENTS[name]
-    kwargs = _experiment_kwargs(name, args)
+    spec = experiments.get_spec(args.trace_command)
+    kwargs = _experiment_kwargs(spec, args)
     if kwargs is None:
         return 2
     recorder = telemetry.TraceRecorder()
     previous_store = configure_cache(args.cache_dir, enabled=not args.no_cache)
     try:
         with telemetry.using_recorder(recorder):
-            with telemetry.span("experiment", experiment=name):
-                result = runner(**kwargs)
-        print(renderer(result))
+            with telemetry.span("experiment", experiment=spec.name):
+                result = experiments.execute(spec, kwargs)
+        print(spec.renderer(result))
+        if args.json_out:
+            _write_payload(args.json_out, result_payload(spec, result))
+            print(f"result payload written to {args.json_out}",
+                  file=sys.stderr)
     finally:
         set_store(previous_store)
     manifest = telemetry.summarize(
@@ -321,6 +339,58 @@ def _run_cache(args) -> int:
     return 0
 
 
+def _run_report(args) -> int:
+    import os
+
+    from repro.experiments.common import configure_cache, set_store
+
+    specs = experiments.all_specs()
+    if args.experiments is not None:
+        known = {spec.name: spec for spec in specs}
+        unknown = [name for name in args.experiments if name not in known]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        specs = [known[name] for name in args.experiments]
+    os.makedirs(args.out_dir, exist_ok=True)
+    previous = configure_cache(args.cache_dir, enabled=not args.no_cache)
+    try:
+        for spec in specs:
+            kwargs = {"jobs": args.jobs} if spec.supports_jobs else {}
+            result = experiments.execute(spec, kwargs)
+            txt_path = os.path.join(args.out_dir, f"{spec.name}.txt")
+            with open(txt_path, "w", encoding="utf-8") as handle:
+                handle.write(spec.renderer(result))
+                handle.write("\n")
+            json_path = os.path.join(args.out_dir, f"{spec.name}.json")
+            _write_payload(json_path, result_payload(spec, result))
+            print(f"wrote {txt_path} and {json_path}")
+    finally:
+        set_store(previous)
+    return 0
+
+
+def _run_experiment(args) -> int:
+    from repro.experiments.common import configure_cache, set_store
+
+    spec = experiments.get_spec(args.command)
+    kwargs = _experiment_kwargs(spec, args)
+    if kwargs is None:
+        return 2
+    previous = configure_cache(args.cache_dir, enabled=not args.no_cache)
+    try:
+        result = experiments.execute(spec, kwargs)
+        print(spec.renderer(result))
+        if args.json_out:
+            _write_payload(args.json_out, result_payload(spec, result))
+            print(f"result payload written to {args.json_out}",
+                  file=sys.stderr)
+    finally:
+        set_store(previous)
+    return 0
+
+
 def _run_list() -> str:
     lines = ["Registered SPEC CPU2017 benchmarks:"]
     for spec_id, d in SPEC_CPU2017.items():
@@ -351,23 +421,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay_archive(args.directory)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "report":
+        return _run_report(args)
     if args.command == "trace":
         return _run_trace(args)
-
-    runner, renderer = _EXPERIMENTS[args.command]
-    kwargs = _experiment_kwargs(args.command, args)
-    if kwargs is None:
-        return 2
-
-    from repro.experiments.common import configure_cache, set_store
-
-    previous = configure_cache(args.cache_dir, enabled=not args.no_cache)
-    try:
-        result = runner(**kwargs)
-        print(renderer(result))
-    finally:
-        set_store(previous)
-    return 0
+    return _run_experiment(args)
 
 
 if __name__ == "__main__":

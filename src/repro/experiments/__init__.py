@@ -1,8 +1,12 @@
 """Experiment drivers: one module per table/figure of the evaluation.
 
-Every driver exposes ``run_*`` returning a result dataclass and a
-``render`` function producing the ASCII table/series the paper reports.
-The CLI (``python -m repro``) and the benchmark harness call these.
+Every driver registers itself with the declarative registry
+(:mod:`repro.experiments.registry`): ``run_*`` carries ``@experiment``
+and returns a result dataclass implementing the
+``to_payload``/``from_payload`` serialization protocol, and ``render_*``
+carries ``@renders`` and produces the ASCII table/series the paper
+reports.  The CLI (``python -m repro``) builds every subcommand from the
+registry; the benchmark harness calls the runners directly.
 """
 
 from repro.experiments.table2 import run_table2, render_table2
@@ -25,8 +29,18 @@ from repro.experiments.future_suite import (
     render_future_suite,
     run_future_suite,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    all_specs,
+    execute,
+    get_spec,
+    result_from_payload,
+    result_payload,
+)
 
 __all__ = [
+    "ExperimentSpec", "all_specs", "execute", "get_spec",
+    "result_from_payload", "result_payload",
     "run_baselines", "render_baselines",
     "run_rate_scaling", "render_rate_scaling",
     "run_turnaround", "render_turnaround",

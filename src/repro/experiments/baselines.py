@@ -15,11 +15,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.common import (
+    map_items,
     measure_points,
     measure_whole,
     pinpoints_for,
+    require_rows,
     resolve_benchmarks,
 )
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 from repro.pinball.logger import PinPlayLogger
 from repro.sampling import (
@@ -52,11 +55,50 @@ class BaselineResult:
 
     def average_mix_error(self, strategy: str) -> float:
         """Suite-average worst-category mix error for one strategy."""
-        return float(np.mean([r.mix_error_pp[strategy] for r in self.rows]))
+        rows = require_rows(self.rows, "baseline suite-average mix error")
+        return float(np.mean([r.mix_error_pp[strategy] for r in rows]))
 
     def average_l3_error(self, strategy: str) -> float:
         """Suite-average |L3 miss-rate error| for one strategy."""
-        return float(np.mean([r.l3_error_pp[strategy] for r in self.rows]))
+        rows = require_rows(self.rows, "baseline suite-average L3 error")
+        return float(np.mean([r.l3_error_pp[strategy] for r in rows]))
+
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "budget": int(r.budget),
+                    "mix_error_pp": {
+                        s: float(r.mix_error_pp[s]) for s in STRATEGIES
+                    },
+                    "l3_error_pp": {
+                        s: float(r.l3_error_pp[s]) for s in STRATEGIES
+                    },
+                }
+                for r in self.rows
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BaselineResult":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                BaselineRow(
+                    benchmark=r["benchmark"],
+                    budget=int(r["budget"]),
+                    mix_error_pp={
+                        s: float(r["mix_error_pp"][s]) for s in STRATEGIES
+                    },
+                    l3_error_pp={
+                        s: float(r["l3_error_pp"][s]) for s in STRATEGIES
+                    },
+                )
+                for r in payload["rows"]
+            ]
+        )
 
 
 def _baseline_points(strategy: str, num_slices: int, budget: int, seed: int):
@@ -71,46 +113,66 @@ def _baseline_points(strategy: str, num_slices: int, budget: int, seed: int):
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
-def run_baselines(
-    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
-) -> BaselineResult:
-    """Compare sampling strategies at SimPoint's slice budget."""
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        whole = measure_whole(out)
-        logger = PinPlayLogger(out.benchmark, out.program)
-        budget = out.simpoints.num_points
+def _benchmark_baselines(name: str, pinpoints_kwargs: dict) -> BaselineRow:
+    """One benchmark's strategy comparison (process-pool worker unit)."""
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    whole = measure_whole(out)
+    logger = PinPlayLogger(out.benchmark, out.program)
+    budget = out.simpoints.num_points
 
-        mix_errors: Dict[str, float] = {}
-        l3_errors: Dict[str, float] = {}
-        for strategy in STRATEGIES:
-            if strategy == "simpoint":
-                pinballs = out.regional
-            else:
-                points = _baseline_points(
-                    strategy, out.program.num_slices, budget,
-                    seed=out.program.seed,
-                )
-                pinballs = logger.log_regions(points)
-            metrics = measure_points(out, pinballs)
-            mix_errors[strategy] = max_abs_percentage_points(
-                metrics.mix, whole.mix
+    mix_errors: Dict[str, float] = {}
+    l3_errors: Dict[str, float] = {}
+    for strategy in STRATEGIES:
+        if strategy == "simpoint":
+            pinballs = out.regional
+        else:
+            points = _baseline_points(
+                strategy, out.program.num_slices, budget,
+                seed=out.program.seed,
             )
-            l3_errors[strategy] = abs(
-                metrics.miss_rates["L3"] - whole.miss_rates["L3"]
-            ) * 100
-        rows.append(
-            BaselineRow(
-                benchmark=out.benchmark,
-                budget=budget,
-                mix_error_pp=mix_errors,
-                l3_error_pp=l3_errors,
-            )
+            pinballs = logger.log_regions(points)
+        metrics = measure_points(out, pinballs)
+        mix_errors[strategy] = max_abs_percentage_points(
+            metrics.mix, whole.mix
         )
+        l3_errors[strategy] = abs(
+            metrics.miss_rates["L3"] - whole.miss_rates["L3"]
+        ) * 100
+    return BaselineRow(
+        benchmark=out.benchmark,
+        budget=budget,
+        mix_error_pp=mix_errors,
+        l3_error_pp=l3_errors,
+    )
+
+
+@experiment(
+    "baselines",
+    result=BaselineResult,
+    paper_ref="Extension — SimPoint vs classic sampling baselines",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
+def run_baselines(
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **pinpoints_kwargs,
+) -> BaselineResult:
+    """Compare sampling strategies at SimPoint's slice budget.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
+    rows = map_items(
+        _benchmark_baselines,
+        resolve_benchmarks(benchmarks),
+        jobs=jobs,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
     return BaselineResult(rows=rows)
 
 
+@renders("baselines")
 def render_baselines(result: BaselineResult) -> str:
     """Render per-benchmark and suite-average strategy errors."""
     rows = []

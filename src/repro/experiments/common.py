@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,21 @@ def resolve_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
     return list(benchmarks)
 
 
+def require_rows(rows: Sequence, what: str) -> Sequence:
+    """Guard a suite aggregate against an empty row set.
+
+    Dividing by ``len(rows)`` with zero rows used to surface as a bare
+    ``ZeroDivisionError`` deep inside a property; raise the library's
+    :class:`ConfigError` with an actionable message instead.
+    """
+    if not rows:
+        raise ConfigError(
+            f"cannot compute {what}: the result has no rows "
+            "(was the experiment run with an empty benchmark list?)"
+        )
+    return rows
+
+
 # -- the disk tier ----------------------------------------------------
 
 _STORE: Optional[ArtifactStore] = None
@@ -106,7 +121,8 @@ def configure_cache(
     return set_store(ArtifactStore(cache_dir or default_cache_dir()))
 
 
-def _metrics_to_payload(metrics: RunMetrics) -> dict:
+def metrics_to_payload(metrics: RunMetrics) -> dict:
+    """A :class:`RunMetrics` as a JSON-compatible dict (see serialize.py)."""
     return {
         "instructions": int(metrics.instructions),
         "mix": [float(v) for v in metrics.mix],
@@ -115,7 +131,8 @@ def _metrics_to_payload(metrics: RunMetrics) -> dict:
     }
 
 
-def _metrics_from_payload(payload: dict) -> RunMetrics:
+def metrics_from_payload(payload: dict) -> RunMetrics:
+    """Reconstruct a :class:`RunMetrics` from :func:`metrics_to_payload`."""
     return RunMetrics(
         instructions=int(payload["instructions"]),
         mix=np.asarray(payload["mix"], dtype=np.float64),
@@ -133,7 +150,7 @@ def _store_get_metrics(run: str, key: tuple) -> Optional[RunMetrics]:
         return None
     if payload is None:
         return None
-    return _metrics_from_payload(payload)
+    return metrics_from_payload(payload)
 
 
 def _store_put_metrics(run: str, key: tuple, metrics: RunMetrics) -> None:
@@ -147,7 +164,7 @@ def _store_put_metrics(run: str, key: tuple, metrics: RunMetrics) -> None:
     try:
         params = {"run": run, "key": key}
         if not _STORE.has("metrics", params):
-            _STORE.put_json("metrics", params, _metrics_to_payload(metrics))
+            _STORE.put_json("metrics", params, metrics_to_payload(metrics))
     except StoreError:
         pass
 
@@ -393,3 +410,24 @@ def map_benchmarks(
         pinpoints_kwargs=dict(pinpoints_kwargs),
     )
     return parallel_map(worker, resolve_benchmarks(benchmarks), jobs=jobs)
+
+
+def map_items(
+    worker: Callable,
+    items: Sequence,
+    jobs: Optional[int] = None,
+    **bound,
+) -> List:
+    """Fan any per-item worker across the process pool, input order kept.
+
+    The generalized sibling of :func:`map_benchmarks` for drivers whose
+    per-benchmark unit is not :func:`measure_benchmark` (variance
+    sweeps, cost models, Sniper runs, ...).  ``worker`` must be a
+    module-level callable (pool tasks are pickled even under fork);
+    ``bound`` keywords are attached via :func:`functools.partial`.
+    Results merge in submission order, so output is byte-identical for
+    any ``jobs`` value.
+    """
+    if bound:
+        worker = functools.partial(worker, **bound)
+    return parallel_map(worker, list(items), jobs=jobs)

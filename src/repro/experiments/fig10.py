@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.experiments.common import map_benchmarks
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 
 
@@ -44,7 +45,43 @@ class Fig10Result:
                   if r.whole_to_regional != float("inf")]
         return sum(finite) / len(finite) if finite else float("inf")
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "whole": int(r.whole),
+                    "regional": int(r.regional),
+                    "reduced": int(r.reduced),
+                }
+                for r in self.rows
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig10Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Fig10Row(
+                    benchmark=r["benchmark"],
+                    whole=int(r["whole"]),
+                    regional=int(r["regional"]),
+                    reduced=int(r["reduced"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
+
+
+@experiment(
+    "fig10",
+    result=Fig10Result,
+    paper_ref="Figure 10 — L3 cache accesses per run type",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig10(
     benchmarks: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -71,6 +108,7 @@ def run_fig10(
     return Fig10Result(rows=rows)
 
 
+@renders("fig10")
 def render_fig10(result: Fig10Result) -> str:
     """Render L3 access counts and the Whole/Regional ratio."""
     rows = [

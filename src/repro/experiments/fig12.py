@@ -13,7 +13,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.common import (
+    map_items,
+    pinpoints_for,
+    require_rows,
+    resolve_benchmarks,
+)
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 from repro.perf.native import NativeMachine
 from repro.sniper.core import SniperSimulator
@@ -49,23 +55,98 @@ class Fig12Result:
     @property
     def average_regional_error_pct(self) -> float:
         """Suite-average Regional CPI error (paper: 2.59 %)."""
-        return float(np.mean([r.regional_error_pct for r in self.rows]))
+        rows = require_rows(self.rows, "Figure 12 suite-average error")
+        return float(np.mean([r.regional_error_pct for r in rows]))
 
     @property
     def average_reduced_error_pct(self) -> float:
         """Suite-average Reduced CPI deviation (paper: 13.9 %)."""
-        return float(np.mean([r.reduced_error_pct for r in self.rows]))
+        rows = require_rows(self.rows, "Figure 12 suite-average deviation")
+        return float(np.mean([r.reduced_error_pct for r in rows]))
 
     @property
     def worst_outlier(self) -> Fig12Row:
         """Benchmark with the largest Reduced deviation."""
-        return max(self.rows, key=lambda r: r.reduced_error_pct)
+        rows = require_rows(self.rows, "Figure 12 worst outlier")
+        return max(rows, key=lambda r: r.reduced_error_pct)
+
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "native_cpi": float(r.native_cpi),
+                    "regional_cpi": float(r.regional_cpi),
+                    "reduced_cpi": float(r.reduced_cpi),
+                }
+                for r in self.rows
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig12Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Fig12Row(
+                    benchmark=r["benchmark"],
+                    native_cpi=float(r["native_cpi"]),
+                    regional_cpi=float(r["regional_cpi"]),
+                    reduced_cpi=float(r["reduced_cpi"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
 
 
+def _benchmark_cpi(
+    name: str,
+    native: Optional[NativeMachine],
+    simulator: Optional[SniperSimulator],
+    pinpoints_kwargs: dict,
+) -> Fig12Row:
+    """One benchmark's native-vs-Sniper CPI (process-pool worker unit).
+
+    ``native``/``simulator`` default to the paper's configurations when
+    ``None``; constructing them here keeps the task payload picklable.
+    """
+    native = native if native is not None else NativeMachine()
+    simulator = simulator if simulator is not None else SniperSimulator()
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    counters = native.run(out.program)
+
+    def weighted_cpi(pinballs) -> float:
+        cpis, weights = [], []
+        for pb in pinballs:
+            timing = simulator.run_region(
+                pb.replay_slices(out.program),
+                warmup=pb.warmup_traces(out.program),
+            )
+            cpis.append(timing.cpi)
+            weights.append(pb.weight)
+        return weighted_average(cpis, weights)
+
+    return Fig12Row(
+        benchmark=out.benchmark,
+        native_cpi=counters.cpi,
+        regional_cpi=weighted_cpi(out.regional),
+        reduced_cpi=weighted_cpi(out.reduced),
+    )
+
+
+@experiment(
+    "fig12",
+    result=Fig12Result,
+    paper_ref="Figure 12 — CPI: native (perf) vs Sniper",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig12(
     benchmarks: Optional[Sequence[str]] = None,
     native: Optional[NativeMachine] = None,
     simulator: Optional[SniperSimulator] = None,
+    jobs: Optional[int] = None,
     **pinpoints_kwargs,
 ) -> Fig12Result:
     """Compare native perf CPI against Sniper on simulation points.
@@ -73,36 +154,21 @@ def run_fig12(
     Sniper runs include the 500 M-instruction warmup before each point
     (the paper's Sniper methodology); CPI values are weight-averaged,
     which the paper's ground rule permits (CPI yes, IPC no).
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
     """
-    native = native if native is not None else NativeMachine()
-    simulator = simulator if simulator is not None else SniperSimulator()
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        counters = native.run(out.program)
-
-        def weighted_cpi(pinballs) -> float:
-            cpis, weights = [], []
-            for pb in pinballs:
-                timing = simulator.run_region(
-                    pb.replay_slices(out.program),
-                    warmup=pb.warmup_traces(out.program),
-                )
-                cpis.append(timing.cpi)
-                weights.append(pb.weight)
-            return weighted_average(cpis, weights)
-
-        rows.append(
-            Fig12Row(
-                benchmark=out.benchmark,
-                native_cpi=counters.cpi,
-                regional_cpi=weighted_cpi(out.regional),
-                reduced_cpi=weighted_cpi(out.reduced),
-            )
-        )
+    rows = map_items(
+        _benchmark_cpi,
+        resolve_benchmarks(benchmarks),
+        jobs=jobs,
+        native=native,
+        simulator=simulator,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
     return Fig12Result(rows=rows)
 
 
+@renders("fig12")
 def render_fig12(result: Fig12Result) -> str:
     """Render CPI per benchmark plus the suite-average errors."""
     rows = [

@@ -18,8 +18,11 @@ from repro.experiments.common import (
     RunMetrics,
     measure_points,
     measure_whole,
+    metrics_from_payload,
+    metrics_to_payload,
     pinpoints_for,
 )
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table, pct
 from repro.stats.compare import max_abs_percentage_points
 from repro.workloads.scaling import (
@@ -57,7 +60,55 @@ class Fig3Result:
     whole: RunMetrics
     points: List[SweepPoint]
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "benchmark": self.benchmark,
+            "axis": self.axis,
+            "whole": metrics_to_payload(self.whole),
+            "points": [
+                {
+                    "setting": float(p.setting),
+                    "chosen_k": int(p.chosen_k),
+                    "metrics": metrics_to_payload(p.metrics),
+                    "mix_error_pp": float(p.mix_error_pp),
+                    "miss_rate_error_pp": {
+                        lv: float(p.miss_rate_error_pp[lv]) for lv in LEVELS
+                    },
+                }
+                for p in self.points
+            ],
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig3Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            benchmark=payload["benchmark"],
+            axis=payload["axis"],
+            whole=metrics_from_payload(payload["whole"]),
+            points=[
+                SweepPoint(
+                    setting=float(p["setting"]),
+                    chosen_k=int(p["chosen_k"]),
+                    metrics=metrics_from_payload(p["metrics"]),
+                    mix_error_pp=float(p["mix_error_pp"]),
+                    miss_rate_error_pp={
+                        lv: float(p["miss_rate_error_pp"][lv])
+                        for lv in LEVELS
+                    },
+                )
+                for p in payload["points"]
+            ],
+        )
+
+
+@experiment(
+    "fig3a",
+    result=Fig3Result,
+    paper_ref="Figure 3(a) — sampling accuracy vs MaxK",
+    benchmark_option=DEFAULT_BENCHMARK,
+)
 def run_fig3_maxk(
     benchmark: str = DEFAULT_BENCHMARK,
     maxk_values: Sequence[int] = MAXK_VALUES,
@@ -80,6 +131,12 @@ def run_fig3_maxk(
     return Fig3Result(benchmark=benchmark, axis="MaxK", whole=whole, points=points)
 
 
+@experiment(
+    "fig3b",
+    result=Fig3Result,
+    paper_ref="Figure 3(b) — sampling accuracy vs slice size",
+    benchmark_option=DEFAULT_BENCHMARK,
+)
 def run_fig3_slice_size(
     benchmark: str = DEFAULT_BENCHMARK,
     slice_sizes_m: Sequence[int] = SLICE_SIZES_M,
@@ -135,6 +192,8 @@ def _sweep_point(
     )
 
 
+@renders("fig3a")
+@renders("fig3b")
 def render_fig3(result: Fig3Result) -> str:
     """Render one Fig 3 sweep as a table."""
     headers = [result.axis, "k", "NO_MEM", "MEM_R", "MEM_W", "MEM_RW",

@@ -8,9 +8,10 @@ the resulting loss of representativeness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.common import map_items, pinpoints_for, resolve_benchmarks
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_bar, format_table
 from repro.pin.engine import Engine
 from repro.pin.tools.bbv import BBVProfiler
@@ -29,27 +30,72 @@ class Fig4Result:
     k_values: List[int]
     curves: Dict[str, Dict[int, float]]
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "k_values": [int(k) for k in self.k_values],
+            "curves": {
+                name: {str(k): float(v) for k, v in curve.items()}
+                for name, curve in self.curves.items()
+            },
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig4Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            k_values=[int(k) for k in payload["k_values"]],
+            curves={
+                name: {int(k): float(v) for k, v in curve.items()}
+                for name, curve in payload["curves"].items()
+            },
+        )
+
+
+def _benchmark_curve(
+    name: str, k_values: Tuple[int, ...], pinpoints_kwargs: dict
+) -> Tuple[str, Dict[int, float]]:
+    """One benchmark's variance curve (process-pool worker unit)."""
+    descriptor = get_descriptor(name)
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    profiler = BBVProfiler(out.program.block_sizes)
+    Engine([profiler]).run(out.whole.replay_slices(out.program))
+    analysis = SimPointAnalysis(seed=descriptor.seed)
+    usable = [k for k in k_values if k <= out.program.num_slices]
+    return descriptor.spec_id, variance_sweep(
+        profiler.matrix(), usable, analysis
+    )
+
+
+@experiment(
+    "fig4",
+    result=Fig4Result,
+    paper_ref="Figure 4 — within-cluster variance vs cluster count",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig4(
     benchmarks: Optional[Sequence[str]] = None,
     k_values: Sequence[int] = K_VALUES,
+    jobs: Optional[int] = None,
     **pinpoints_kwargs,
 ) -> Fig4Result:
-    """Sweep forced cluster counts and record average cluster variance."""
-    curves: Dict[str, Dict[int, float]] = {}
-    for name in resolve_benchmarks(benchmarks):
-        descriptor = get_descriptor(name)
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        profiler = BBVProfiler(out.program.block_sizes)
-        Engine([profiler]).run(out.whole.replay_slices(out.program))
-        analysis = SimPointAnalysis(seed=descriptor.seed)
-        usable = [k for k in k_values if k <= out.program.num_slices]
-        curves[descriptor.spec_id] = variance_sweep(
-            profiler.matrix(), usable, analysis
-        )
-    return Fig4Result(k_values=list(k_values), curves=curves)
+    """Sweep forced cluster counts and record average cluster variance.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
+    measured = map_items(
+        _benchmark_curve,
+        resolve_benchmarks(benchmarks),
+        jobs=jobs,
+        k_values=tuple(int(k) for k in k_values),
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
+    return Fig4Result(k_values=list(k_values), curves=dict(measured))
 
 
+@renders("fig4")
 def render_fig4(result: Fig4Result) -> str:
     """Render the variance curves as a table plus a bar sketch."""
     headers = ["Benchmark"] + [f"k={k}" for k in result.k_values]

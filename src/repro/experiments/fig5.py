@@ -11,8 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.common import (
+    map_items,
+    pinpoints_for,
+    require_rows,
+    resolve_benchmarks,
+)
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
+from repro.experiments.serialize import (
+    run_cost_from_payload,
+    run_cost_to_payload,
+)
 from repro.timemodel.runtime import (
     RunCost,
     reduced_regional_run_cost,
@@ -59,7 +69,8 @@ class Fig5Result:
     rows: List[Fig5Row]
 
     def _mean(self, getter) -> float:
-        return sum(getter(r) for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "Figure 5 suite average")
+        return sum(getter(r) for r in rows) / len(rows)
 
     @property
     def average_whole_instructions(self) -> float:
@@ -105,31 +116,78 @@ class Fig5Result:
         reduced = self._mean(lambda r: r.reduced.instructions)
         return regional / reduced
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "whole": run_cost_to_payload(r.whole),
+                    "regional": run_cost_to_payload(r.regional),
+                    "reduced": run_cost_to_payload(r.reduced),
+                }
+                for r in self.rows
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig5Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Fig5Row(
+                    benchmark=r["benchmark"],
+                    whole=run_cost_from_payload(r["whole"]),
+                    regional=run_cost_from_payload(r["regional"]),
+                    reduced=run_cost_from_payload(r["reduced"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
+
+
+def _benchmark_costs(name: str, pinpoints_kwargs: dict) -> Fig5Row:
+    """One benchmark's run costs (process-pool worker unit)."""
+    descriptor = get_descriptor(name)
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    return Fig5Row(
+        benchmark=descriptor.spec_id,
+        whole=whole_run_cost(descriptor.paper_instructions),
+        regional=regional_run_cost(out.regional),
+        reduced=reduced_regional_run_cost(out.reduced),
+    )
+
+
+@experiment(
+    "fig5",
+    result=Fig5Result,
+    paper_ref="Figure 5 — dynamic instruction count and execution time",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig5(
-    benchmarks: Optional[Sequence[str]] = None, **pinpoints_kwargs
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **pinpoints_kwargs,
 ) -> Fig5Result:
     """Compute run costs for the suite.
 
     Instruction counts are paper-scale: the whole run uses the
     benchmark's paper-scale dynamic instruction count; regional runs use
     #points x (warmup + region) x 30 M (the captured pinball sizes).
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
     """
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        descriptor = get_descriptor(name)
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        rows.append(
-            Fig5Row(
-                benchmark=descriptor.spec_id,
-                whole=whole_run_cost(descriptor.paper_instructions),
-                regional=regional_run_cost(out.regional),
-                reduced=reduced_regional_run_cost(out.reduced),
-            )
-        )
+    rows = map_items(
+        _benchmark_costs,
+        resolve_benchmarks(benchmarks),
+        jobs=jobs,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
     return Fig5Result(rows=rows)
 
 
+@renders("fig5")
 def render_fig5(result: Fig5Result) -> str:
     """Render per-benchmark costs plus the headline suite ratios."""
     rows = []

@@ -9,7 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.common import map_items, pinpoints_for, resolve_benchmarks
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_bar, format_table
 from repro.simpoint.reduction import reduce_to_percentile
 
@@ -43,28 +44,77 @@ class Fig6Result:
         """Rows keyed by benchmark name."""
         return {r.benchmark: r for r in self.rows}
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "weights": [float(w) for w in r.weights],
+                    "cut": int(r.cut),
+                }
+                for r in self.rows
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig6Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Fig6Row(
+                    benchmark=r["benchmark"],
+                    weights=[float(w) for w in r["weights"]],
+                    cut=int(r["cut"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
+
+
+def _benchmark_weights(
+    name: str, percentile: float, pinpoints_kwargs: dict
+) -> Fig6Row:
+    """One benchmark's weight profile (process-pool worker unit)."""
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    ordered = out.simpoints.sorted_by_weight()
+    cut = len(reduce_to_percentile(out.simpoints.points, percentile))
+    return Fig6Row(
+        benchmark=out.benchmark,
+        weights=[p.weight for p in ordered],
+        cut=cut,
+    )
+
+
+@experiment(
+    "fig6",
+    result=Fig6Result,
+    paper_ref="Figure 6 — simulation-point weights per benchmark",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig6(
     benchmarks: Optional[Sequence[str]] = None,
     percentile: float = 0.9,
+    jobs: Optional[int] = None,
     **pinpoints_kwargs,
 ) -> Fig6Result:
-    """Collect per-benchmark point weights and the coverage cut."""
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        ordered = out.simpoints.sorted_by_weight()
-        cut = len(reduce_to_percentile(out.simpoints.points, percentile))
-        rows.append(
-            Fig6Row(
-                benchmark=out.benchmark,
-                weights=[p.weight for p in ordered],
-                cut=cut,
-            )
-        )
+    """Collect per-benchmark point weights and the coverage cut.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
+    rows = map_items(
+        _benchmark_weights,
+        resolve_benchmarks(benchmarks),
+        jobs=jobs,
+        percentile=percentile,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
     return Fig6Result(rows=rows)
 
 
+@renders("fig6")
 def render_fig6(result: Fig6Result) -> str:
     """Render weight profiles; '|' marks the 90th-percentile cut."""
     rows = []

@@ -12,7 +12,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import map_benchmarks
+from repro.experiments.common import map_benchmarks, require_rows
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table, pct
 from repro.stats.compare import max_abs_percentage_points
 
@@ -46,19 +47,58 @@ class Fig7Result:
     @property
     def average_whole_mix(self) -> np.ndarray:
         """Suite-average Whole Run mix (paper: 49.1/36.7/12.9 %)."""
-        return np.mean([r.whole for r in self.rows], axis=0)
+        rows = require_rows(self.rows, "Figure 7 suite-average mix")
+        return np.mean([r.whole for r in rows], axis=0)
 
     @property
     def max_regional_error_pp(self) -> float:
         """Worst Regional mix error across the suite."""
-        return max(r.regional_error_pp for r in self.rows)
+        rows = require_rows(self.rows, "Figure 7 worst regional error")
+        return max(r.regional_error_pp for r in rows)
 
     @property
     def max_reduced_error_pp(self) -> float:
         """Worst Reduced mix error across the suite."""
-        return max(r.reduced_error_pp for r in self.rows)
+        rows = require_rows(self.rows, "Figure 7 worst reduced error")
+        return max(r.reduced_error_pp for r in rows)
+
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "whole": [float(v) for v in r.whole],
+                    "regional": [float(v) for v in r.regional],
+                    "reduced": [float(v) for v in r.reduced],
+                }
+                for r in self.rows
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig7Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Fig7Row(
+                    benchmark=r["benchmark"],
+                    whole=np.asarray(r["whole"], dtype=np.float64),
+                    regional=np.asarray(r["regional"], dtype=np.float64),
+                    reduced=np.asarray(r["reduced"], dtype=np.float64),
+                )
+                for r in payload["rows"]
+            ]
+        )
 
 
+@experiment(
+    "fig7",
+    result=Fig7Result,
+    paper_ref="Figure 7 — instruction distribution across run types",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig7(
     benchmarks: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -85,6 +125,7 @@ def run_fig7(
     return Fig7Result(rows=rows)
 
 
+@renders("fig7")
 def render_fig7(result: Fig7Result) -> str:
     """Render per-benchmark mixes and the paper's headline checks."""
     rows = []

@@ -11,7 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import LEVELS, RunMetrics, map_benchmarks
+from repro.experiments.common import (
+    LEVELS,
+    RunMetrics,
+    map_benchmarks,
+    metrics_from_payload,
+    metrics_to_payload,
+    require_rows,
+)
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 
 
@@ -39,7 +47,8 @@ class Fig8Result:
 
     def average_delta_pp(self, run: str, level: str) -> float:
         """Suite-average miss-rate delta of ``run`` vs Whole, in pp."""
-        return sum(r.delta_pp(run, level) for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "Figure 8 suite-average delta")
+        return sum(r.delta_pp(run, level) for r in rows) / len(rows)
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """All suite-average deltas, keyed by run then level."""
@@ -48,7 +57,45 @@ class Fig8Result:
             for run in ("regional", "reduced", "warmup")
         }
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "whole": metrics_to_payload(r.whole),
+                    "regional": metrics_to_payload(r.regional),
+                    "reduced": metrics_to_payload(r.reduced),
+                    "warmup": metrics_to_payload(r.warmup),
+                }
+                for r in self.rows
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig8Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Fig8Row(
+                    benchmark=r["benchmark"],
+                    whole=metrics_from_payload(r["whole"]),
+                    regional=metrics_from_payload(r["regional"]),
+                    reduced=metrics_from_payload(r["reduced"]),
+                    warmup=metrics_from_payload(r["warmup"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
+
+
+@experiment(
+    "fig8",
+    result=Fig8Result,
+    paper_ref="Figure 8 — cache miss rates across four run types",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig8(
     benchmarks: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -79,6 +126,7 @@ def run_fig8(
     return Fig8Result(rows=rows)
 
 
+@renders("fig8")
 def render_fig8(result: Fig8Result) -> str:
     """Render per-benchmark miss rates and the suite-average deltas."""
     rows = []

@@ -10,16 +10,19 @@ then aggregated by weight.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.experiments.common import (
     LEVELS,
+    map_items,
     measure_whole,
     pinpoints_for,
     resolve_benchmarks,
 )
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 from repro.pin.tools.allcache import AllCache
 from repro.pin.tools.ldstmix import LdStMix
@@ -56,53 +59,131 @@ class Fig9Result:
         """Points keyed by percentile."""
         return {p.percentile: p for p in self.points}
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "points": [
+                {
+                    "percentile": float(p.percentile),
+                    "mix_error_pp": float(p.mix_error_pp),
+                    "miss_rate_error_pp": {
+                        lv: float(p.miss_rate_error_pp[lv]) for lv in LEVELS
+                    },
+                    "execution_hours": float(p.execution_hours),
+                    "points_retained": float(p.points_retained),
+                }
+                for p in self.points
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Fig9Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            points=[
+                Fig9Point(
+                    percentile=float(p["percentile"]),
+                    mix_error_pp=float(p["mix_error_pp"]),
+                    miss_rate_error_pp={
+                        lv: float(p["miss_rate_error_pp"][lv])
+                        for lv in LEVELS
+                    },
+                    execution_hours=float(p["execution_hours"]),
+                    points_retained=float(p["points_retained"]),
+                )
+                for p in payload["points"]
+            ]
+        )
+
+
+def _benchmark_sweep(
+    name: str, percentiles: Tuple[float, ...], pinpoints_kwargs: dict
+) -> List[Tuple[float, Dict[str, float], float, int]]:
+    """One benchmark's per-percentile errors (process-pool worker unit).
+
+    Measures every regional pinball once, then aggregates each
+    percentile subset by weight; returns, aligned with ``percentiles``,
+    tuples of (mix error, per-level |miss-rate error|, execution hours,
+    points retained).
+    """
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    whole = measure_whole(out)
+    replayer = out.replayer()
+    measured = {}
+    for pinball in out.regional:
+        cache = AllCache()
+        mix = LdStMix()
+        replayer.replay(pinball, [cache, mix])
+        stats = cache.stats()
+        measured[pinball.region_start] = (
+            mix.fractions(),
+            {lv: stats[lv].miss_rate for lv in LEVELS},
+        )
+
+    per_percentile = []
+    for percentile in percentiles:
+        subset = reduce_to_percentile(out.simpoints.points, percentile)
+        weights = [p.weight for p in subset]
+        mixes = [measured[p.slice_index][0] for p in subset]
+        agg_mix = weighted_mix(mixes, weights)
+        mix_error = max_abs_percentage_points(agg_mix, whole.mix)
+        level_errors = {}
+        for lv in LEVELS:
+            rates = [measured[p.slice_index][1][lv] for p in subset]
+            level_errors[lv] = (
+                abs(weighted_average(rates, weights)
+                    - whole.miss_rates[lv]) * 100
+            )
+        pinballs = [
+            pb for pb in out.regional
+            if pb.region_start in {p.slice_index for p in subset}
+        ]
+        hours = reduced_regional_run_cost(pinballs).hours
+        per_percentile.append((mix_error, level_errors, hours, len(subset)))
+    return per_percentile
+
+
+@experiment(
+    "fig9",
+    result=Fig9Result,
+    paper_ref="Figure 9 — error vs execution time across point percentiles",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_fig9(
     benchmarks: Optional[Sequence[str]] = None,
     percentiles: Sequence[float] = PERCENTILES,
+    jobs: Optional[int] = None,
     **pinpoints_kwargs,
 ) -> Fig9Result:
-    """Sweep the retained-weight percentile across the suite."""
+    """Sweep the retained-weight percentile across the suite.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
     names = resolve_benchmarks(benchmarks)
-    per_benchmark = []
-    for name in names:
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        whole = measure_whole(out)
-        replayer = out.replayer()
-        measured = {}
-        for pinball in out.regional:
-            cache = AllCache()
-            mix = LdStMix()
-            replayer.replay(pinball, [cache, mix])
-            stats = cache.stats()
-            measured[pinball.region_start] = (
-                mix.fractions(),
-                {lv: stats[lv].miss_rate for lv in LEVELS},
-            )
-        per_benchmark.append((out, whole, measured))
+    if not names:
+        raise ConfigError(
+            "Figure 9 needs at least one benchmark to sweep"
+        )
+    percentiles = tuple(percentiles)
+    per_benchmark = map_items(
+        _benchmark_sweep,
+        names,
+        jobs=jobs,
+        percentiles=percentiles,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
 
     points = []
-    for percentile in percentiles:
-        mix_errors, retained, hours = [], [], []
-        level_errors: Dict[str, List[float]] = {lv: [] for lv in LEVELS}
-        for out, whole, measured in per_benchmark:
-            subset = reduce_to_percentile(out.simpoints.points, percentile)
-            weights = [p.weight for p in subset]
-            mixes = [measured[p.slice_index][0] for p in subset]
-            agg_mix = weighted_mix(mixes, weights)
-            mix_errors.append(max_abs_percentage_points(agg_mix, whole.mix))
-            for lv in LEVELS:
-                rates = [measured[p.slice_index][1][lv] for p in subset]
-                level_errors[lv].append(
-                    abs(weighted_average(rates, weights)
-                        - whole.miss_rates[lv]) * 100
-                )
-            pinballs = [
-                pb for pb in out.regional
-                if pb.region_start in {p.slice_index for p in subset}
-            ]
-            hours.append(reduced_regional_run_cost(pinballs).hours)
-            retained.append(len(subset))
+    for index, percentile in enumerate(percentiles):
+        mix_errors = [sweep[index][0] for sweep in per_benchmark]
+        level_errors = {
+            lv: [sweep[index][1][lv] for sweep in per_benchmark]
+            for lv in LEVELS
+        }
+        hours = [sweep[index][2] for sweep in per_benchmark]
+        retained = [sweep[index][3] for sweep in per_benchmark]
         points.append(
             Fig9Point(
                 percentile=percentile,
@@ -117,6 +198,7 @@ def run_fig9(
     return Fig9Result(points=points)
 
 
+@renders("fig9")
 def render_fig9(result: Fig9Result) -> str:
     """Render the error/time trade-off sweep."""
     rows = []

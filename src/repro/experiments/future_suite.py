@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import pinpoints_for
+from repro.experiments.common import map_items, pinpoints_for, require_rows
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 from repro.pin.engine import Engine
 from repro.pin.tools.bbv import BBVProfiler
@@ -26,6 +27,11 @@ from repro.workloads.scaling import (
     DEFAULT_TOTAL_SLICES,
 )
 from repro.workloads.spec2017 import SPEC_CPU2017, build_program_from_descriptor
+
+
+def _full_suite_names() -> List[str]:
+    """All 43 workload names: Table II plus future-work projections."""
+    return list(SPEC_CPU2017) + list(FUTURE_WORK)
 
 
 @dataclass
@@ -55,72 +61,124 @@ class FutureSuiteResult:
     @property
     def average_points(self) -> float:
         """Full-suite average simulation points."""
-        return sum(r.points for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "full-suite average points")
+        return sum(r.points for r in rows) / len(rows)
 
     @property
     def average_points_90(self) -> float:
         """Full-suite average 90th-percentile points."""
-        return sum(r.points_90 for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "full-suite average 90pct points")
+        return sum(r.points_90 for r in rows) / len(rows)
 
     @property
     def projected_rows(self) -> List[FutureRow]:
         """Only the future-work (projected) rows."""
         return [r for r in self.rows if r.projected]
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "points": int(r.points),
+                    "points_90": int(r.points_90),
+                    "reference_points": int(r.reference_points),
+                    "reference_points_90": int(r.reference_points_90),
+                    "projected": bool(r.projected),
+                }
+                for r in self.rows
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FutureSuiteResult":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                FutureRow(
+                    benchmark=r["benchmark"],
+                    points=int(r["points"]),
+                    points_90=int(r["points_90"]),
+                    reference_points=int(r["reference_points"]),
+                    reference_points_90=int(r["reference_points_90"]),
+                    projected=bool(r["projected"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
+
+
+def _workload_points(
+    name: str, slice_size: int, total_slices: int
+) -> FutureRow:
+    """One workload's simulation-point counts (process-pool worker unit)."""
+    if name in SPEC_CPU2017:
+        descriptor = SPEC_CPU2017[name]
+        out = pinpoints_for(
+            name, slice_size=slice_size, total_slices=total_slices
+        )
+        points = out.simpoints.num_points
+        points_90 = len(out.reduced)
+        projected = False
+    else:
+        descriptor = get_future_descriptor(name)
+        program = build_program_from_descriptor(
+            descriptor, slice_size=slice_size, total_slices=total_slices
+        )
+        profiler = BBVProfiler(program.block_sizes)
+        Engine([profiler]).run(program.iter_slices())
+        analysis = SimPointAnalysis(seed=descriptor.seed)
+        result = analysis.analyze(
+            profiler.matrix(), profiler.slice_indices()
+        )
+        points = result.num_points
+        points_90 = len(reduce_to_percentile(result.points))
+        projected = True
+    return FutureRow(
+        benchmark=descriptor.spec_id,
+        points=points,
+        points_90=points_90,
+        reference_points=descriptor.num_phases,
+        reference_points_90=descriptor.num_90pct,
+        projected=projected,
+    )
+
+
+@experiment(
+    "table2-projected",
+    result=FutureSuiteResult,
+    paper_ref="Extension — projected full-suite simulation points",
+    supports_benchmarks=True,
+    supports_jobs=True,
+    benchmark_universe=_full_suite_names,
+)
 def run_future_suite(
     benchmarks: Optional[Sequence[str]] = None,
     slice_size: int = DEFAULT_SLICE_INSTRUCTIONS,
     total_slices: int = DEFAULT_TOTAL_SLICES,
+    jobs: Optional[int] = None,
 ) -> FutureSuiteResult:
     """Measure simulation points across all 43 workloads.
 
     Args:
         benchmarks: Optional subset (full or short names, projected or
             published); defaults to the whole 43-workload suite.
+        jobs: Worker processes for the per-workload fan-out (1 = serial,
+            0/None = one per core); output is order-stable.
     """
-    if benchmarks is None:
-        names = list(SPEC_CPU2017) + list(FUTURE_WORK)
-    else:
-        names = list(benchmarks)
-
-    rows = []
-    for name in names:
-        if name in SPEC_CPU2017:
-            descriptor = SPEC_CPU2017[name]
-            out = pinpoints_for(
-                name, slice_size=slice_size, total_slices=total_slices
-            )
-            points = out.simpoints.num_points
-            points_90 = len(out.reduced)
-            projected = False
-        else:
-            descriptor = get_future_descriptor(name)
-            program = build_program_from_descriptor(
-                descriptor, slice_size=slice_size, total_slices=total_slices
-            )
-            profiler = BBVProfiler(program.block_sizes)
-            Engine([profiler]).run(program.iter_slices())
-            analysis = SimPointAnalysis(seed=descriptor.seed)
-            result = analysis.analyze(
-                profiler.matrix(), profiler.slice_indices()
-            )
-            points = result.num_points
-            points_90 = len(reduce_to_percentile(result.points))
-            projected = True
-        rows.append(
-            FutureRow(
-                benchmark=descriptor.spec_id,
-                points=points,
-                points_90=points_90,
-                reference_points=descriptor.num_phases,
-                reference_points_90=descriptor.num_90pct,
-                projected=projected,
-            )
-        )
+    names = _full_suite_names() if benchmarks is None else list(benchmarks)
+    rows = map_items(
+        _workload_points,
+        names,
+        jobs=jobs,
+        slice_size=slice_size,
+        total_slices=total_slices,
+    )
     return FutureSuiteResult(rows=rows)
 
 
+@renders("table2-projected")
 def render_future_suite(result: FutureSuiteResult) -> str:
     """Render the full-suite table, marking projected rows."""
     rows = []

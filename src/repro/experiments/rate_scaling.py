@@ -9,14 +9,20 @@ miss rate, and SPECrate-style relative throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import (
     SNIPER_SIM,
     CacheHierarchyConfig,
     SystemConfig,
 )
+from repro.experiments.common import map_items
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
+from repro.experiments.serialize import (
+    rate_result_from_payload,
+    rate_result_to_payload,
+)
 from repro.rate.runner import RateResult, SPECrateRunner
 from repro.workloads.spec2017 import build_program
 
@@ -68,31 +74,100 @@ class RateScalingResult:
     rows: List[RateScalingRow]
     copy_counts: List[int]
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "copy_counts": [int(n) for n in self.copy_counts],
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "results": {
+                        str(n): rate_result_to_payload(res)
+                        for n, res in r.results.items()
+                    },
+                }
+                for r in self.rows
+            ],
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RateScalingResult":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                RateScalingRow(
+                    benchmark=r["benchmark"],
+                    results={
+                        int(n): rate_result_from_payload(res)
+                        for n, res in r["results"].items()
+                    },
+                )
+                for r in payload["rows"]
+            ],
+            copy_counts=[int(n) for n in payload["copy_counts"]],
+        )
+
+
+def _benchmark_scaling(
+    name: str,
+    copy_counts: Tuple[int, ...],
+    num_slices: int,
+    slice_size: int,
+    total_slices: int,
+) -> RateScalingRow:
+    """One benchmark's copy-count sweep (process-pool worker unit).
+
+    The runner is built inside the worker so the task payload stays
+    picklable and each process gets its own contended machine.
+    """
+    runner = SPECrateRunner(system=_contended_system())
+    program = build_program(
+        name, slice_size=slice_size, total_slices=total_slices
+    )
+    results = {
+        int(n): runner.run(program, int(n), num_slices=num_slices)
+        for n in copy_counts
+    }
+    return RateScalingRow(benchmark=name, results=results)
+
+
+@experiment(
+    "rate",
+    result=RateScalingResult,
+    paper_ref="Extension — SPECrate scaling under shared-LLC contention",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_rate_scaling(
     benchmarks: Optional[Sequence[str]] = None,
     copy_counts: Sequence[int] = COPY_COUNTS,
     num_slices: int = 40,
     slice_size: int = 30_000,
     total_slices: int = 120,
+    jobs: Optional[int] = None,
 ) -> RateScalingResult:
-    """Sweep concurrent copy counts per benchmark."""
+    """Sweep concurrent copy counts per benchmark.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
     names = list(benchmarks) if benchmarks is not None else \
         list(DEFAULT_BENCHMARKS)
-    runner = SPECrateRunner(system=_contended_system())
-    rows = []
-    for name in names:
-        program = build_program(
-            name, slice_size=slice_size, total_slices=total_slices
-        )
-        results = {
-            int(n): runner.run(program, int(n), num_slices=num_slices)
-            for n in copy_counts
-        }
-        rows.append(RateScalingRow(benchmark=name, results=results))
-    return RateScalingResult(rows=rows, copy_counts=[int(n) for n in copy_counts])
+    rows = map_items(
+        _benchmark_scaling,
+        names,
+        jobs=jobs,
+        copy_counts=tuple(int(n) for n in copy_counts),
+        num_slices=num_slices,
+        slice_size=slice_size,
+        total_slices=total_slices,
+    )
+    return RateScalingResult(
+        rows=rows, copy_counts=[int(n) for n in copy_counts]
+    )
 
 
+@renders("rate")
 def render_rate_scaling(result: RateScalingResult) -> str:
     """Render CPI, shared-LLC miss rate, and throughput per copy count."""
     rows = []

@@ -1,0 +1,142 @@
+"""Shared serialization protocol for experiment result dataclasses.
+
+Every ``*Result`` dataclass in :mod:`repro.experiments` implements the
+:class:`SerializableResult` protocol: ``to_payload()`` produces a plain
+JSON-compatible structure (dicts, lists, str, int, float, bool, None)
+and ``from_payload()`` reconstructs an equivalent result object.  The
+contract is *render fidelity*: for any result ``r``,
+``render(from_payload(to_payload(r)))`` is byte-identical to
+``render(r)`` — which is what lets the registry serve cached results
+and ``--json-out`` files interchangeably with live runs.
+
+Python's JSON encoder round-trips finite floats exactly (``repr``-based
+shortest form), so numeric payloads need no special encoding; numpy
+arrays and scalars are converted to plain lists/numbers on the way out
+and restored as ``float64`` arrays on the way in.
+
+This module holds the converters for the measurement dataclasses shared
+across drivers (:class:`~repro.experiments.common.RunMetrics`,
+:class:`~repro.timemodel.runtime.RunCost`,
+:class:`~repro.fsa.turnaround.CampaignCost`,
+:class:`~repro.rate.runner.RateResult`); each driver module implements
+its own result's pair on top of these.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Protocol, runtime_checkable
+
+from repro.experiments.common import metrics_from_payload, metrics_to_payload
+from repro.fsa.turnaround import CampaignCost
+from repro.rate.runner import CopyStats, RateResult
+from repro.timemodel.runtime import RunCost
+
+__all__ = [
+    "SerializableResult",
+    "campaign_cost_from_payload",
+    "campaign_cost_to_payload",
+    "copy_stats_from_payload",
+    "copy_stats_to_payload",
+    "metrics_from_payload",
+    "metrics_to_payload",
+    "rate_result_from_payload",
+    "rate_result_to_payload",
+    "run_cost_from_payload",
+    "run_cost_to_payload",
+]
+
+
+@runtime_checkable
+class SerializableResult(Protocol):
+    """The serialization pair every experiment result implements."""
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-compatible representation of this result."""
+        ...  # pragma: no cover - protocol stub
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SerializableResult":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        ...  # pragma: no cover - protocol stub
+
+
+# -- RunCost (Figure 5 / Figure 9 time axis) --------------------------
+
+
+def run_cost_to_payload(cost: RunCost) -> Dict[str, float]:
+    return {
+        "instructions": float(cost.instructions),
+        "seconds": float(cost.seconds),
+    }
+
+
+def run_cost_from_payload(payload: Dict[str, Any]) -> RunCost:
+    return RunCost(
+        instructions=float(payload["instructions"]),
+        seconds=float(payload["seconds"]),
+    )
+
+
+# -- CampaignCost (turnaround extension) ------------------------------
+
+
+def campaign_cost_to_payload(cost: CampaignCost) -> Dict[str, Any]:
+    return {"strategy": str(cost.strategy), "seconds": float(cost.seconds)}
+
+
+def campaign_cost_from_payload(payload: Dict[str, Any]) -> CampaignCost:
+    return CampaignCost(
+        strategy=str(payload["strategy"]), seconds=float(payload["seconds"])
+    )
+
+
+# -- RateResult / CopyStats (SPECrate extension) ----------------------
+
+
+def copy_stats_to_payload(stats: CopyStats) -> Dict[str, Any]:
+    return {
+        "copy_id": int(stats.copy_id),
+        "instructions": int(stats.instructions),
+        "cycles": float(stats.cycles),
+        "l2_misses": int(stats.l2_misses),
+        "l3_misses": int(stats.l3_misses),
+    }
+
+
+def copy_stats_from_payload(payload: Dict[str, Any]) -> CopyStats:
+    return CopyStats(
+        copy_id=int(payload["copy_id"]),
+        instructions=int(payload["instructions"]),
+        cycles=float(payload["cycles"]),
+        l2_misses=int(payload["l2_misses"]),
+        l3_misses=int(payload["l3_misses"]),
+    )
+
+
+def rate_result_to_payload(result: RateResult) -> Dict[str, Any]:
+    return {
+        "copies": [copy_stats_to_payload(c) for c in result.copies],
+        "shared_l3_accesses": int(result.shared_l3_accesses),
+        "shared_l3_misses": int(result.shared_l3_misses),
+    }
+
+
+def rate_result_from_payload(payload: Dict[str, Any]) -> RateResult:
+    return RateResult(
+        copies=[copy_stats_from_payload(c) for c in payload["copies"]],
+        shared_l3_accesses=int(payload["shared_l3_accesses"]),
+        shared_l3_misses=int(payload["shared_l3_misses"]),
+    )
+
+
+# -- misc converters ---------------------------------------------------
+
+
+def float_list(values) -> List[float]:
+    """A numpy vector (or any iterable of numbers) as a plain float list."""
+    return [float(v) for v in values]
+
+
+def float_dict(mapping) -> Dict[str, float]:
+    """A str-keyed mapping of numbers as plain floats (insertion order)."""
+    return {str(k): float(v) for k, v in mapping.items()}

@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import map_benchmarks
+from repro.experiments.common import map_benchmarks, require_rows
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 from repro.workloads.spec2017 import get_descriptor
 
@@ -38,19 +39,59 @@ class Table2Result:
     @property
     def average_points(self) -> float:
         """Suite-average number of simulation points."""
-        return sum(r.points for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "Table II average points")
+        return sum(r.points for r in rows) / len(rows)
 
     @property
     def average_points_90(self) -> float:
         """Suite-average number of 90th-percentile points."""
-        return sum(r.points_90 for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "Table II average 90pct points")
+        return sum(r.points_90 for r in rows) / len(rows)
 
     @property
     def mismatches(self) -> List[str]:
         """Benchmarks whose counts deviate from the published table."""
         return [r.benchmark for r in self.rows if not r.matches_paper]
 
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "points": int(r.points),
+                    "points_90": int(r.points_90),
+                    "paper_points": int(r.paper_points),
+                    "paper_points_90": int(r.paper_points_90),
+                }
+                for r in self.rows
+            ]
+        }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Table2Result":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                Table2Row(
+                    benchmark=r["benchmark"],
+                    points=int(r["points"]),
+                    points_90=int(r["points_90"]),
+                    paper_points=int(r["paper_points"]),
+                    paper_points_90=int(r["paper_points_90"]),
+                )
+                for r in payload["rows"]
+            ]
+        )
+
+
+@experiment(
+    "table2",
+    result=Table2Result,
+    paper_ref="Table II — simulation points per benchmark",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_table2(
     benchmarks: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
@@ -81,6 +122,7 @@ def run_table2(
     return Table2Result(rows=rows)
 
 
+@renders("table2")
 def render_table2(result: Table2Result) -> str:
     """Render the measured Table II next to the published values."""
     rows = [

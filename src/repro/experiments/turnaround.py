@@ -11,8 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import pinpoints_for, resolve_benchmarks
+from repro.experiments.common import (
+    map_items,
+    pinpoints_for,
+    require_rows,
+    resolve_benchmarks,
+)
+from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
+from repro.experiments.serialize import (
+    campaign_cost_from_payload,
+    campaign_cost_to_payload,
+)
 from repro.fsa.turnaround import (
     CampaignCost,
     detailed_full_cost,
@@ -24,6 +34,9 @@ from repro.workloads.spec2017 import get_descriptor
 
 #: Host pool assumed for the parallel-replay strategy.
 PARALLEL_HOSTS = 8
+
+#: Strategy column order (also the payload key order).
+STRATEGIES = ("detailed-full", "serial-replay", "parallel-replay", "fsa")
 
 
 @dataclass
@@ -42,42 +55,95 @@ class TurnaroundResult:
 
     def average_hours(self, strategy: str) -> float:
         """Suite-average turnaround in hours for one strategy."""
-        return sum(r.costs[strategy].hours for r in self.rows) / len(self.rows)
+        rows = require_rows(self.rows, "turnaround suite average")
+        return sum(r.costs[strategy].hours for r in rows) / len(rows)
+
+    def to_payload(self) -> dict:
+        """A JSON-compatible representation of this result."""
+        return {
+            "rows": [
+                {
+                    "benchmark": r.benchmark,
+                    "costs": {
+                        s: campaign_cost_to_payload(r.costs[s])
+                        for s in STRATEGIES
+                    },
+                }
+                for r in self.rows
+            ]
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TurnaroundResult":
+        """Reconstruct a result from :meth:`to_payload` output."""
+        return cls(
+            rows=[
+                TurnaroundRow(
+                    benchmark=r["benchmark"],
+                    costs={
+                        s: campaign_cost_from_payload(r["costs"][s])
+                        for s in STRATEGIES
+                    },
+                )
+                for r in payload["rows"]
+            ]
+        )
 
 
+def _benchmark_turnaround(
+    name: str, hosts: int, pinpoints_kwargs: dict
+) -> TurnaroundRow:
+    """One benchmark's strategy costs (process-pool worker unit)."""
+    descriptor = get_descriptor(name)
+    out = pinpoints_for(name, **pinpoints_kwargs)
+    return TurnaroundRow(
+        benchmark=descriptor.spec_id,
+        costs={
+            "detailed-full": detailed_full_cost(
+                descriptor.paper_instructions
+            ),
+            "serial-replay": serial_replay_cost(out.regional),
+            "parallel-replay": parallel_replay_cost(
+                out.regional, hosts
+            ),
+            "fsa": fsa_cost(
+                out.regional, descriptor.paper_instructions
+            ),
+        },
+    )
+
+
+@experiment(
+    "turnaround",
+    result=TurnaroundResult,
+    paper_ref="Extension — campaign turnaround by simulation strategy",
+    supports_benchmarks=True,
+    supports_jobs=True,
+)
 def run_turnaround(
     benchmarks: Optional[Sequence[str]] = None,
     hosts: int = PARALLEL_HOSTS,
+    jobs: Optional[int] = None,
     **pinpoints_kwargs,
 ) -> TurnaroundResult:
-    """Cost every strategy for each benchmark's simulation-point campaign."""
-    rows = []
-    for name in resolve_benchmarks(benchmarks):
-        descriptor = get_descriptor(name)
-        out = pinpoints_for(name, **pinpoints_kwargs)
-        rows.append(
-            TurnaroundRow(
-                benchmark=descriptor.spec_id,
-                costs={
-                    "detailed-full": detailed_full_cost(
-                        descriptor.paper_instructions
-                    ),
-                    "serial-replay": serial_replay_cost(out.regional),
-                    "parallel-replay": parallel_replay_cost(
-                        out.regional, hosts
-                    ),
-                    "fsa": fsa_cost(
-                        out.regional, descriptor.paper_instructions
-                    ),
-                },
-            )
-        )
+    """Cost every strategy for each benchmark's simulation-point campaign.
+
+    ``jobs`` fans the per-benchmark work across worker processes (1 =
+    serial, 0/None = one per core); output is order-stable.
+    """
+    rows = map_items(
+        _benchmark_turnaround,
+        resolve_benchmarks(benchmarks),
+        jobs=jobs,
+        hosts=hosts,
+        pinpoints_kwargs=dict(pinpoints_kwargs),
+    )
     return TurnaroundResult(rows=rows)
 
 
+@renders("turnaround")
 def render_turnaround(result: TurnaroundResult) -> str:
     """Render per-benchmark and average campaign turnaround."""
-    strategies = ["detailed-full", "serial-replay", "parallel-replay", "fsa"]
     rows = []
     for r in result.rows:
         rows.append(

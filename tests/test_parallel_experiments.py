@@ -11,11 +11,26 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import common
+from repro.experiments.baselines import render_baselines, run_baselines
 from repro.experiments.common import clear_pinpoints_cache, configure_cache
+from repro.experiments.fig4 import render_fig4, run_fig4
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig6 import render_fig6, run_fig6
 from repro.experiments.fig7 import render_fig7, run_fig7
 from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.fig9 import render_fig9, run_fig9
 from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.fig12 import render_fig12, run_fig12
+from repro.experiments.future_suite import (
+    render_future_suite,
+    run_future_suite,
+)
+from repro.experiments.rate_scaling import (
+    render_rate_scaling,
+    run_rate_scaling,
+)
 from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.turnaround import render_turnaround, run_turnaround
 
 from conftest import QUICK
 
@@ -24,9 +39,18 @@ BENCHMARKS = ["620.omnetpp_s", "557.xz_r"]
 #: (runner, renderer) for every driver exposing the ``jobs`` axis.
 DRIVERS = [
     (run_table2, render_table2),
+    (run_fig4, render_fig4),
+    (run_fig5, render_fig5),
+    (run_fig6, render_fig6),
     (run_fig7, render_fig7),
     (run_fig8, render_fig8),
+    (run_fig9, render_fig9),
     (run_fig10, render_fig10),
+    (run_fig12, render_fig12),
+    (run_baselines, render_baselines),
+    (run_rate_scaling, render_rate_scaling),
+    (run_turnaround, render_turnaround),
+    (run_future_suite, render_future_suite),
 ]
 
 

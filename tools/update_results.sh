@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate results/: every experiment's rendered table (.txt) and its
+# structured JSON payload (.json), via the registry-driven `report`
+# subcommand.  Extra arguments are forwarded, e.g.:
+#
+#   tools/update_results.sh                      # full refresh
+#   tools/update_results.sh --experiments fig8   # one experiment
+#   tools/update_results.sh --jobs 1             # force serial
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m repro report --out-dir results --jobs 0 "$@"
