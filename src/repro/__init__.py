@@ -71,7 +71,7 @@ try:
 
     __version__ = _pkg_version("repro")
 except _PkgNotFound:
-    __version__ = "1.1.0"
+    __version__ = "1.2.0"
 
 __all__ = [
     "__version__",

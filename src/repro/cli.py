@@ -13,6 +13,10 @@ Examples::
     repro-spec2017 fig8 --json-out fig8.json
     repro-spec2017 report --out-dir results
     repro-spec2017 cache info             # on-disk artifact store status
+    repro-spec2017 cache doctor --prune   # verify checksums, drop quarantine
+    repro-spec2017 table2 --resume        # continue an interrupted campaign
+    repro-spec2017 table2 --retries 2 --on-failure skip
+    repro-spec2017 fig8 --inject-faults crash:items=1   # test recovery
     repro-spec2017 trace fig7 --jobs 2 --trace-out run.trace.json
     repro-spec2017 trace view run.trace.json
     python -m repro fig12
@@ -21,6 +25,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -66,6 +71,37 @@ def _add_experiment_options(
     exp.add_argument(
         "--json-out", metavar="FILE", default=None,
         help="also write the structured result payload as JSON",
+    )
+    exp.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed item up to N extra times "
+             "(deterministic seeded backoff)",
+    )
+    exp.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        dest="timeout_s",
+        help="per-item deadline for pooled work; a late worker counts "
+             "as a failed attempt",
+    )
+    exp.add_argument(
+        "--on-failure", default="fail", dest="on_failure",
+        choices=["fail", "skip", "serial-fallback"],
+        help="what a finally-failed item does: abort the campaign "
+             "(fail), drop the item and report the survivors (skip), or "
+             "rerun the remainder in-process after a pool collapse "
+             "(serial-fallback)",
+    )
+    exp.add_argument(
+        "--resume", action="store_true",
+        help="reuse per-item outcomes journaled by a previous "
+             "interrupted run of the same campaign (needs the artifact "
+             "store)",
+    )
+    exp.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        dest="inject_faults",
+        help="deterministic fault-injection spec or preset (e.g. "
+             "'crash:items=2', 'ci-default') for testing recovery paths",
     )
 
 
@@ -143,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     for cache_cmd, cache_help in (
         ("info", "show store location, schema, and artifact counts"),
         ("clear", "delete every stored artifact"),
+        ("doctor", "verify artifact checksums; quarantine what fails"),
     ):
         cache_cmd_parser = cache_sub.add_parser(cache_cmd, help=cache_help)
         cache_cmd_parser.add_argument(
@@ -150,6 +187,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="store directory (default: REPRO_CACHE_DIR or "
                  "~/.cache/repro-spec2017)",
         )
+        if cache_cmd == "doctor":
+            cache_cmd_parser.add_argument(
+                "--prune", action="store_true",
+                help="delete quarantined files after the scan",
+            )
     report = sub.add_parser(
         "report",
         help="regenerate rendered tables and JSON payloads for every "
@@ -285,17 +327,26 @@ def _run_trace(args) -> int:
 
     from repro import telemetry
     from repro.experiments.common import configure_cache, set_store
+    from repro.resilience import using_campaign, using_plan
 
     spec = experiments.get_spec(args.trace_command)
     kwargs = _experiment_kwargs(spec, args)
     if kwargs is None:
         return 2
+    setup = _campaign_setup(args)
+    if setup is None:
+        return 2
+    campaign, plan = setup
     recorder = telemetry.TraceRecorder()
     previous_store = configure_cache(args.cache_dir, enabled=not args.no_cache)
     try:
-        with telemetry.using_recorder(recorder):
-            with telemetry.span("experiment", experiment=spec.name):
-                result = experiments.execute(spec, kwargs)
+        plan_scope = (
+            using_plan(plan) if plan is not None else contextlib.nullcontext()
+        )
+        with telemetry.using_recorder(recorder), plan_scope:
+            with using_campaign(campaign):
+                with telemetry.span("experiment", experiment=spec.name):
+                    result = experiments.execute(spec, kwargs)
         print(spec.renderer(result))
         if args.json_out:
             _write_payload(args.json_out, result_payload(spec, result))
@@ -319,7 +370,7 @@ def _run_trace(args) -> int:
     if args.summary_out:
         path = telemetry.write_summary(args.summary_out, manifest)
         print(f"summary manifest written to {path}")
-    return 0
+    return _report_campaign(campaign)
 
 
 def _run_cache(args) -> int:
@@ -330,6 +381,10 @@ def _run_cache(args) -> int:
     if args.cache_command == "info":
         print(store.info().render())
         return 0
+    if args.cache_command == "doctor":
+        report = store.doctor(prune=args.prune)
+        print(report.render())
+        return 0 if report.quarantined_now == 0 else 1
     try:
         removed = store.clear()
     except StoreError as exc:
@@ -371,16 +426,73 @@ def _run_report(args) -> int:
     return 0
 
 
+def _campaign_setup(args):
+    """(campaign, fault plan) from the resilience options, or None on error.
+
+    Every experiment run executes as a campaign — journaling per-item
+    outcomes is what makes an interrupted run resumable, so it is on
+    whenever the artifact store is.
+    """
+    from repro.errors import ConfigError
+    from repro.resilience import Campaign, ResiliencePolicy, parse_spec
+
+    try:
+        policy = ResiliencePolicy.from_options(
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+            on_failure=args.on_failure,
+        )
+        plan = (
+            parse_spec(args.inject_faults)
+            if args.inject_faults is not None else None
+        )
+    except ConfigError as exc:
+        print(f"invalid resilience options: {exc}", file=sys.stderr)
+        return None
+    if args.resume and args.no_cache:
+        print("--resume needs the artifact store; drop --no-cache",
+              file=sys.stderr)
+        return None
+    return Campaign(policy=policy, resume=args.resume), plan
+
+
+def _report_campaign(campaign) -> int:
+    """Print survivor/resume lines to stderr; exit code for the run.
+
+    Degraded output goes to stderr so stdout (the rendered table) stays
+    byte-identical between a clean run and a resumed one.
+    """
+    if campaign.reused_items:
+        print(
+            f"resumed: {campaign.reused_items} journaled item(s) reused",
+            file=sys.stderr,
+        )
+    if campaign.degraded:
+        print(campaign.summary(), file=sys.stderr)
+        return 3
+    return 0
+
+
 def _run_experiment(args) -> int:
     from repro.experiments.common import configure_cache, set_store
+    from repro.resilience import using_campaign, using_plan
 
     spec = experiments.get_spec(args.command)
     kwargs = _experiment_kwargs(spec, args)
     if kwargs is None:
         return 2
+    setup = _campaign_setup(args)
+    if setup is None:
+        return 2
+    campaign, plan = setup
     previous = configure_cache(args.cache_dir, enabled=not args.no_cache)
     try:
-        result = experiments.execute(spec, kwargs)
+        plan_scope = (
+            using_plan(plan) if plan is not None else contextlib.nullcontext()
+        )
+        with plan_scope:
+            with using_campaign(campaign):
+                result = experiments.execute(spec, kwargs)
         print(spec.renderer(result))
         if args.json_out:
             _write_payload(args.json_out, result_payload(spec, result))
@@ -388,7 +500,7 @@ def _run_experiment(args) -> int:
                   file=sys.stderr)
     finally:
         set_store(previous)
-    return 0
+    return _report_campaign(campaign)
 
 
 def _run_list() -> str:

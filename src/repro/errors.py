@@ -57,3 +57,9 @@ class LintError(ReproError):
 
 class StoreError(ReproError):
     """The on-disk artifact store was misused or refused an unsafe operation."""
+
+
+class ResilienceError(ReproError):
+    """Fault-tolerant execution failed: a timeout expired, the worker
+    pool collapsed under a ``fail`` policy, or a journal entry could not
+    be decoded."""

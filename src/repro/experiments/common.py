@@ -118,7 +118,13 @@ def configure_cache(
         return set_store(None)
     from repro.parallel import default_cache_dir
 
-    return set_store(ArtifactStore(cache_dir or default_cache_dir()))
+    # The disk tier opts into fault injection: every read/write of it
+    # recovers transparently (corrupt artifacts recompute, failed puts
+    # are swallowed as StoreError), so the CI faults job can corrupt it
+    # without failing code that has no recovery path.
+    return set_store(
+        ArtifactStore(cache_dir or default_cache_dir(), inject_faults=True)
+    )
 
 
 def metrics_to_payload(metrics: RunMetrics) -> dict:
@@ -409,13 +415,15 @@ def map_benchmarks(
         config=config,
         pinpoints_kwargs=dict(pinpoints_kwargs),
     )
-    return parallel_map(worker, resolve_benchmarks(benchmarks), jobs=jobs)
+    names = resolve_benchmarks(benchmarks)
+    return parallel_map(worker, names, jobs=jobs, labels=names)
 
 
 def map_items(
     worker: Callable,
     items: Sequence,
     jobs: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
     **bound,
 ) -> List:
     """Fan any per-item worker across the process pool, input order kept.
@@ -427,7 +435,11 @@ def map_items(
     ``bound`` keywords are attached via :func:`functools.partial`.
     Results merge in submission order, so output is byte-identical for
     any ``jobs`` value.
+
+    Resilience policies from the active campaign apply per item; under a
+    ``skip`` policy the returned list holds only the survivors (string
+    items label their own outcome records unless ``labels`` overrides).
     """
     if bound:
         worker = functools.partial(worker, **bound)
-    return parallel_map(worker, list(items), jobs=jobs)
+    return parallel_map(worker, list(items), jobs=jobs, labels=labels)

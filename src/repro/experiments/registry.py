@@ -246,11 +246,21 @@ def execute(spec: ExperimentSpec, kwargs: Optional[dict] = None):
     re-running the experiment; on a miss the runner executes and its
     payload is persisted.  Unkeyable kwargs (live objects) simply bypass
     the cache.
+
+    With an active :class:`~repro.resilience.context.Campaign` and a
+    store, the campaign's journal attaches under the same content
+    address before the runner starts, so per-item outcomes persist as
+    they complete and an interrupted run resumes (``--resume``) without
+    recomputing journaled items.  A degraded result (items skipped under
+    the campaign's policy) is *never* written to the result cache — a
+    later full run must not be poisoned by a survivor subset.
     """
     from repro.experiments.common import get_store
+    from repro.resilience.context import get_campaign
 
     kwargs = dict(kwargs or {})
     store = get_store()
+    campaign = get_campaign()
     params = None
     if store is not None:
         try:
@@ -265,13 +275,22 @@ def execute(spec: ExperimentSpec, kwargs: Optional[dict] = None):
                 stored = None
             else:
                 telemetry_count("result.hit", experiment=spec.name)
+                if campaign is not None:
+                    campaign.finish()
                 return result
+    if campaign is not None and store is not None and params is not None:
+        campaign.attach_journal(store.root, store.key("campaign", params))
     telemetry_count("result.miss", experiment=spec.name)
     with span("experiment.run", experiment=spec.name):
         result = spec.runner(**kwargs)
-    if store is not None and params is not None:
+    degraded = campaign is not None and campaign.degraded
+    if degraded:
+        telemetry_count("result.degraded", experiment=spec.name)
+    if store is not None and params is not None and not degraded:
         try:
             store.put_json("result", params, result_payload(spec, result))
         except StoreError:
             pass
+    if campaign is not None:
+        campaign.finish(complete=not degraded)
     return result

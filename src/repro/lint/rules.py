@@ -1,4 +1,4 @@
-"""The simulation-correctness rule set (REP001–REP012).
+"""The simulation-correctness rule set (REP001–REP013).
 
 Every rule here guards a way a simulation codebase silently loses
 determinism or fidelity: hidden global RNG state, float round-trip
@@ -576,3 +576,56 @@ def check_raw_clock(ctx) -> Yield:
                 "repro.telemetry.clock; use monotonic_ns()/wall_time_s() "
                 "from the telemetry clock module instead"
             )
+
+
+#: Functions whose call fans work out to pool workers (REP013).
+_DISPATCH_FUNCTIONS = frozenset({
+    "parallel_map", "resilient_map", "map_benchmarks", "map_items",
+    "as_completed",
+})
+
+#: Future/executor methods on the worker dispatch and harvest path.
+_DISPATCH_METHODS = frozenset({"submit", "result"})
+
+
+def _dispatch_call(ctx, try_node: ast.Try) -> Optional[ast.AST]:
+    """First worker-dispatch call in the try body, if any."""
+    for stmt in try_node.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is not None and name.rsplit(".", 1)[-1] in _DISPATCH_FUNCTIONS:
+                return node
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+            ):
+                return node
+    return None
+
+
+@rule(
+    "REP013",
+    "bare-except-dispatch",
+    hazard=(
+        "a bare except around worker dispatch swallows every failure "
+        "class the resilience layer must tell apart — injected faults, "
+        "BrokenProcessPool, per-item timeouts, KeyboardInterrupt — so "
+        "crashed items vanish instead of becoming ItemOutcome records "
+        "and degraded results are silently reported as complete."
+    ),
+)
+def check_bare_except_dispatch(ctx) -> Yield:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        if _dispatch_call(ctx, node) is None:
+            continue
+        for handler in node.handlers:
+            if handler.type is None and not _handler_reraises(handler):
+                yield handler, (
+                    "bare except around worker dispatch; catch the "
+                    "specific failures (or let the resilience policy "
+                    "classify them into ItemOutcome records), or re-raise"
+                )

@@ -2,19 +2,25 @@
 
 Two halves, composed by ``repro.experiments.common``:
 
-* :mod:`repro.parallel.pool` — a deterministic process-pool runner that
-  fans per-benchmark work across cores and merges results in submission
-  order, so parallel runs are bit-identical to serial ones.
+* :mod:`repro.parallel.pool` — a deterministic, fault-tolerant
+  process-pool runner that fans per-benchmark work across cores and
+  merges results in submission order, so parallel runs are
+  bit-identical to serial ones; per-item failures are classified under
+  the active :mod:`repro.resilience` policy instead of aborting the
+  suite.
 * :mod:`repro.parallel.store` — a content-addressed on-disk artifact
   store (pipeline outputs, replay metrics) shared across worker
   processes and across sessions, versioned by a schema tag plus a
-  pipeline-parameter hash.
+  pipeline-parameter hash, with checksum envelopes and quarantine of
+  corrupt artifacts.
 """
 
-from repro.parallel.pool import parallel_map, resolve_jobs
+from repro.parallel.pool import parallel_map, resilient_map, resolve_jobs
 from repro.parallel.store import (
+    ENVELOPE_TAG,
     SCHEMA_TAG,
     ArtifactStore,
+    DoctorReport,
     StoreInfo,
     artifact_key,
     canonical_params,
@@ -23,11 +29,14 @@ from repro.parallel.store import (
 
 __all__ = [
     "ArtifactStore",
+    "DoctorReport",
+    "ENVELOPE_TAG",
     "SCHEMA_TAG",
     "StoreInfo",
     "artifact_key",
     "canonical_params",
     "default_cache_dir",
     "parallel_map",
+    "resilient_map",
     "resolve_jobs",
 ]

@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out for per-benchmark work.
+"""Deterministic, fault-tolerant process-pool fan-out.
 
 The suite's per-benchmark axis is embarrassingly parallel: every
 pipeline run and replay is a pure, seeded function of its parameters.
@@ -6,6 +6,22 @@ pipeline run and replay is a pure, seeded function of its parameters.
 and merges results **in submission order**, so rendered output is
 bit-identical to a serial run no matter which worker finishes first
 (the hazard repro-lint REP011 guards against).
+
+Fault tolerance: :func:`resilient_map` is the underlying engine.  It
+applies a :class:`~repro.resilience.policy.ResiliencePolicy` — taken
+from the active :class:`~repro.resilience.context.Campaign`, or passed
+explicitly — to every item: worker exceptions, per-item timeouts, and
+``BrokenProcessPool`` collapses become structured
+:class:`~repro.resilience.policy.ItemOutcome` records (retried with
+deterministic backoff while the budget lasts) instead of suite-wide
+aborts.  Under the default strict policy the first submission-order
+failure re-raises the original exception — the historical
+``parallel_map`` contract — while ``skip`` drops failed items from the
+result set and ``serial-fallback`` reruns the remainder in-process
+after a pool collapse.  With a campaign journal attached, every fresh
+outcome is durably appended as it completes, and journaled items from
+an interrupted run are merged back byte-identically in submission
+order without recomputing.
 
 Fork safety: workers are forked where the platform supports it (cheap,
 inherits the configured artifact store and loaded registries); on
@@ -15,15 +31,17 @@ functions and ``functools.partial`` over them, never closures.
 
 ``jobs`` semantics everywhere in this package: ``None``/``0`` means
 auto-detect (one worker per CPU core), ``1`` means run serially
-in-process (no pool, no pickling), ``N > 1`` means a pool of N workers.
+in-process (no pool, no pickling), ``N > 1`` means a pool of N workers
+(clamped to the item count; a clamp is reported on the
+``parallel.jobs_clamped`` gauge, never an error).
 
-Telemetry: with a recorder active, each worker call runs under a fresh
-:class:`~repro.telemetry.recorder.TraceRecorder` whose snapshot ships
-back alongside the result and is merged into the parent recorder **in
-submission order** (worker events get ``tid = 1 + item index``), so
-traces and aggregated metrics are deterministic regardless of worker
-completion interleaving.  With telemetry disabled, the wrapper is not
-installed at all — results are the bare ``fn`` return values.
+Telemetry: with a recorder active, each pooled worker call runs under a
+fresh :class:`~repro.telemetry.recorder.TraceRecorder` whose snapshot
+ships back alongside the result and is merged into the parent recorder
+**in submission order** (worker events get ``tid = 1 + item index``),
+so traces and aggregated metrics are deterministic regardless of worker
+completion interleaving.  Retries and timeouts count on the
+``item.retry`` / ``item.timeout`` counters.
 """
 
 from __future__ import annotations
@@ -31,10 +49,26 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ResilienceError
+from repro.resilience.context import Campaign, get_campaign
+from repro.resilience.faults import FaultPlan, get_plan, inject_worker_fault
+from repro.resilience.policy import (
+    KIND_BROKEN_POOL,
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    STATUS_FAILED,
+    STATUS_OK,
+    ItemOutcome,
+    MapOutcome,
+    OnFailure,
+    ResiliencePolicy,
+)
+from repro.telemetry.clock import sleep_s
 from repro.telemetry.recorder import (
     TraceRecorder,
     get_recorder,
@@ -42,25 +76,35 @@ from repro.telemetry.recorder import (
     span,
 )
 
-__all__ = ["parallel_map", "resolve_jobs"]
+__all__ = ["parallel_map", "resilient_map", "resolve_jobs"]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
+def resolve_jobs(jobs: Optional[int] = None, items: Optional[int] = None) -> int:
     """Normalize a ``--jobs`` value to a concrete worker count.
 
     ``None`` and ``0`` auto-detect (``os.cpu_count()``); anything else
-    must be a positive integer.
+    must be a positive integer.  With ``items`` given, a request for
+    more workers than there is work clamps to the item count (spinning
+    up idle processes is pure waste) and reports the requested value on
+    the ``parallel.jobs_clamped`` gauge.
     """
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        workers = os.cpu_count() or 1
+    elif isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
         raise ConfigError(
             f"jobs must be a positive integer or 0/None for auto, got {jobs!r}"
         )
-    return jobs
+    else:
+        workers = jobs
+    if items is not None and workers > max(items, 1):
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.gauge("parallel.jobs_clamped", workers)
+        workers = max(items, 1)
+    return workers
 
 
 def _mp_context():
@@ -77,72 +121,318 @@ class _TracedResult:
     telemetry: dict
 
 
-def _traced_call(fn: Callable, item) -> _TracedResult:
-    """Run one item under a private worker recorder (pool-side wrapper).
+def _resilient_call(
+    fn: Callable, item, index: int, attempt: int, plan: Optional[FaultPlan]
+) -> _TracedResult:
+    """Run one item in a pool worker (module-level, so it pickles).
 
-    Module-level (not a closure) so it pickles on spawn-only platforms.
-    The previous recorder — on fork, the parent's inherited copy — is
+    Installs the shipped fault plan and a private worker recorder; the
+    previous recorder — on fork, the parent's inherited copy — is
     restored afterwards because pool workers are reused across tasks and
     each task must capture only its own events.
     """
+    from repro.resilience.faults import set_plan
+
     worker_recorder = TraceRecorder()
     previous = set_recorder(worker_recorder)
+    previous_plan = set_plan(plan)
     try:
+        inject_worker_fault(index, attempt)
         result = fn(item)
     finally:
+        set_plan(previous_plan)
         set_recorder(previous)
     return _TracedResult(result=result, telemetry=worker_recorder.snapshot())
+
+
+def _default_labels(work: Sequence) -> List[str]:
+    labels = []
+    for index, item in enumerate(work):
+        if isinstance(item, str):
+            labels.append(item)
+        else:
+            labels.append(f"item[{index}]")
+    return labels
+
+
+def _failure_outcome(
+    index: int, label: str, attempts: int, kind: str, error: BaseException
+) -> ItemOutcome:
+    return ItemOutcome(
+        index=index,
+        label=label,
+        status=STATUS_FAILED,
+        attempts=attempts,
+        kind=kind,
+        error=f"{type(error).__name__}: {error}",
+        exception=error,
+    )
+
+
+def _raise_outcome(outcome: ItemOutcome) -> None:
+    """Re-raise a failed item the way the strict contract promises."""
+    if outcome.kind == KIND_EXCEPTION and outcome.exception is not None:
+        raise outcome.exception
+    raise ResilienceError(
+        f"item {outcome.label!r} failed after {outcome.attempts} attempt(s) "
+        f"({outcome.kind}): {outcome.error}"
+    ) from outcome.exception
+
+
+def _serial_item(
+    fn: Callable,
+    item,
+    index: int,
+    label: str,
+    policy: ResiliencePolicy,
+) -> ItemOutcome:
+    """Run one item in-process under the retry budget."""
+    recorder = get_recorder()
+    error: Optional[BaseException] = None
+    for attempt in range(1, policy.retry.attempts + 1):
+        if attempt > 1:
+            if recorder is not None:
+                recorder.count("item.retry", label=label)
+            sleep_s(policy.retry.delay_s(index, attempt))
+        try:
+            inject_worker_fault(index, attempt)
+            value = fn(item)
+        except Exception as exc:  # repro-lint: disable=REP006 -- worker failures are classified into ItemOutcome records; the policy engine re-raises them unless the campaign opted into skip
+            error = exc
+            continue
+        return ItemOutcome(
+            index=index, label=label, status=STATUS_OK,
+            attempts=attempt, value=value,
+        )
+    return _failure_outcome(
+        index, label, policy.retry.attempts, KIND_EXCEPTION, error
+    )
+
+
+def _run_serial(
+    fn: Callable,
+    work: Sequence,
+    pending: Sequence[int],
+    labels: Sequence[str],
+    policy: ResiliencePolicy,
+    outcomes: List[Optional[ItemOutcome]],
+    campaign: Optional[Campaign],
+    seq: int,
+) -> None:
+    for index in pending:
+        outcome = _serial_item(fn, work[index], index, labels[index], policy)
+        outcomes[index] = outcome
+        if campaign is not None:
+            campaign.journal_item(seq, outcome)
+        if not outcome.ok and policy.on_failure is not OnFailure.SKIP:
+            # Fail fast: the items after the first failure never run,
+            # exactly like the plain serial loop this path descends from.
+            return
+
+
+def _run_pool(
+    fn: Callable,
+    work: Sequence,
+    pending: Sequence[int],
+    labels: Sequence[str],
+    policy: ResiliencePolicy,
+    outcomes: List[Optional[ItemOutcome]],
+    campaign: Optional[Campaign],
+    seq: int,
+    workers: int,
+    recorder,
+) -> None:
+    plan = get_plan()
+    timeout_s = None if policy.timeout is None else policy.timeout.seconds
+    broken: Optional[BaseException] = None
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)), mp_context=_mp_context()
+    ) as pool:
+        futures = {
+            index: pool.submit(
+                _resilient_call, fn, work[index], index, 1, plan
+            )
+            for index in pending
+        }
+        attempts = {index: 1 for index in pending}
+        try:
+            for index in pending:
+                if broken is not None:
+                    break
+                while outcomes[index] is None:
+                    kind: Optional[str] = None
+                    error: Optional[BaseException] = None
+                    try:
+                        shipped = futures[index].result(timeout=timeout_s)
+                    except FuturesTimeoutError as exc:
+                        kind, error = KIND_TIMEOUT, exc
+                        futures[index].cancel()
+                        if recorder is not None:
+                            recorder.count("item.timeout", label=labels[index])
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        break
+                    except Exception as exc:  # repro-lint: disable=REP006 -- worker failures are classified into ItemOutcome records; the policy engine re-raises them unless the campaign opted into skip/serial-fallback
+                        kind, error = KIND_EXCEPTION, exc
+                    else:
+                        if recorder is not None:
+                            recorder.merge(shipped.telemetry, tid=index + 1)
+                        outcomes[index] = ItemOutcome(
+                            index=index, label=labels[index],
+                            status=STATUS_OK, attempts=attempts[index],
+                            value=shipped.result,
+                        )
+                        break
+                    if attempts[index] < policy.retry.attempts:
+                        attempts[index] += 1
+                        if recorder is not None:
+                            recorder.count("item.retry", label=labels[index])
+                        sleep_s(policy.retry.delay_s(index, attempts[index]))
+                        futures[index] = pool.submit(
+                            _resilient_call, fn, work[index], index,
+                            attempts[index], plan,
+                        )
+                        continue
+                    outcomes[index] = _failure_outcome(
+                        index, labels[index], attempts[index], kind, error
+                    )
+                    break
+                if outcomes[index] is None:
+                    break
+                if campaign is not None:
+                    campaign.journal_item(seq, outcomes[index])
+                if (
+                    not outcomes[index].ok
+                    and policy.on_failure is not OnFailure.SKIP
+                ):
+                    for future in futures.values():
+                        future.cancel()
+                    return
+        except BaseException:
+            for future in futures.values():
+                future.cancel()
+            raise
+    if broken is None:
+        return
+    # The pool collapsed (a worker died mid-task).  Under
+    # ``serial-fallback`` the unfinished remainder reruns in-process —
+    # the submission-order merge makes the combined result byte-identical
+    # to a clean run; under ``skip`` the unfinished items are recorded as
+    # broken-pool casualties; strict campaigns abort.
+    if policy.on_failure is OnFailure.FAIL:
+        raise ResilienceError(
+            f"worker pool broke while {len([i for i in pending if outcomes[i] is None])} "
+            "item(s) were outstanding (a worker process died); rerun with "
+            "--on-failure serial-fallback to finish in-process"
+        ) from broken
+    remaining = [index for index in pending if outcomes[index] is None]
+    if policy.on_failure is OnFailure.SERIAL_FALLBACK:
+        if recorder is not None:
+            recorder.count("parallel.serial_fallback", len(remaining))
+        _run_serial(
+            fn, work, remaining, labels, policy, outcomes, campaign, seq
+        )
+        return
+    for index in remaining:
+        outcomes[index] = _failure_outcome(
+            index, labels[index], attempts[index], KIND_BROKEN_POOL, broken
+        )
+        if campaign is not None:
+            campaign.journal_item(seq, outcomes[index])
+
+
+def resilient_map(
+    fn: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    jobs: Optional[int] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> MapOutcome:
+    """Apply ``fn`` to every item under a resilience policy.
+
+    Returns the full :class:`MapOutcome` — per-item status, attempts,
+    and values in submission order — without raising for failed items
+    under a ``skip`` policy.  ``labels`` name the items in outcome
+    records and journals (default: the item itself when it is a string,
+    else ``item[i]``).
+    """
+    work = list(items)
+    campaign = get_campaign()
+    if policy is None:
+        policy = campaign.policy if campaign is not None else ResiliencePolicy.strict()
+    if labels is None:
+        labels = _default_labels(work)
+    elif len(labels) != len(work):
+        raise ConfigError(
+            f"labels length {len(labels)} != items length {len(work)}"
+        )
+    recorder = get_recorder()
+    workers = resolve_jobs(jobs, items=len(work))
+    seq = campaign.begin_map() if campaign is not None else 0
+
+    outcomes: List[Optional[ItemOutcome]] = [None] * len(work)
+    pending: List[int] = []
+    for index in range(len(work)):
+        cached = None
+        if campaign is not None:
+            cached = campaign.cached_outcome(seq, index, labels[index])
+        if cached is not None:
+            outcomes[index] = cached
+        else:
+            pending.append(index)
+
+    with span("parallel.map", items=len(work)):
+        if recorder is not None:
+            recorder.count("parallel.tasks", len(work))
+        if workers <= 1 or len(pending) <= 1:
+            # Serial reference path: events flow straight into the
+            # active recorder (no wrapping), which is also what the
+            # merged parallel trace must aggregate to.
+            if recorder is not None:
+                recorder.gauge("parallel.workers", 1)
+            _run_serial(
+                fn, work, pending, labels, policy, outcomes, campaign, seq
+            )
+        else:
+            if recorder is not None:
+                recorder.gauge(
+                    "parallel.workers", min(workers, len(pending))
+                )
+            _run_pool(
+                fn, work, pending, labels, policy, outcomes,
+                campaign, seq, workers, recorder,
+            )
+
+    result = MapOutcome(outcomes=[o for o in outcomes if o is not None])
+    if campaign is not None:
+        campaign.record(result)
+    failed = result.failed
+    if failed and policy.on_failure is not OnFailure.SKIP:
+        _raise_outcome(failed[0])
+    if failed and recorder is not None:
+        recorder.count("parallel.skipped", len(failed))
+    return result
 
 
 def parallel_map(
     fn: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
     jobs: Optional[int] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    labels: Optional[Sequence[str]] = None,
 ) -> List[_ResultT]:
     """Apply ``fn`` to every item, results in input order.
 
     With one worker (or one item) this is a plain serial loop in the
     current process — no pool, no pickling — which is also the
     bit-identical reference behaviour the parallel path must match.
-    Worker exceptions propagate in submission order, so the *first*
-    failing item raises regardless of completion interleaving.
+    Under the default strict policy, worker exceptions propagate in
+    submission order, so the *first* failing item raises regardless of
+    completion interleaving.  Under a ``skip`` policy the returned list
+    holds only the surviving items' results (callers see the explicit
+    survivor count through the active campaign / the returned
+    :class:`MapOutcome` of :func:`resilient_map`).
     """
-    work = list(items)
-    workers = resolve_jobs(jobs)
-    recorder = get_recorder()
-    if workers <= 1 or len(work) <= 1:
-        # Serial reference path: events flow straight into the active
-        # recorder (no wrapping), which is also what the merged parallel
-        # trace must aggregate to.
-        with span("parallel.map", items=len(work)):
-            if recorder is not None:
-                recorder.count("parallel.tasks", len(work))
-                recorder.gauge("parallel.workers", 1)
-            return [fn(item) for item in work]
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(work)), mp_context=_mp_context()
-    ) as pool:
-        with span("parallel.map", items=len(work)):
-            if recorder is None:
-                futures = [pool.submit(fn, item) for item in work]
-            else:
-                recorder.count("parallel.tasks", len(work))
-                recorder.gauge(
-                    "parallel.workers", min(workers, len(work))
-                )
-                futures = [
-                    pool.submit(_traced_call, fn, item) for item in work
-                ]
-            try:
-                results: List[_ResultT] = []
-                for index, future in enumerate(futures):
-                    outcome = future.result()
-                    if recorder is not None:
-                        recorder.merge(outcome.telemetry, tid=index + 1)
-                        outcome = outcome.result
-                    results.append(outcome)
-                return results
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+    return resilient_map(
+        fn, items, jobs=jobs, policy=policy, labels=labels
+    ).results

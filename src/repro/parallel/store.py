@@ -16,13 +16,22 @@ are never *read*, only orphaned (and removable with ``cache clear``).
 Writes are crash- and race-safe: payloads land in a temporary file in
 the destination directory and are published with :func:`os.replace`, so
 concurrent writers of the same key each produce a complete artifact and
-the last atomic rename wins.  Corrupt artifacts (truncated writes,
-foreign files) are discarded on read and recomputed.
+the last atomic rename wins.
+
+Every payload travels inside a checksum envelope (``repro-envelope-v1``:
+a SHA-256 digest over the payload bytes), so corruption that JSON or
+pickle would happily half-parse — torn writes, bit rot, foreign files —
+is detected on read.  A corrupt artifact is counted on the
+``store.corrupt`` metric, moved to ``<root>/quarantine/`` (for
+``cache doctor`` to report and prune), and the read retries once before
+reporting a miss; the caller then recomputes and rewrites.
 
 Layout::
 
     <root>/repro-store.json                 # marker, guards clear()
     <root>/objects/<kind>/<aa>/<digest>.json|.pkl
+    <root>/quarantine/<digest>.json|.pkl    # corrupt artifacts, doctor
+    <root>/journals/<campaign>.jsonl        # campaign journals (resume)
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ from repro.telemetry.recorder import get_recorder, span
 
 __all__ = [
     "ArtifactStore",
+    "DoctorReport",
+    "ENVELOPE_TAG",
     "SCHEMA_TAG",
     "StoreInfo",
     "artifact_key",
@@ -52,7 +63,11 @@ __all__ = [
 
 #: Bumped whenever the on-disk layout or payload encoding changes; part
 #: of every key, so old-schema artifacts are silently orphaned.
-SCHEMA_TAG = "repro-store-v1"
+#: v2: payloads moved inside checksum envelopes.
+SCHEMA_TAG = "repro-store-v2"
+
+#: Envelope format tag for checksummed payloads.
+ENVELOPE_TAG = "repro-envelope-v1"
 
 #: Marker file identifying a directory as an artifact store.  ``clear``
 #: refuses to delete anything from a directory that lacks it.
@@ -123,6 +138,62 @@ def artifact_key(kind: str, params, *, version: str) -> str:
     return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
+# -- checksum envelopes ------------------------------------------------
+
+
+def _encode_json_envelope(payload) -> bytes:
+    body = json.dumps(payload, sort_keys=True)
+    return json.dumps(
+        {
+            "schema": ENVELOPE_TAG,
+            "sha256": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            "payload": payload,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def _decode_json_envelope(raw: bytes):
+    """(payload, ok) — ok is False for anything but an intact envelope."""
+    try:
+        envelope = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None, False
+    if not isinstance(envelope, dict) or envelope.get("schema") != ENVELOPE_TAG:
+        return None, False
+    payload = envelope.get("payload")
+    body = json.dumps(payload, sort_keys=True)
+    if hashlib.sha256(body.encode("utf-8")).hexdigest() != envelope.get("sha256"):
+        return None, False
+    return payload, True
+
+
+def _encode_pickle_envelope(data: bytes) -> bytes:
+    digest = hashlib.sha256(data).hexdigest()
+    header = f"{ENVELOPE_TAG} {digest} {len(data)}\n".encode("ascii")
+    return header + data
+
+
+def _decode_pickle_envelope(raw: bytes):
+    """(pickled bytes, ok) — ok is False unless the header verifies."""
+    newline = raw.find(b"\n")
+    if newline < 0:
+        return None, False
+    fields = raw[:newline].split(b" ")
+    if len(fields) != 3 or fields[0] != ENVELOPE_TAG.encode("ascii"):
+        return None, False
+    data = raw[newline + 1:]
+    try:
+        expected_len = int(fields[2])
+    except ValueError:
+        return None, False
+    if len(data) != expected_len:
+        return None, False
+    if hashlib.sha256(data).hexdigest().encode("ascii") != fields[1]:
+        return None, False
+    return data, True
+
+
 @dataclass(frozen=True)
 class StoreInfo:
     """Summary of a store directory for ``repro-spec2017 cache info``."""
@@ -131,6 +202,7 @@ class StoreInfo:
     exists: bool
     artifacts: Dict[str, int]
     total_bytes: int
+    quarantined: int = 0
 
     @property
     def total_artifacts(self) -> int:
@@ -147,6 +219,36 @@ class StoreInfo:
         )
         for kind in sorted(self.artifacts):
             lines.append(f"  {kind:12s} {self.artifacts[kind]}")
+        if self.quarantined:
+            lines.append(
+                f"quarantined: {self.quarantined} "
+                "(inspect with 'cache doctor', drop with 'cache doctor --prune')"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DoctorReport:
+    """Result of a ``cache doctor`` integrity scan."""
+
+    root: str
+    scanned: int
+    healthy: int
+    quarantined_now: int
+    quarantine_files: int
+    quarantine_bytes: int
+    pruned: int
+
+    def render(self) -> str:
+        lines = [
+            f"artifact store: {self.root}",
+            f"scanned: {self.scanned} artifacts "
+            f"({self.healthy} healthy, {self.quarantined_now} newly quarantined)",
+            f"quarantine: {self.quarantine_files} files "
+            f"({self.quarantine_bytes / 1024:.1f} KiB)",
+        ]
+        if self.pruned:
+            lines.append(f"pruned: {self.pruned} quarantined files removed")
         return "\n".join(lines)
 
 
@@ -158,15 +260,24 @@ class ArtifactStore:
         version: Code version folded into every key.  Defaults to the
             installed repro package version, so upgrading the package
             invalidates every artifact.
+        inject_faults: Whether this store honors the active
+            fault-injection plan on writes.  Only the experiment disk
+            tier (:func:`repro.experiments.common.configure_cache`)
+            opts in — its callers all recover from corrupt/failed
+            artifacts transparently; raw stores stay exempt so
+            injection never fails code without a recovery path.
     """
 
-    def __init__(self, root, version: Optional[str] = None) -> None:
+    def __init__(
+        self, root, version: Optional[str] = None, *, inject_faults: bool = False
+    ) -> None:
         self.root = Path(root).expanduser()
         if version is None:
             from repro import __version__
 
             version = __version__
         self.version = version
+        self.inject_faults = inject_faults
 
     # -- keys and paths ------------------------------------------------
 
@@ -193,49 +304,62 @@ class ArtifactStore:
             recorder.count("store.hit" if hit else "store.miss", kind=kind)
 
     def get_json(self, kind: str, params):
-        """Stored JSON payload for ``params``, or None (missing/corrupt)."""
+        """Stored JSON payload for ``params``, or None (missing/corrupt).
+
+        A corrupt artifact is quarantined and the read retried once —
+        a concurrent writer may have republished a good copy under the
+        same content address in the meantime.
+        """
         path = self.path_for(kind, self.key(kind, params), "json")
         with span("store.get", kind=kind, fmt="json"):
-            try:
-                raw = path.read_bytes()
-            except OSError:
-                self._note_read(kind, hit=False)
-                return None
-            try:
-                payload = json.loads(raw.decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                self._discard(path)
-                self._note_read(kind, hit=False)
-                return None
-        self._note_read(kind, hit=True)
-        return payload
+            for _attempt in range(2):
+                try:
+                    raw = path.read_bytes()
+                except OSError:
+                    break
+                payload, ok = _decode_json_envelope(raw)
+                if ok:
+                    self._note_read(kind, hit=True)
+                    return payload
+                self._quarantine(path, kind)
+            self._note_read(kind, hit=False)
+            return None
 
     def get_pickle(self, kind: str, params):
-        """Stored pickled object for ``params``, or None (missing/corrupt)."""
+        """Stored pickled object for ``params``, or None (missing/corrupt).
+
+        Same quarantine-and-retry-once behaviour as :meth:`get_json`;
+        the checksum is verified *before* unpickling, so corrupt bytes
+        never reach the unpickler.
+        """
         path = self.path_for(kind, self.key(kind, params), "pickle")
         with span("store.get", kind=kind, fmt="pickle"):
-            try:
-                raw = path.read_bytes()
-            except OSError:
-                self._note_read(kind, hit=False)
-                return None
-            try:
-                payload = pickle.loads(raw)
-            except Exception:  # repro-lint: disable=REP006 -- unpickling corrupt bytes can raise nearly anything; the artifact is discarded and recomputed
-                self._discard(path)
-                self._note_read(kind, hit=False)
-                return None
-        self._note_read(kind, hit=True)
-        return payload
+            for _attempt in range(2):
+                try:
+                    raw = path.read_bytes()
+                except OSError:
+                    break
+                data, ok = _decode_pickle_envelope(raw)
+                if ok:
+                    try:
+                        payload = pickle.loads(data)
+                    except Exception:  # repro-lint: disable=REP006 -- unpickling can raise nearly anything even for checksum-intact bytes (e.g. a renamed class); the artifact is quarantined and recomputed
+                        self._quarantine(path, kind)
+                        continue
+                    self._note_read(kind, hit=True)
+                    return payload
+                self._quarantine(path, kind)
+            self._note_read(kind, hit=False)
+            return None
 
     # -- writes --------------------------------------------------------
 
     def put_json(self, kind: str, params, payload) -> Path:
         """Persist a JSON payload; returns the artifact path."""
         with span("store.put", kind=kind, fmt="json"):
-            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            data = _encode_json_envelope(payload)
             path = self.path_for(kind, self.key(kind, params), "json")
-            self._atomic_write(path, data)
+            self._atomic_write(path, data, kind=kind)
         recorder = get_recorder()
         if recorder is not None:
             recorder.count("store.put", kind=kind)
@@ -244,15 +368,26 @@ class ArtifactStore:
     def put_pickle(self, kind: str, params, payload) -> Path:
         """Persist a pickled object; returns the artifact path."""
         with span("store.put", kind=kind, fmt="pickle"):
-            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            data = _encode_pickle_envelope(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            )
             path = self.path_for(kind, self.key(kind, params), "pickle")
-            self._atomic_write(path, data)
+            self._atomic_write(path, data, kind=kind)
         recorder = get_recorder()
         if recorder is not None:
             recorder.count("store.put", kind=kind)
         return path
 
-    def _atomic_write(self, path: Path, data: bytes) -> None:
+    def _atomic_write(
+        self, path: Path, data: bytes, kind: Optional[str] = None
+    ) -> None:
+        if kind is not None and self.inject_faults:
+            from repro.resilience.faults import inject_store_fault
+
+            try:
+                data = inject_store_fault(kind, data)
+            except OSError as exc:
+                raise StoreError(f"cannot write artifact {path}: {exc}") from exc
         self._ensure_root()
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -292,6 +427,23 @@ class ArtifactStore:
                 pass
             raise StoreError(f"cannot initialize store {self.root}: {exc}") from exc
 
+    def _quarantine(self, path: Path, kind: str) -> None:
+        """Move a corrupt artifact out of the object tree for doctor.
+
+        Quarantining (not deleting) keeps the evidence: ``cache doctor``
+        reports what was damaged, and a copy of the bytes survives for
+        forensics until ``doctor --prune``.
+        """
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.count("store.corrupt", kind=kind)
+        dest = self.root / "quarantine" / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            self._discard(path)
+
     @staticmethod
     def _discard(path: Path) -> None:
         try:
@@ -314,6 +466,12 @@ class ArtifactStore:
                     found.append((kind_dir.name, path))
         return tuple(found)
 
+    def _quarantine_files(self) -> Tuple[Path, ...]:
+        qdir = self.root / "quarantine"
+        if not qdir.is_dir():
+            return ()
+        return tuple(sorted(p for p in qdir.iterdir() if p.is_file()))
+
     def info(self) -> StoreInfo:
         """Artifact counts and sizes (``cache info``)."""
         exists = (self.root / MARKER_NAME).is_file()
@@ -328,6 +486,50 @@ class ArtifactStore:
         return StoreInfo(
             root=str(self.root), exists=exists,
             artifacts=artifacts, total_bytes=total,
+            quarantined=len(self._quarantine_files()),
+        )
+
+    def doctor(self, prune: bool = False) -> DoctorReport:
+        """Verify every artifact's envelope; quarantine what fails.
+
+        Pickled artifacts are verified by checksum only — nothing is
+        unpickled, so a doctor scan never executes payload code.  With
+        ``prune``, previously and newly quarantined files are deleted.
+        """
+        scanned = healthy = moved = 0
+        for kind, path in self._iter_artifacts():
+            scanned += 1
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            if path.suffix == ".json":
+                _, ok = _decode_json_envelope(raw)
+            else:
+                _, ok = _decode_pickle_envelope(raw)
+            if ok:
+                healthy += 1
+            else:
+                self._quarantine(path, kind)
+                moved += 1
+        files = self._quarantine_files()
+        total_bytes = 0
+        for path in files:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        pruned = 0
+        if prune:
+            for path in files:
+                self._discard(path)
+                pruned += 1
+            files = ()
+            total_bytes = 0
+        return DoctorReport(
+            root=str(self.root), scanned=scanned, healthy=healthy,
+            quarantined_now=moved, quarantine_files=len(files),
+            quarantine_bytes=total_bytes, pruned=pruned,
         )
 
     def clear(self) -> int:
@@ -335,6 +537,9 @@ class ArtifactStore:
 
         A directory without the store marker is never touched: pointing
         ``--cache-dir`` at, say, a home directory must not delete it.
+        Campaign journals and the quarantine are deliberately kept —
+        clearing intermediates must not destroy resume state or
+        corruption evidence.
         """
         if not self.root.exists():
             return 0

@@ -1,0 +1,75 @@
+"""Fault-tolerant campaign execution.
+
+The source paper's central operational lesson is partial failure:
+checkpointing completed for only 29 of the SPEC CPU2017 workloads, and
+Table II is defined over the survivors.  This package gives the suite
+runner the same posture — one crashed worker or one corrupt artifact
+must not throw away hours of completed per-benchmark work:
+
+* :mod:`repro.resilience.policy` — per-item :class:`Timeout`,
+  :class:`Retry` with deterministic seeded backoff, and the
+  :class:`OnFailure` modes (``fail`` / ``skip`` / ``serial-fallback``)
+  that :func:`repro.parallel.parallel_map` honors, turning worker
+  crashes, ``BrokenProcessPool`` and timeouts into structured
+  :class:`ItemOutcome` records instead of suite-wide aborts;
+* :mod:`repro.resilience.journal` — an append-only, fsync'd JSONL
+  journal of per-item outcomes under the artifact store root, so an
+  interrupted campaign resumes (``--resume``) without recomputing
+  anything already journaled;
+* :mod:`repro.resilience.context` — the active :class:`Campaign`
+  (policy + journal + degraded-result bookkeeping), installed in a
+  module-level slot like the telemetry recorder;
+* :mod:`repro.resilience.faults` — a deterministic fault-injection
+  harness (:class:`FaultPlan`, ``--inject-faults SPEC``,
+  ``REPRO_INJECT_FAULTS``) so every recovery path is testable in CI
+  without real crashes.
+"""
+
+from repro.resilience.context import (
+    Campaign,
+    get_campaign,
+    set_campaign,
+    using_campaign,
+)
+from repro.resilience.faults import (
+    FaultClause,
+    FaultPlan,
+    InjectedFaultError,
+    get_plan,
+    parse_spec,
+    reset_plan,
+    set_plan,
+    using_plan,
+)
+from repro.resilience.journal import JOURNAL_SCHEMA, CampaignJournal
+from repro.resilience.policy import (
+    ItemOutcome,
+    MapOutcome,
+    OnFailure,
+    ResiliencePolicy,
+    Retry,
+    Timeout,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignJournal",
+    "FaultClause",
+    "FaultPlan",
+    "InjectedFaultError",
+    "ItemOutcome",
+    "JOURNAL_SCHEMA",
+    "MapOutcome",
+    "OnFailure",
+    "ResiliencePolicy",
+    "Retry",
+    "Timeout",
+    "get_campaign",
+    "get_plan",
+    "parse_spec",
+    "reset_plan",
+    "set_campaign",
+    "set_plan",
+    "using_campaign",
+    "using_plan",
+]

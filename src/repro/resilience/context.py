@@ -1,0 +1,188 @@
+"""The active campaign: one policy + journal + outcome ledger per run.
+
+A :class:`Campaign` ties together everything fault-tolerance needs to
+know about one experiment execution: the :class:`ResiliencePolicy` the
+parallel runner applies to every fan-out, the journal that makes the run
+resumable, and the accumulated :class:`MapOutcome` records that decide
+whether the final result is degraded (fewer survivors than items — the
+paper's Table II situation) and what the "N of M completed" summary
+says.
+
+Like the telemetry recorder and the artifact store, the active campaign
+lives in a module-level slot (:func:`get_campaign` /
+:func:`set_campaign` / :func:`using_campaign`).  ``None`` — the default
+for library use and for tests that don't opt in — means strict
+policies, no journal, and zero bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ResilienceError
+from repro.resilience.journal import CampaignJournal, decode_value, encode_value
+from repro.resilience.policy import ItemOutcome, MapOutcome, ResiliencePolicy
+from repro.telemetry.recorder import count as telemetry_count
+
+__all__ = ["Campaign", "get_campaign", "set_campaign", "using_campaign"]
+
+
+class Campaign:
+    """One fault-tolerant experiment execution.
+
+    Args:
+        policy: Applied by every fan-out that runs while this campaign is
+            active (an explicit ``policy=`` on ``parallel_map`` wins).
+        resume: Whether to reuse outcomes journaled by a previous
+            interrupted run of the same campaign.  When False (the
+            default), a stale journal for this campaign is discarded —
+            a fresh run must never silently reuse old outcomes.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ResiliencePolicy] = None,
+        resume: bool = False,
+    ) -> None:
+        self.policy = policy if policy is not None else ResiliencePolicy.strict()
+        self.resume = resume
+        self.journal: Optional[CampaignJournal] = None
+        self.key: Optional[str] = None
+        self.map_outcomes: List[MapOutcome] = []
+        self.reused_items = 0
+        self._cached: Dict[Tuple[int, int], dict] = {}
+        self._next_seq = 0
+
+    # -- journal wiring ------------------------------------------------
+
+    def attach_journal(self, store_root, key: str) -> None:
+        """Bind this campaign to its journal under the store root.
+
+        Called by ``registry.execute`` once the campaign's identity (the
+        experiment + kwargs content address) is known.  On resume, ok
+        outcomes from the existing journal become the replay cache.
+        """
+        if self.journal is not None:
+            return
+        self.key = key
+        journal = CampaignJournal(CampaignJournal.path_for(store_root, key))
+        if journal.exists():
+            if self.resume:
+                for record in journal.load():
+                    if (
+                        record.get("event") == "item"
+                        and record.get("status") == "ok"
+                    ):
+                        seq = int(record.get("seq", -1))
+                        index = int(record.get("index", -1))
+                        self._cached[(seq, index)] = record
+            else:
+                journal.discard()
+        self.journal = journal
+
+    def begin_map(self) -> int:
+        """Sequence number of the next fan-out (journal identity axis)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def cached_outcome(
+        self, seq: int, index: int, label: str
+    ) -> Optional[ItemOutcome]:
+        """A journaled ok outcome for this item, decoded — or None."""
+        record = self._cached.get((seq, index))
+        if record is None:
+            return None
+        try:
+            value = decode_value(record.get("payload") or {})
+        except ResilienceError:
+            # Damaged payload: drop the entry and recompute the item.
+            self._cached.pop((seq, index), None)
+            return None
+        telemetry_count("journal.hit")
+        self.reused_items += 1
+        return ItemOutcome(
+            index=index,
+            label=label,
+            status="ok",
+            attempts=0,
+            cached=True,
+            value=value,
+        )
+
+    def journal_item(self, seq: int, outcome: ItemOutcome) -> None:
+        """Durably record one freshly computed item outcome."""
+        if self.journal is None or outcome.cached:
+            return
+        record = dict(outcome.to_payload())
+        record["event"] = "item"
+        record["seq"] = seq
+        if outcome.ok:
+            record["payload"] = encode_value(outcome.value)
+        self.journal.append(record)
+
+    # -- outcome ledger ------------------------------------------------
+
+    def record(self, outcome: MapOutcome) -> None:
+        self.map_outcomes.append(outcome)
+
+    @property
+    def degraded(self) -> bool:
+        return any(m.degraded for m in self.map_outcomes)
+
+    @property
+    def total_items(self) -> int:
+        return sum(m.total for m in self.map_outcomes)
+
+    @property
+    def completed_items(self) -> int:
+        return sum(m.completed for m in self.map_outcomes)
+
+    def summary(self) -> str:
+        """The explicit survivor report for degraded/resumed runs."""
+        head = (
+            f"campaign: {self.completed_items} of {self.total_items} "
+            "items completed"
+        )
+        if self.reused_items:
+            head += f" ({self.reused_items} reused from journal)"
+        skipped = [o.label for m in self.map_outcomes for o in m.failed]
+        if skipped:
+            head += "; skipped: " + ", ".join(skipped)
+        return head
+
+    def finish(self, complete: bool = True) -> None:
+        """Seal the campaign; a complete one gets a terminal record."""
+        if self.journal is not None:
+            if complete:
+                self.journal.append({"event": "complete", "campaign": self.key})
+            self.journal.close()
+
+
+# -- the active-campaign slot ------------------------------------------
+
+_CAMPAIGN: Optional[Campaign] = None
+
+
+def get_campaign() -> Optional[Campaign]:
+    """The active campaign, or None (strict policies, no journal)."""
+    return _CAMPAIGN
+
+
+def set_campaign(campaign: Optional[Campaign]) -> Optional[Campaign]:
+    """Install (or clear, with None) the campaign; returns the old one."""
+    global _CAMPAIGN
+    previous = _CAMPAIGN
+    _CAMPAIGN = campaign
+    return previous
+
+
+@contextlib.contextmanager
+def using_campaign(campaign: Optional[Campaign]) -> Iterator[Optional[Campaign]]:
+    """Scoped :func:`set_campaign`; restores the previous one on exit."""
+    previous = set_campaign(campaign)
+    try:
+        yield campaign
+    finally:
+        set_campaign(previous)

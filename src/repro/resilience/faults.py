@@ -1,0 +1,331 @@
+"""Deterministic fault injection for testing every recovery path.
+
+A :class:`FaultPlan` is parsed from a small spec grammar and injected
+into the worker dispatch and artifact-store write paths.  Which item or
+write gets hit is a pure function of the plan (seed, item index, write
+ordinal), never of host entropy, so a failing recovery path reproduces
+exactly under ``pytest -m resilience`` and in the CI ``faults`` job.
+
+Spec grammar (clauses joined by ``;``, options by ``:``)::
+
+    kind[:option=value]...
+
+    crash:items=2             # raise in the worker for item 2
+    crash:every=3             # ... for every third item (2, 5, 8, ...)
+    crash:p=0.2:seed=7        # ... for a seeded 20% of items
+    hang:items=1:hang=0.5     # sleep 0.5 s in the worker for item 1
+    poolcrash:items=0         # os._exit in the worker: BrokenProcessPool
+    truncate:every=7          # write half of every 7th store artifact
+    garbage:every=11          # write checksum-garbage bytes instead
+    enospc:every=13           # raise OSError(ENOSPC) on the write
+    crash:items=2:attempt=2   # only hit the second attempt (retry tests)
+    truncate:kinds=metrics    # only hit this artifact kind
+
+Worker faults (``crash``/``hang``/``poolcrash``) trigger by item index
+and attempt number; store faults (``truncate``/``garbage``/``enospc``)
+trigger by a per-artifact-kind write ordinal, with ``every=N`` hitting
+ordinals N-1, 2N-1, ... so the first writes of a run stay clean.
+
+The active plan lives in a module-level slot like the telemetry
+recorder: explicit :func:`set_plan`/:func:`using_plan`, or lazily from
+the ``REPRO_INJECT_FAULTS`` environment variable (the CI ``faults`` job
+sets it to the ``ci-default`` preset).  ``None`` means no injection and
+costs one global load per hook.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.telemetry.clock import sleep_s
+from repro.telemetry.recorder import count as telemetry_count
+
+__all__ = [
+    "FaultClause",
+    "FaultPlan",
+    "InjectedFaultError",
+    "PRESETS",
+    "STORE_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "get_plan",
+    "inject_store_fault",
+    "inject_worker_fault",
+    "parse_spec",
+    "reset_plan",
+    "set_plan",
+    "using_plan",
+]
+
+#: Faults raised inside (or instead of) the worker callable.
+WORKER_FAULT_KINDS = ("crash", "hang", "poolcrash")
+
+#: Faults applied to artifact-store writes.
+STORE_FAULT_KINDS = ("truncate", "garbage", "enospc")
+
+_ALL_KINDS = WORKER_FAULT_KINDS + STORE_FAULT_KINDS
+
+#: Named plans; ``ci-default`` corrupts only the self-healing artifact
+#: kinds (metrics/pinpoints recompute transparently on a corrupt read),
+#: sparsely enough that small unit-test write sequences stay clean.
+PRESETS = {
+    "ci-default": (
+        "truncate:every=7:kinds=metrics,points,pinpoints;"
+        "garbage:every=11:kinds=metrics,points,pinpoints;"
+        "enospc:every=13:kinds=metrics,points,pinpoints"
+    ),
+}
+
+
+class InjectedFaultError(RuntimeError):
+    """An artificial worker failure raised by a ``crash`` clause.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults simulate unexpected crashes, so nothing in the library may
+    catch them as an anticipated error class.
+    """
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec (see module docstring)."""
+
+    kind: str
+    items: Optional[Tuple[int, ...]] = None
+    every: Optional[int] = None
+    probability: Optional[float] = None
+    attempt: Optional[int] = None
+    hang_s: float = 30.0
+    seed: int = 0
+    kinds: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ALL_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of: "
+                + ", ".join(_ALL_KINDS)
+            )
+        if self.every is not None and self.every < 1:
+            raise ConfigError(f"fault every= must be >= 1, got {self.every!r}")
+        if self.probability is not None and not 0 <= self.probability <= 1:
+            raise ConfigError(
+                f"fault p= must be within [0, 1], got {self.probability!r}"
+            )
+        if self.attempt is not None and self.attempt < 1:
+            raise ConfigError(
+                f"fault attempt= must be >= 1, got {self.attempt!r}"
+            )
+        if self.hang_s <= 0:
+            raise ConfigError(f"fault hang= must be > 0, got {self.hang_s!r}")
+        if self.items is not None and any(i < 0 for i in self.items):
+            raise ConfigError("fault items= indices must be >= 0")
+
+    def triggers(self, index: int, attempt: int = 1) -> bool:
+        """Whether this clause fires for (item/write ``index``, ``attempt``)."""
+        if self.attempt is not None and attempt != self.attempt:
+            return False
+        if self.items is not None:
+            return index in self.items
+        if self.every is not None:
+            return index % self.every == self.every - 1
+        if self.probability is not None:
+            token = f"{self.seed}:{self.kind}:{index}".encode("ascii")
+            digest = hashlib.sha256(token).hexdigest()
+            unit = int(digest[:16], 16) / float(1 << 64)
+            return unit < self.probability
+        return True
+
+
+class FaultPlan:
+    """A parsed fault-injection plan: an ordered set of clauses.
+
+    Instances pickle with the plan's clauses *and* the originating
+    process id, so a ``poolcrash`` clause can tell a forked worker
+    (``os._exit`` → ``BrokenProcessPool``) apart from the driving
+    process (no-op, so serial fallback succeeds).
+
+    Store-fault triggering keeps one write ordinal per artifact kind in
+    this process; :func:`reset_plan` in the test harness gives every
+    test a fresh counter sequence.
+    """
+
+    def __init__(self, clauses, spec: str = "") -> None:
+        self.clauses: Tuple[FaultClause, ...] = tuple(clauses)
+        self.spec = spec
+        self.origin_pid = os.getpid()
+        self._write_ordinals: Dict[str, int] = {}
+
+    def worker_clause(
+        self, index: int, attempt: int = 1
+    ) -> Optional[FaultClause]:
+        """The first worker-fault clause firing for this item, if any."""
+        for clause in self.clauses:
+            if clause.kind not in WORKER_FAULT_KINDS:
+                continue
+            if clause.triggers(index, attempt):
+                return clause
+        return None
+
+    def store_clause(self, artifact_kind: str) -> Optional[FaultClause]:
+        """The first store-fault clause firing for this write, if any.
+
+        Advances the per-kind write ordinal whether or not a clause
+        fires, so trigger positions depend only on how many artifacts of
+        that kind this process wrote.
+        """
+        ordinal = self._write_ordinals.get(artifact_kind, 0)
+        self._write_ordinals[artifact_kind] = ordinal + 1
+        for clause in self.clauses:
+            if clause.kind not in STORE_FAULT_KINDS:
+                continue
+            if clause.kinds is not None and artifact_kind not in clause.kinds:
+                continue
+            if clause.triggers(ordinal):
+                return clause
+        return None
+
+
+def _parse_clause(raw: str) -> FaultClause:
+    parts = [part.strip() for part in raw.split(":")]
+    kind = parts[0]
+    options: Dict[str, object] = {}
+    converters = {
+        "items": lambda v: tuple(int(x) for x in v.split(",")),
+        "every": int,
+        "p": float,
+        "attempt": int,
+        "hang": float,
+        "seed": int,
+        "kinds": lambda v: tuple(x.strip() for x in v.split(",")),
+    }
+    renames = {"p": "probability", "hang": "hang_s"}
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in converters:
+            known = ", ".join(sorted(converters))
+            raise ConfigError(
+                f"bad fault option {part!r} in clause {raw!r}; "
+                f"expected key=value with key in: {known}"
+            )
+        try:
+            options[renames.get(key, key)] = converters[key](value.strip())
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad fault option value in {part!r}: {exc}"
+            ) from exc
+    return FaultClause(kind=kind, **options)
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse a fault spec (or the name of a preset) into a plan."""
+    text = PRESETS.get(spec.strip(), spec).strip()
+    clauses: List[FaultClause] = []
+    for raw in text.split(";"):
+        raw = raw.strip()
+        if raw:
+            clauses.append(_parse_clause(raw))
+    if not clauses:
+        raise ConfigError("empty fault-injection spec")
+    return FaultPlan(clauses, spec=text)
+
+
+# -- the active-plan slot ----------------------------------------------
+
+_UNSET = object()
+_PLAN = _UNSET
+
+
+def get_plan() -> Optional[FaultPlan]:
+    """The active plan: explicitly set, or from ``REPRO_INJECT_FAULTS``."""
+    global _PLAN
+    if _PLAN is _UNSET:
+        spec = os.environ.get("REPRO_INJECT_FAULTS", "").strip()
+        _PLAN = parse_spec(spec) if spec else None
+    return _PLAN
+
+
+def set_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install (or clear, with None) the plan; returns the previous one."""
+    global _PLAN
+    previous = None if _PLAN is _UNSET else _PLAN
+    _PLAN = plan
+    return previous
+
+
+def reset_plan() -> None:
+    """Forget any plan *and* re-arm the environment lookup (tests)."""
+    global _PLAN
+    _PLAN = _UNSET
+
+
+@contextlib.contextmanager
+def using_plan(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scoped :func:`set_plan`; restores the previous plan on exit."""
+    previous = set_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_plan(previous)
+
+
+def inject_worker_fault(index: int, attempt: int = 1) -> None:
+    """Dispatch-path hook: fire any worker fault due for this item.
+
+    Called by the parallel runner right before the worker callable, in
+    whichever process runs the item (pool worker or, serially, the
+    driver).  ``poolcrash`` kills only forked workers — in the driving
+    process it is a no-op, which is exactly what lets ``serial-fallback``
+    recover from the pool collapse it causes.
+    """
+    plan = get_plan()
+    if plan is None:
+        return
+    clause = plan.worker_clause(index, attempt)
+    if clause is None:
+        return
+    telemetry_count("fault.injected", kind=clause.kind)
+    if clause.kind == "hang":
+        sleep_s(clause.hang_s)
+        return
+    if clause.kind == "poolcrash":
+        if os.getpid() != plan.origin_pid:
+            os._exit(3)
+        return
+    raise InjectedFaultError(
+        f"injected crash at item {index} (attempt {attempt})"
+    )
+
+
+def inject_store_fault(artifact_kind: str, data: bytes) -> bytes:
+    """Write-path hook: corrupt or reject this artifact write if due.
+
+    Returns the (possibly corrupted) bytes to write, or raises the
+    injected ``OSError`` for ``enospc`` clauses.  Only called by stores
+    that opted in (the experiment disk tier), never by raw
+    :class:`~repro.parallel.store.ArtifactStore` instances.
+    """
+    plan = get_plan()
+    if plan is None:
+        return data
+    clause = plan.store_clause(artifact_kind)
+    if clause is None:
+        return data
+    telemetry_count("fault.injected", kind=clause.kind)
+    if clause.kind == "enospc":
+        raise OSError(
+            errno.ENOSPC,
+            f"injected ENOSPC writing {artifact_kind} artifact",
+        )
+    if clause.kind == "truncate":
+        return data[: len(data) // 2]
+    digest = hashlib.sha256(
+        f"{clause.seed}:{artifact_kind}".encode("ascii")
+    ).digest()
+    repeats = len(data) // len(digest) + 1
+    return (digest * repeats)[: len(data)]

@@ -1,0 +1,133 @@
+"""Append-only campaign journal: fsync'd JSONL of per-item outcomes.
+
+Every completed item of a campaign's fan-outs is appended as one JSON
+line — outcome metadata plus the worker's pickled return value (base64,
+with a SHA-256 integrity digest) — and the file descriptor is fsync'd
+after each append, so a campaign killed at any instant leaves a journal
+whose entries are all complete.  A re-run with ``--resume`` replays the
+journal instead of recomputing: the drivers are deterministic, so the
+i-th item of the k-th fan-out in the resumed run is the same work as in
+the interrupted one, and ``(seq, index)`` identifies it.
+
+Corrupt lines (the torn final append of a hard kill, stray editing) are
+counted and skipped, never trusted; a payload whose digest does not
+verify is treated as absent and the item recomputes.
+
+Layout: ``<store root>/journals/<campaign key>.jsonl``, beside the
+artifact objects, so ``cache clear`` (which only removes ``objects/``)
+keeps journals and an interrupted campaign survives a cache wipe of its
+intermediates.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ResilienceError
+from repro.telemetry.recorder import count as telemetry_count
+
+__all__ = ["JOURNAL_SCHEMA", "CampaignJournal", "decode_value", "encode_value"]
+
+#: Schema tag stamped on every journal line; lines with any other tag
+#: (or none) are ignored on load.
+JOURNAL_SCHEMA = "repro-journal-v1"
+
+
+def encode_value(value) -> Dict[str, str]:
+    """Pickle an item's return value into a JSON-safe, digest-guarded dict."""
+    data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "pickle_b64": base64.b64encode(data).decode("ascii"),
+        "sha256": hashlib.sha256(data).hexdigest(),
+    }
+
+
+def decode_value(payload: dict):
+    """Inverse of :func:`encode_value`; raises on any integrity failure."""
+    try:
+        data = base64.b64decode(payload["pickle_b64"].encode("ascii"))
+    except (KeyError, AttributeError, TypeError, ValueError) as exc:
+        raise ResilienceError(f"journal payload is malformed: {exc}") from exc
+    if hashlib.sha256(data).hexdigest() != payload.get("sha256"):
+        raise ResilienceError("journal payload failed its integrity check")
+    try:
+        return pickle.loads(data)
+    except Exception as exc:  # repro-lint: disable=REP006 -- unpickling journal bytes can raise nearly anything; the caller treats the entry as absent and recomputes
+        raise ResilienceError(f"journal payload does not unpickle: {exc}") from exc
+
+
+class CampaignJournal:
+    """One campaign's append-only JSONL outcome log."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    @classmethod
+    def path_for(cls, store_root, campaign_key: str) -> Path:
+        """Journal location for a campaign under an artifact-store root."""
+        return Path(store_root) / "journals" / f"{campaign_key}.jsonl"
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (schema-stamped, fsync'd)."""
+        stamped = dict(record)
+        stamped["schema"] = JOURNAL_SCHEMA
+        line = json.dumps(
+            stamped, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+        try:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "ab")
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot append to campaign journal {self.path}: {exc}"
+            ) from exc
+        telemetry_count("journal.append")
+
+    def load(self) -> List[dict]:
+        """Every intact record, in append order; corrupt lines skipped."""
+        records: List[dict] = []
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return records
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                telemetry_count("journal.corrupt_line")
+                continue
+            if isinstance(record, dict) and record.get("schema") == JOURNAL_SCHEMA:
+                records.append(record)
+            else:
+                telemetry_count("journal.corrupt_line")
+        return records
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def discard(self) -> None:
+        """Close and delete the journal (a fresh, non-resumed campaign)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -21,12 +21,25 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["FakeClock", "monotonic_ns", "wall_time_s"]
+__all__ = ["FakeClock", "monotonic_ns", "sleep_s", "wall_time_s"]
 
 
 def monotonic_ns() -> int:
     """Current monotonic time in nanoseconds (the span clock)."""
     return time.perf_counter_ns()
+
+
+def sleep_s(seconds: float) -> None:
+    """Block for ``seconds`` of host time (retry backoff, injected hangs).
+
+    Lives here with the other host-time interactions so simulation code
+    never sleeps directly: modeled time comes from the timing model, and
+    the only legitimate sleeps are resilience backoff and fault-injection
+    hangs, both of which take their durations from deterministic
+    policies.
+    """
+    if seconds > 0:
+        time.sleep(seconds)
 
 
 def wall_time_s() -> float:

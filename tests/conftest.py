@@ -25,13 +25,43 @@ def _hermetic_store(tmp_path, monkeypatch):
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-store"))
     from repro.experiments.common import get_store, set_store
+    from repro.resilience import faults
+    from repro.resilience.context import set_campaign
     from repro.telemetry.recorder import set_recorder
 
     previous = get_store()
     previous_recorder = set_recorder(None)
+    previous_campaign = set_campaign(None)
+    # Re-arm the fault-plan slot: each test sees fresh write ordinals
+    # (deterministic trigger positions) and picks up REPRO_INJECT_FAULTS
+    # lazily, so the CI faults job injects into every test independently.
+    faults.reset_plan()
     yield
     set_store(previous)
     set_recorder(previous_recorder)
+    set_campaign(previous_campaign)
+    faults.reset_plan()
+
+
+@pytest.fixture()
+def inject_faults():
+    """Install a deterministic fault plan for this test; auto-restored.
+
+    Usage::
+
+        def test_recovery(inject_faults):
+            inject_faults("crash:items=2")
+            ...
+    """
+    from repro.resilience import faults
+
+    def _install(spec: str):
+        plan = faults.parse_spec(spec)
+        faults.set_plan(plan)
+        return plan
+
+    yield _install
+    faults.reset_plan()
 
 
 def make_phase(phase_id: int, weight: float = 0.5, **overrides) -> PhaseSpec:

@@ -1,0 +1,31 @@
+"""REP013 fixtures: bare excepts swallowing worker dispatch failures."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.parallel import parallel_map
+
+
+def swallow_map_failures(items):
+    try:
+        return parallel_map(str, items)
+    except:  # noqa: E722
+        return []
+
+
+def swallow_harvest_failures(futures):
+    results = []
+    for future in futures:
+        try:
+            results.append(future.result())
+        except:  # noqa: E722
+            pass
+    return results
+
+
+def swallow_submit_and_result(fn, items):
+    try:
+        with ProcessPoolExecutor() as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [f.result() for f in futures]
+    except:  # noqa: E722
+        return None

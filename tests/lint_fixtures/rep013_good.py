@@ -1,0 +1,26 @@
+"""REP013 no-fire fixtures: dispatch failures handled or re-raised."""
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.parallel import parallel_map
+
+
+def typed_handler(items):
+    try:
+        return parallel_map(str, items)
+    except BrokenProcessPool:
+        return [str(item) for item in items]
+
+
+def reraising_bare_except(items):
+    try:
+        return parallel_map(str, items)
+    except:  # noqa: E722
+        raise
+
+
+def unrelated_bare_except(path):
+    try:
+        return path.read_text()
+    except:  # noqa: E722
+        return None

@@ -43,6 +43,7 @@ CASES = [
     ("REP010", "rep010_bad.py", 3, "rep010_good.py"),
     ("REP011", "rep011_bad.py", 4, "rep011_good.py"),
     ("REP012", "rep012_bad.py", 7, "rep012_good.py"),
+    ("REP013", "rep013_bad.py", 3, "rep013_good.py"),
 ]
 
 

@@ -1,0 +1,216 @@
+"""Resilience policies, outcome records, and the fault-spec grammar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    FaultClause,
+    InjectedFaultError,
+    ItemOutcome,
+    MapOutcome,
+    OnFailure,
+    ResiliencePolicy,
+    Retry,
+    Timeout,
+    parse_spec,
+)
+from repro.resilience.faults import PRESETS, STORE_FAULT_KINDS
+from repro.resilience.policy import KIND_EXCEPTION, STATUS_FAILED, STATUS_OK
+
+pytestmark = pytest.mark.resilience
+
+
+class TestOnFailure:
+    def test_parse_every_mode(self):
+        assert OnFailure.parse("fail") is OnFailure.FAIL
+        assert OnFailure.parse("skip") is OnFailure.SKIP
+        assert OnFailure.parse("serial-fallback") is OnFailure.SERIAL_FALLBACK
+
+    def test_parse_passes_instances_through(self):
+        assert OnFailure.parse(OnFailure.SKIP) is OnFailure.SKIP
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="on-failure"):
+            OnFailure.parse("retry-forever")
+
+
+class TestTimeout:
+    def test_positive_seconds_accepted(self):
+        assert Timeout(0.5).seconds == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, True])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            Timeout(bad)
+
+
+class TestRetry:
+    def test_default_is_single_attempt_no_delay(self):
+        retry = Retry()
+        assert retry.attempts == 1
+        assert retry.delay_s(0, 1) == 0.0
+        assert retry.delay_s(0, 2) == 0.0  # base delay 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(attempts=0),
+            dict(attempts=True),
+            dict(base_delay_s=-0.1),
+            dict(multiplier=0.5),
+            dict(jitter=1.5),
+            dict(jitter=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            Retry(**kwargs)
+
+    def test_backoff_is_exponential(self):
+        retry = Retry(attempts=4, base_delay_s=0.1, multiplier=2.0)
+        assert retry.delay_s(3, 2) == pytest.approx(0.1)
+        assert retry.delay_s(3, 3) == pytest.approx(0.2)
+        assert retry.delay_s(3, 4) == pytest.approx(0.4)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        retry = Retry(attempts=3, base_delay_s=0.1, jitter=0.5, seed=11)
+        first = retry.delay_s(2, 2)
+        assert first == retry.delay_s(2, 2)  # same (seed, item, attempt)
+        assert 0.1 <= first <= 0.15
+        # A different item gets a different (but still bounded) delay.
+        other = retry.delay_s(3, 2)
+        assert other != first
+        assert 0.1 <= other <= 0.15
+
+    def test_first_attempt_never_delays(self):
+        retry = Retry(attempts=3, base_delay_s=5.0)
+        assert retry.delay_s(0, 1) == 0.0
+
+
+class TestPolicy:
+    def test_strict_defaults(self):
+        policy = ResiliencePolicy.strict()
+        assert policy.retry.attempts == 1
+        assert policy.timeout is None
+        assert policy.on_failure is OnFailure.FAIL
+
+    def test_from_options(self):
+        policy = ResiliencePolicy.from_options(
+            retries=2, timeout_s=1.5, on_failure="skip"
+        )
+        assert policy.retry.attempts == 3
+        assert policy.timeout == Timeout(1.5)
+        assert policy.on_failure is OnFailure.SKIP
+
+    def test_from_options_rejects_negative_retries(self):
+        with pytest.raises(ConfigError, match="retries"):
+            ResiliencePolicy.from_options(retries=-1)
+
+
+class TestOutcomes:
+    def test_item_outcome_payload(self):
+        outcome = ItemOutcome(
+            index=2, label="505.mcf_r", status=STATUS_FAILED, attempts=3,
+            kind=KIND_EXCEPTION, error="ValueError: boom",
+        )
+        assert not outcome.ok
+        assert outcome.to_payload() == {
+            "index": 2, "label": "505.mcf_r", "status": "failed",
+            "attempts": 3, "kind": "exception", "error": "ValueError: boom",
+        }
+
+    def test_map_outcome_survivor_accounting(self):
+        outcomes = [
+            ItemOutcome(0, "a", STATUS_OK, 1, value=10),
+            ItemOutcome(1, "b", STATUS_FAILED, 2, kind=KIND_EXCEPTION,
+                        error="x"),
+            ItemOutcome(2, "c", STATUS_OK, 1, value=30),
+        ]
+        result = MapOutcome(outcomes)
+        assert result.results == [10, 30]
+        assert [o.label for o in result.failed] == ["b"]
+        assert result.total == 3 and result.completed == 2
+        assert result.degraded
+        assert result.summary() == "2 of 3 items completed; skipped: b"
+
+    def test_complete_map_outcome_is_not_degraded(self):
+        result = MapOutcome([ItemOutcome(0, "a", STATUS_OK, 1, value=1)])
+        assert not result.degraded
+        assert result.summary() == "1 of 1 items completed"
+
+
+class TestSpecGrammar:
+    def test_single_clause_options(self):
+        plan = parse_spec("crash:items=2,5:attempt=2")
+        (clause,) = plan.clauses
+        assert clause.kind == "crash"
+        assert clause.items == (2, 5)
+        assert clause.attempt == 2
+
+    def test_multiple_clauses_and_renamed_options(self):
+        plan = parse_spec("hang:items=1:hang=0.5; truncate:every=7:kinds=metrics")
+        hang, truncate = plan.clauses
+        assert hang.hang_s == 0.5
+        assert truncate.every == 7
+        assert truncate.kinds == ("metrics",)
+
+    def test_preset_resolves(self):
+        plan = parse_spec("ci-default")
+        assert plan.spec == PRESETS["ci-default"]
+        assert {c.kind for c in plan.clauses} == set(STORE_FAULT_KINDS)
+        # The CI preset never touches the "result" artifact kind: a
+        # degraded result cached as complete would poison later runs.
+        assert all("result" not in c.kinds for c in plan.clauses)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "  ;  ", "meteor:items=1", "crash:items", "crash:every=0",
+         "crash:p=1.5", "hang:hang=0", "crash:items=x", "crash:wat=1"],
+    )
+    def test_rejected_specs(self, bad):
+        with pytest.raises(ConfigError):
+            parse_spec(bad)
+
+
+class TestTriggers:
+    def test_items_trigger_exactly(self):
+        clause = FaultClause(kind="crash", items=(1, 3))
+        assert [i for i in range(5) if clause.triggers(i)] == [1, 3]
+
+    def test_every_skips_the_first_writes(self):
+        clause = FaultClause(kind="truncate", every=3)
+        assert [i for i in range(9) if clause.triggers(i)] == [2, 5, 8]
+
+    def test_attempt_gating(self):
+        clause = FaultClause(kind="crash", items=(0,), attempt=1)
+        assert clause.triggers(0, attempt=1)
+        assert not clause.triggers(0, attempt=2)
+
+    def test_probability_is_seed_deterministic(self):
+        clause = FaultClause(kind="crash", probability=0.5, seed=3)
+        hits = [i for i in range(64) if clause.triggers(i)]
+        assert hits == [i for i in range(64) if clause.triggers(i)]
+        assert 0 < len(hits) < 64
+        reseeded = FaultClause(kind="crash", probability=0.5, seed=4)
+        assert hits != [i for i in range(64) if reseeded.triggers(i)]
+
+    def test_worker_clause_selection(self):
+        plan = parse_spec("truncate:every=2;crash:items=1")
+        assert plan.worker_clause(0) is None
+        assert plan.worker_clause(1).kind == "crash"
+
+    def test_store_clause_advances_per_kind_ordinals(self):
+        plan = parse_spec("truncate:every=2:kinds=metrics")
+        # metrics writes 0,1,2,3 -> ordinals 0..3; every=2 hits 1 and 3.
+        fired = [plan.store_clause("metrics") is not None for _ in range(4)]
+        assert fired == [False, True, False, True]
+        # A different kind keeps its own ordinal and never matches the
+        # kinds= filter.
+        assert plan.store_clause("pinpoints") is None
+
+    def test_injected_fault_error_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFaultError, ReproError)
