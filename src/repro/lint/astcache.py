@@ -1,0 +1,109 @@
+"""Shared parsed-AST cache: every source file is parsed exactly once.
+
+Both lint passes need the same parse results: the per-file walker runs
+rule bodies over a module's tree, and the whole-program flow engine
+(:mod:`repro.lint.flow`) builds import/call graphs and CFGs from the
+very same trees.  Before this cache existed each pass re-read and
+re-parsed the file; now a single :class:`AstCache` owns the
+:class:`~repro.lint.walker.ModuleContext` (tree + import aliases), the
+suppression map, and the content hash for every path, and hands the
+same objects to every consumer.
+
+Reading and parsing are deliberately decoupled: :meth:`content_hash`
+only reads bytes, so the flow engine can hash the whole project to
+decide which modules changed *without* parsing the clean ones — that is
+what makes warm incremental runs cheap.  ``parse_count`` is observable
+so tests can pin the parse-once contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import LintError
+from repro.lint.suppressions import SuppressionMap, scan_suppressions
+
+__all__ = ["AstCache"]
+
+
+class AstCache:
+    """Parse-once store of :class:`ModuleContext` objects keyed by path.
+
+    Args:
+        config: Active lint configuration, attached to every context it
+            creates (rules read their tuning knobs from it).
+    """
+
+    def __init__(self, config=None) -> None:
+        from repro.lint.config import LintConfig
+
+        self.config = config if config is not None else LintConfig()
+        self._sources: Dict[Path, str] = {}
+        self._contexts: Dict[Path, "ModuleContext"] = {}
+        self._suppressions: Dict[Path, SuppressionMap] = {}
+        self._hashes: Dict[Path, str] = {}
+        #: How many files have actually been parsed; the parse-once
+        #: contract means this never exceeds the number of distinct
+        #: paths requested, no matter how many passes consume them —
+        #: and warm flow runs keep it *below* that, since hashing a
+        #: clean module never triggers a parse.
+        self.parse_count = 0
+
+    def _source(self, path: Path, rel: str) -> str:
+        cached = self._sources.get(path)
+        if cached is not None:
+            return cached
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {rel}: {exc}") from exc
+        self._sources[path] = source
+        self._hashes[path] = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return source
+
+    def _rel(self, path: Path, rel_path: Optional[str]) -> str:
+        if rel_path is not None:
+            return rel_path
+        from repro.lint.walker import relativize
+
+        return relativize(path, self.config.root)
+
+    def get(self, path: Path, rel_path: Optional[str] = None):
+        """The parsed :class:`ModuleContext` for ``path`` (cached)."""
+        from repro.lint.walker import ModuleContext
+
+        path = Path(path).resolve()
+        ctx = self._contexts.get(path)
+        if ctx is not None:
+            return ctx
+        rel = self._rel(path, rel_path)
+        source = self._source(path, rel)
+        self.parse_count += 1
+        ctx = ModuleContext(path, rel, source, self.config)
+        self._contexts[path] = ctx
+        return ctx
+
+    def suppressions(self, path: Path) -> SuppressionMap:
+        """The suppression map for ``path`` (tokenized once, no parse)."""
+        path = Path(path).resolve()
+        cached = self._suppressions.get(path)
+        if cached is not None:
+            return cached
+        rel = self._rel(path, None)
+        source = self._source(path, rel)
+        result = scan_suppressions(source, rel)
+        self._suppressions[path] = result
+        return result
+
+    def content_hash(self, path: Path) -> str:
+        """SHA-256 of the file's source text.  Reads but never parses,
+        so hashing the whole project to find changed modules stays cheap
+        on warm incremental runs."""
+        path = Path(path).resolve()
+        cached = self._hashes.get(path)
+        if cached is not None:
+            return cached
+        self._source(path, self._rel(path, None))
+        return self._hashes[path]

@@ -17,7 +17,14 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.errors import LintError
 from repro.lint.registry import Finding
 
-__all__ = ["BASELINE_VERSION", "load_baseline", "partition", "save_baseline"]
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "merge_baseline",
+    "partition",
+    "save_baseline",
+    "save_fingerprints",
+]
 
 BASELINE_VERSION = 1
 
@@ -67,6 +74,41 @@ def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
     Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+def save_fingerprints(path: Path, fingerprints: Sequence[Fingerprint]) -> None:
+    """Write raw fingerprints (no line info) as a baseline file.
+
+    Used by ``baseline --update``, which carries forward existing
+    entries that may no longer correspond to a live finding — the merge
+    must not invent line numbers for them.
+    """
+    entries = [
+        {"path": p, "rule": r, "snippet": s}
+        for (p, r, s) in sorted(fingerprints)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def merge_baseline(
+    existing: Sequence[Fingerprint], findings: Iterable[Finding]
+) -> List[Fingerprint]:
+    """Multiset union of a baseline with the current findings.
+
+    Every existing entry survives untouched (no clobbering: adopting a
+    new rule must not silently drop another rule's grandfathered
+    entries, even stale ones — burn-down is ``--write-baseline``'s
+    job).  Current findings only *add* entries where their multiplicity
+    exceeds what the baseline already covers.
+    """
+    merged = Counter(existing)
+    for key, count in Counter(f.fingerprint for f in findings).items():
+        if count > merged[key]:
+            merged[key] = count
+    return sorted(merged.elements())
 
 
 def partition(

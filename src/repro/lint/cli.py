@@ -3,6 +3,19 @@
 Exit codes: 0 = clean (or every finding baselined / warning-only),
 1 = at least one new error-severity finding, 2 = usage or internal
 error (bad path, unparseable file, malformed config/baseline).
+
+Subcommands::
+
+    repro-lint [PATHS...]            # lint (default)
+    repro-lint baseline --update     # merge current findings into the
+                                     # baseline without dropping entries
+
+The lint run covers both passes: per-file rules (REP001-REP013) and
+whole-program flow rules (REP014-REP017).  The flow pass keeps an
+incremental summary in the artifact store (``--flow-cache``/
+``--no-flow-cache``) so warm runs only re-analyze changed modules and
+their reverse import cone; ``--changed`` narrows a run to files changed
+in git plus, for flow rules, the modules that import them.
 """
 
 from __future__ import annotations
@@ -10,19 +23,37 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.errors import LintError
+from repro.lint import flow as _flow  # noqa: F401 -- registers REP014-REP017
 from repro.lint import rules as _rules  # noqa: F401 -- populates the registry
-from repro.lint.baseline import load_baseline, partition, save_baseline
+from repro.lint.baseline import (
+    load_baseline,
+    merge_baseline,
+    partition,
+    save_baseline,
+    save_fingerprints,
+)
 from repro.lint.config import LintConfig, load_config
 from repro.lint.registry import Severity, get_rule
-from repro.lint.reporters import render_json, render_rule_list, render_text
-from repro.lint.walker import iter_python_files, lint_file
+from repro.lint.reporters import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
+from repro.lint.walker import iter_python_files, lint_paths
 
 __all__ = ["main"]
 
 _DEFAULT_TARGET = "src/repro"
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -30,7 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based determinism and simulation-correctness linter for "
-            "the repro codebase (rules REP001-REP010)."
+            "the repro codebase (per-file rules REP001-REP013 plus "
+            "whole-program flow rules REP014-REP017)."
+        ),
+        epilog=(
+            "subcommands: 'repro-lint baseline --update [PATHS...]' merges "
+            "current findings into the baseline without dropping entries "
+            "('baseline' must be the first argument)."
         ),
     )
     parser.add_argument(
@@ -38,7 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"files/directories to lint (default: {_DEFAULT_TARGET})",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -67,8 +104,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed in git (per-file rules); flow "
+             "rules report in the changed modules plus their importers",
+    )
+    parser.add_argument(
+        "--flow-cache", metavar="DIR",
+        help="artifact-store directory for the incremental whole-program "
+             "summary (default: the repro cache dir)",
+    )
+    parser.add_argument(
+        "--no-flow-cache", action="store_true",
+        help="disable the incremental summary; analyze every module fresh",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list every registered rule with its hazard and exit",
+    )
+    return parser
+
+
+def _build_baseline_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint baseline",
+        description="maintain the grandfathered-findings baseline",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=f"files/directories to lint (default: {_DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="merge current findings into the baseline; existing "
+             "entries (including other rules') are never dropped",
+    )
+    parser.add_argument("--pyproject", metavar="FILE")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file to update (overrides config)",
     )
     return parser
 
@@ -102,8 +175,89 @@ def _apply_overrides(config: LintConfig, args) -> LintConfig:
     return replace(config, **updates) if updates else config
 
 
+def _default_targets(config: LintConfig) -> List[Path]:
+    default = Path(_DEFAULT_TARGET)
+    if not default.is_dir() and config.root is not None:
+        rooted = config.root / _DEFAULT_TARGET
+        if rooted.is_dir():
+            return [rooted]
+    return [default if default.is_dir() else Path(".")]
+
+
+def _git_changed_files(root: Path) -> List[Path]:
+    """Python files changed vs HEAD plus untracked ones, per git."""
+    import subprocess
+
+    commands = (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    changed: List[Path] = []
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, cwd=root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise LintError(
+                f"--changed requires a git checkout at {root}: {exc}"
+            ) from exc
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                changed.append(root / line)
+    return changed
+
+
+def _flow_store(args):
+    """The incremental-summary store, honoring the cache flags."""
+    if args.no_flow_cache:
+        return None
+    from repro.parallel.store import ArtifactStore, default_cache_dir
+
+    root = Path(args.flow_cache) if args.flow_cache else default_cache_dir()
+    return ArtifactStore(root)
+
+
+def _baseline_main(argv: Sequence[str]) -> int:
+    args = _build_baseline_parser().parse_args(list(argv))
+    try:
+        pyproject = Path(args.pyproject) if args.pyproject else None
+        config = load_config(pyproject)
+        if args.baseline is not None:
+            from dataclasses import replace
+
+            config = replace(config, baseline=args.baseline, root=Path.cwd())
+        baseline_path = config.baseline_path()
+        if baseline_path is None:
+            raise LintError("baseline maintenance requires a baseline path")
+        if not args.update:
+            raise LintError(
+                "nothing to do: pass --update to merge current findings "
+                "(use --write-baseline on the lint command to overwrite)"
+            )
+        targets = [Path(p) for p in args.paths] or _default_targets(config)
+        findings = lint_paths(targets, config)
+        existing = load_baseline(baseline_path)
+        merged = merge_baseline(existing, findings)
+        save_fingerprints(baseline_path, merged)
+        print(
+            f"baseline {baseline_path}: {len(existing)} entr(ies) kept, "
+            f"{len(merged) - len(existing)} added",
+            file=sys.stderr,
+        )
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro-lint`` and ``python -m repro.lint``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["baseline"]:
+        return _baseline_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         print(render_rule_list())
@@ -111,14 +265,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         pyproject = Path(args.pyproject) if args.pyproject else None
         config = _apply_overrides(load_config(pyproject), args)
-        targets = [Path(p) for p in args.paths]
-        if not targets:
-            default = Path(_DEFAULT_TARGET)
-            targets = [default if default.is_dir() else Path(".")]
+        targets = [Path(p) for p in args.paths] or _default_targets(config)
         files = iter_python_files(targets, config)
-        findings = []
-        for path in files:
-            findings.extend(lint_file(path, config))
+        changed_only = None
+        if args.changed:
+            changed_only = _git_changed_files(config.root or Path.cwd())
+        findings = lint_paths(
+            targets,
+            config,
+            flow_store=_flow_store(args),
+            changed_only=changed_only,
+        )
 
         baseline_path = config.baseline_path()
         if args.write_baseline:
@@ -136,7 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
 
-    render = render_json if args.format == "json" else render_text
+    render = _RENDERERS[args.format]
     print(render(new, baselined=len(grandfathered), files=len(files)))
     has_errors = any(f.severity is Severity.ERROR for f in new)
     return 1 if has_errors else 0

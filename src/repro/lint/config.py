@@ -12,6 +12,7 @@ underscores interchangeable)::
     rep008-all-modules = false   # REP008 on every module, not just __init__
     rep010-allowed = ["repro/config.py"]      # modules that may own geometry
     rep012-allowed = ["repro/telemetry/clock.py"]  # modules that may read clocks
+    rep014-allowed = ["repro/telemetry/clock.py"]  # taint-containment modules
 
     [tool.repro-lint.severity]
     REP002 = "warning"                        # error | warning | off
@@ -49,6 +50,7 @@ _KNOWN_KEYS = {
     "rep008_all_modules",
     "rep010_allowed",
     "rep012_allowed",
+    "rep014_allowed",
     "severity",
 }
 
@@ -73,6 +75,10 @@ class LintConfig:
     rep010_allowed: Tuple[str, ...] = ("repro/config.py",)
     #: Modules allowed to read host clocks directly (REP012).
     rep012_allowed: Tuple[str, ...] = ("repro/telemetry/clock.py",)
+    #: Taint-containment modules: functions defined here are trusted to
+    #: discipline nondeterminism, so REP014 treats their return values
+    #: as clean (the telemetry clock is the canonical example).
+    rep014_allowed: Tuple[str, ...] = ("repro/telemetry/clock.py",)
     #: Directory paths/baselines resolve against (pyproject's directory).
     root: Optional[Path] = None
 
@@ -160,6 +166,9 @@ def _parse_section(section: Mapping, root: Path) -> LintConfig:
         ),
         rep012_allowed=tuple(
             normalized.get("rep012_allowed", ("repro/telemetry/clock.py",))
+        ),
+        rep014_allowed=tuple(
+            normalized.get("rep014_allowed", ("repro/telemetry/clock.py",))
         ),
         root=root,
     )

@@ -1,0 +1,46 @@
+"""repro.lint.flow: whole-program flow analysis for the linter.
+
+Layers a project-wide view on top of the per-file walker:
+
+* :mod:`~repro.lint.flow.graph` — module discovery, import graph and
+  call graph over the lint target, with per-function summaries that
+  serialize into the incremental whole-program summary;
+* :mod:`~repro.lint.flow.cfg` — per-function control-flow graphs;
+* :mod:`~repro.lint.flow.dataflow` — a small forward-dataflow framework
+  (gen/kill lattices solved by worklist) used by the taint analysis;
+* :mod:`~repro.lint.flow.taint` — the nondeterminism-taint machinery
+  (sources, expression evaluation, interprocedural return summaries);
+* :mod:`~repro.lint.flow.rules` — the interprocedural rule set
+  REP014–REP017, registered in the same ``@rule`` registry as the
+  per-file rules but with ``scope="project"``;
+* :mod:`~repro.lint.flow.engine` — the driver: builds the project,
+  runs project-scope rules, and keeps the incremental summary in the
+  artifact store so warm runs only re-analyze changed modules and
+  their reverse-dependency cone.
+"""
+
+from repro.lint.flow import rules as _rules  # noqa: F401 -- registers REP014-REP017
+from repro.lint.flow.cfg import CFG, EXIT, build_cfg
+from repro.lint.flow.dataflow import solve_forward
+from repro.lint.flow.engine import FlowStats, lint_project
+from repro.lint.flow.graph import (
+    FunctionSummary,
+    ModuleInfo,
+    Project,
+    build_project,
+)
+from repro.lint.flow.taint import TaintAnalysis
+
+__all__ = [
+    "CFG",
+    "EXIT",
+    "FlowStats",
+    "FunctionSummary",
+    "ModuleInfo",
+    "Project",
+    "TaintAnalysis",
+    "build_cfg",
+    "build_project",
+    "lint_project",
+    "solve_forward",
+]

@@ -1,0 +1,151 @@
+"""Per-function control-flow graphs.
+
+One CFG node per statement (statement-level granularity is all the
+taint lattice needs); edges over-approximate control flow, which is the
+safe direction for a may-analysis: every path the program could take is
+a path in the graph, plus a few it cannot (``finally`` blocks are wired
+once on the fall-through path, exceptional edges jump from every
+statement in a ``try`` body to every handler entry).
+
+Nested function and class bodies are *not* wired into the enclosing
+CFG — they execute at call time, not at definition time — so a
+``def``/``class``/``lambda`` statement is a single simple node and the
+nested body gets its own CFG when its function is analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+__all__ = ["CFG", "EXIT", "build_cfg"]
+
+#: Virtual exit node id (function return / uncaught raise).
+EXIT = -1
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        #: Statement per node id (ids are dense, creation-ordered).
+        self.nodes: List[ast.stmt] = []
+        #: Successor node ids (``EXIT`` marks leaving the function).
+        self.succs: Dict[int, Set[int]] = {}
+        #: Entry node id, or ``EXIT`` for an empty body.
+        self.entry: int = EXIT
+
+    def add(self, stmt: ast.stmt) -> int:
+        index = len(self.nodes)
+        self.nodes.append(stmt)
+        self.succs[index] = set()
+        return index
+
+    def preds(self) -> Dict[int, Set[int]]:
+        """Predecessor map (derived; EXIT never has successors)."""
+        result: Dict[int, Set[int]] = {i: set() for i in range(len(self.nodes))}
+        for src, dsts in self.succs.items():
+            for dst in dsts:
+                if dst != EXIT:
+                    result[dst].add(src)
+        return result
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Build the CFG of a statement list (usually a function body)."""
+    cfg = CFG()
+    cfg.entry = _wire(cfg, list(body), EXIT, None, None, ())
+    return cfg
+
+
+def _wire(
+    cfg: CFG,
+    stmts: List[ast.stmt],
+    follow: int,
+    brk,
+    cont,
+    handlers: Tuple[int, ...],
+) -> int:
+    """Wire ``stmts`` so the last falls through to ``follow``; return entry."""
+    entry = follow
+    for stmt in reversed(stmts):
+        entry = _wire_stmt(cfg, stmt, entry, brk, cont, handlers)
+    return entry
+
+
+def _wire_stmt(
+    cfg: CFG,
+    stmt: ast.stmt,
+    nxt: int,
+    brk,
+    cont,
+    handlers: Tuple[int, ...],
+) -> int:
+    if isinstance(stmt, ast.If):
+        index = cfg.add(stmt)
+        then_entry = _wire(cfg, stmt.body, nxt, brk, cont, handlers)
+        else_entry = _wire(cfg, stmt.orelse, nxt, brk, cont, handlers)
+        cfg.succs[index] = {then_entry, else_entry} | set(handlers)
+        return index
+
+    if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+        index = cfg.add(stmt)
+        exit_target = (
+            _wire(cfg, stmt.orelse, nxt, brk, cont, handlers)
+            if stmt.orelse
+            else nxt
+        )
+        body_entry = _wire(cfg, stmt.body, index, nxt, index, handlers)
+        cfg.succs[index] = {body_entry, exit_target} | set(handlers)
+        return index
+
+    if isinstance(stmt, ast.Try) or (
+        hasattr(ast, "TryStar") and isinstance(stmt, getattr(ast, "TryStar"))
+    ):
+        final_entry = (
+            _wire(cfg, stmt.finalbody, nxt, brk, cont, handlers)
+            if stmt.finalbody
+            else nxt
+        )
+        handler_entries = tuple(
+            _wire(cfg, handler.body, final_entry, brk, cont, handlers)
+            for handler in stmt.handlers
+        )
+        else_entry = (
+            _wire(cfg, stmt.orelse, final_entry, brk, cont, handlers)
+            if stmt.orelse
+            else final_entry
+        )
+        return _wire(
+            cfg, stmt.body, else_entry, brk, cont, handlers + handler_entries
+        )
+
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        index = cfg.add(stmt)
+        body_entry = _wire(cfg, stmt.body, nxt, brk, cont, handlers)
+        cfg.succs[index] = {body_entry} | set(handlers)
+        return index
+
+    match_type = getattr(ast, "Match", None)
+    if match_type is not None and isinstance(stmt, match_type):
+        index = cfg.add(stmt)
+        targets = {
+            _wire(cfg, case.body, nxt, brk, cont, handlers)
+            for case in stmt.cases
+        }
+        targets.add(nxt)  # no case may match
+        cfg.succs[index] = targets | set(handlers)
+        return index
+
+    index = cfg.add(stmt)
+    if isinstance(stmt, ast.Return):
+        cfg.succs[index] = {EXIT}
+    elif isinstance(stmt, ast.Raise):
+        cfg.succs[index] = set(handlers) if handlers else {EXIT}
+    elif isinstance(stmt, ast.Break):
+        cfg.succs[index] = {brk if brk is not None else EXIT}
+    elif isinstance(stmt, ast.Continue):
+        cfg.succs[index] = {cont if cont is not None else EXIT}
+    else:
+        cfg.succs[index] = {nxt} | set(handlers)
+    return index

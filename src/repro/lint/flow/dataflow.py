@@ -1,0 +1,91 @@
+"""Forward-dataflow framework: gen/kill lattices solved by worklist.
+
+The framework is deliberately tiny: a *state* is any value with
+equality; the client supplies a ``transfer(stmt, state) -> state``
+function and a ``join(a, b) -> state`` merge.  States propagate along
+CFG edges until a fixpoint — guaranteed to terminate when the client's
+lattice has finite height (the taint analysis uses maps from a bounded
+set of variable names to origin strings, joined by union).
+
+The taint lattice is a classic gen/kill shape: an assignment from a
+tainted expression *gens* taint on its targets, an assignment from a
+clean expression *kills* it.  That logic lives in the client's
+``transfer``; the solver knows nothing about taint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional
+
+from repro.lint.flow.cfg import CFG
+
+__all__ = ["join_origin_maps", "solve_forward"]
+
+#: Iteration budget per CFG; flow rules degrade to the partial fixpoint
+#: rather than hanging on pathological graphs (never hit in practice —
+#: the taint lattice stabilizes in O(nesting depth) passes).
+_MAX_VISITS_PER_NODE = 64
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Callable,
+    join: Callable,
+    init,
+) -> Dict[int, object]:
+    """In-state per CFG node at fixpoint (unreachable nodes absent).
+
+    Args:
+        cfg: Graph from :func:`~repro.lint.flow.cfg.build_cfg`.
+        transfer: ``transfer(stmt, in_state) -> out_state``.
+        join: ``join(a, b) -> state`` — commutative, idempotent merge.
+        init: Entry state.
+    """
+    in_states: Dict[int, object] = {}
+    if cfg.entry < 0:
+        return in_states
+    in_states[cfg.entry] = init
+    visits: Dict[int, int] = {}
+    work = deque([cfg.entry])
+    while work:
+        index = work.popleft()
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > _MAX_VISITS_PER_NODE:
+            continue
+        out_state = transfer(cfg.nodes[index], in_states[index])
+        for succ in sorted(cfg.succs.get(index, ())):
+            if succ < 0:
+                continue
+            merged = (
+                out_state
+                if succ not in in_states
+                else join(in_states[succ], out_state)
+            )
+            if succ not in in_states or merged != in_states[succ]:
+                in_states[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+    return in_states
+
+
+def join_origin_maps(
+    a: Optional[Dict[str, str]], b: Optional[Dict[str, str]]
+) -> Dict[str, str]:
+    """Union of two name->origin maps; ties pick the smaller origin string.
+
+    Deterministic tie-breaking matters: the solver iterates to fixpoint,
+    so the join must be order-insensitive or the result would depend on
+    worklist scheduling.
+    """
+    if a is None:
+        return dict(b or {})
+    if b is None:
+        return dict(a)
+    merged = dict(a)
+    for name, origin in b.items():
+        if name in merged:
+            merged[name] = min(merged[name], origin)
+        else:
+            merged[name] = origin
+    return merged

@@ -1,0 +1,296 @@
+"""Flow-engine driver: build the project, run rules, cache summaries.
+
+:func:`lint_project` is what the walker calls after the per-file pass.
+Cold, it parses every target module (through the shared
+:class:`~repro.lint.astcache.AstCache`, so the per-file pass already
+paid for the parse), builds the whole-program :class:`Project`, runs
+the taint fixpoint, and evaluates every ``scope="project"`` rule.
+
+Warm, it is *incremental*: the previous run's per-module summaries
+(import edges, function summaries, tainted globals, findings) persist
+in the artifact store keyed on a config hash, with a content hash per
+module.  A module whose hash matches is restored without parsing; only
+changed/new modules — plus their reverse import cone, the set of
+modules whose findings could possibly move — are re-parsed and
+re-analyzed.  Clean modules outside the cone contribute their cached
+summaries to the graphs and their cached findings to the report.
+
+The invalidation direction is why every flow rule anchors findings in
+the *importing* module (see ``rules.py``): the cone of a change is
+exactly its transitive importers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.flow.graph import (
+    FunctionSummary,
+    ModuleInfo,
+    Project,
+    build_module_info,
+    module_name_for,
+)
+from repro.lint.flow.taint import TaintAnalysis
+from repro.lint.registry import SCOPE_PROJECT, Finding, Severity
+from repro.telemetry.recorder import count as telemetry_count
+
+__all__ = ["FlowStats", "lint_project"]
+
+#: Artifact-store kind and payload schema of the whole-program summary.
+SUMMARY_KIND = "lint-flow"
+SUMMARY_SCHEMA = "repro-lint-flow-v1"
+
+
+@dataclass
+class FlowStats:
+    """What the incremental engine actually did this run."""
+
+    #: Modules parsed and re-analyzed (changed + reverse import cone).
+    analyzed: int = 0
+    #: Modules restored from the cached summary without parsing.
+    reused: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.analyzed + self.reused
+
+
+def _config_hash(config, rules) -> str:
+    """Hash of everything that changes flow-rule results besides code.
+
+    A config change (rule set, severities, containment list) flips this
+    hash and orphans the whole cached summary — full re-analysis is the
+    only safe answer when the rules themselves moved.
+    """
+    document = {
+        "schema": SUMMARY_SCHEMA,
+        "rules": [
+            [spec.id, config.severity_for(spec).value] for spec in rules
+        ],
+        "rep014_allowed": sorted(getattr(config, "rep014_allowed", ())),
+    }
+    return hashlib.sha256(
+        json.dumps(document, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _restore_module(entry: dict, path: Path) -> ModuleInfo:
+    """Rebuild a ModuleInfo from its cached summary (no parse)."""
+    module = ModuleInfo(
+        name=str(entry["name"]),
+        rel_path=str(entry["rel_path"]),
+        path=path,
+        ctx=None,
+    )
+    module.imports = set(entry["imports"])
+    module.tainted_globals = set(entry["tainted_globals"])
+    module.functions = {
+        summary["qualname"]: FunctionSummary.from_dict(summary)
+        for summary in entry["functions"]
+    }
+    return module
+
+
+def _serialize_module(module: ModuleInfo, digest: str, findings: List[dict]) -> dict:
+    return {
+        "name": module.name,
+        "rel_path": module.rel_path,
+        "hash": digest,
+        "imports": sorted(module.imports),
+        "tainted_globals": sorted(module.tainted_globals),
+        "functions": [
+            module.functions[qualname].to_dict()
+            for qualname in sorted(module.functions)
+        ],
+        "findings": findings,
+    }
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(
+        rule=str(data["rule"]),
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        message=str(data["message"]),
+        severity=Severity(data["severity"]),
+        snippet=str(data["snippet"]),
+    )
+
+
+def lint_project(
+    files: Sequence[Path],
+    config,
+    *,
+    cache,
+    store=None,
+    changed_only: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], FlowStats]:
+    """Run every project-scope rule over ``files``.
+
+    Args:
+        files: The lint target (already exclusion-filtered).
+        config: Active :class:`~repro.lint.config.LintConfig`.
+        cache: The shared :class:`~repro.lint.astcache.AstCache`.
+        store: Optional :class:`~repro.parallel.store.ArtifactStore`
+            holding the incremental summary.  ``None`` disables
+            persistence: every module is analyzed fresh.
+        changed_only: Optional set of rel_paths (the ``--changed``
+            flow).  Analysis still sees the whole project, but reported
+            findings narrow to the changed modules plus their reverse
+            import cone — exactly the set whose findings a change can
+            move.
+
+    Returns:
+        (findings, stats) — findings sorted, stats exposing how many
+        modules were re-analyzed vs summary-restored.
+    """
+    from repro.lint.walker import relativize, selected_rules
+
+    stats = FlowStats()
+    rules = selected_rules(config, SCOPE_PROJECT)
+    if not rules or not files:
+        return [], stats
+
+    config_hash = _config_hash(config, rules)
+    cached_payload = (
+        store.get_json(SUMMARY_KIND, {"config": config_hash})
+        if store is not None
+        else None
+    )
+    if not isinstance(cached_payload, dict) or cached_payload.get(
+        "schema"
+    ) != SUMMARY_SCHEMA:
+        cached_payload = None
+    cached_modules: Dict[str, dict] = (
+        dict(cached_payload.get("modules", {})) if cached_payload else {}
+    )
+
+    # -- what changed? -------------------------------------------------
+    entries: Dict[str, Tuple[Path, str, str]] = {}
+    for path in files:
+        path = Path(path)
+        rel = relativize(path, config.root)
+        entries[rel] = (path, module_name_for(path), cache.content_hash(path))
+    known_names = {name for _, name, _ in entries.values()}
+
+    dirty_names: Set[str] = set()
+    for rel, (_path, name, digest) in entries.items():
+        prior = cached_modules.get(rel)
+        if (
+            prior is None
+            or prior.get("hash") != digest
+            or prior.get("name") != name
+        ):
+            dirty_names.add(name)
+    deleted_names = [
+        str(entry.get("name"))
+        for rel, entry in cached_modules.items()
+        if rel not in entries
+    ]
+
+    # -- assemble the project (parse dirty, restore clean) -------------
+    modules: Dict[str, ModuleInfo] = {}
+    for rel, (path, name, _digest) in sorted(entries.items()):
+        if name in dirty_names:
+            ctx = cache.get(path, rel)
+            modules[name] = build_module_info(ctx, name, known_names)
+        else:
+            modules[name] = _restore_module(cached_modules[rel], path)
+
+    project = Project(modules)
+    seeds = set(dirty_names)
+    for name in deleted_names:
+        seeds |= project.importers_of(name)
+    cone = project.reverse_cone(sorted(seeds))
+
+    # Cone members restored from the summary must be re-analyzed: parse
+    # them now.  Their content is unchanged, so their import edges (and
+    # hence the cone itself) cannot shift — only their findings can.
+    for name in sorted(cone):
+        module = modules[name]
+        if module.ctx is None:
+            ctx = cache.get(module.path, module.rel_path)
+            modules[name] = build_module_info(ctx, name, known_names)
+    project = Project(modules)
+
+    stats.analyzed = len(cone)
+    stats.reused = len(modules) - len(cone)
+    telemetry_count("flow.summary.miss", stats.analyzed)
+    telemetry_count("flow.summary.hit", stats.reused)
+
+    # -- taint fixpoint over the dirty cone ----------------------------
+    analysis = TaintAnalysis(project, config)
+    project.taint = analysis
+    analysis.compute(dirty=cone)
+
+    report_rels: Optional[Set[str]] = None
+    if changed_only is not None:
+        changed_names = {
+            name
+            for rel, (_path, name, _digest) in entries.items()
+            if rel in changed_only
+        }
+        report_rels = {
+            modules[name].rel_path
+            for name in project.reverse_cone(sorted(changed_names))
+        }
+
+    # -- rules ---------------------------------------------------------
+    findings: List[Finding] = []
+    serialized: Dict[str, dict] = {}
+    for name, module in sorted(modules.items()):
+        rel = module.rel_path
+        _path, _name, digest = entries[rel]
+        if module.ctx is not None and name in cone:
+            module_findings = _run_rules(project, module, rules, config, cache)
+            finding_dicts = [f.to_dict() for f in module_findings]
+        else:
+            finding_dicts = list(cached_modules.get(rel, {}).get("findings", ()))
+            module_findings = [_finding_from_dict(d) for d in finding_dicts]
+        serialized[rel] = _serialize_module(module, digest, finding_dicts)
+        if report_rels is None or rel in report_rels:
+            findings.extend(module_findings)
+
+    if store is not None:
+        store.put_json(
+            SUMMARY_KIND,
+            {"config": config_hash},
+            {
+                "schema": SUMMARY_SCHEMA,
+                "config": config_hash,
+                "modules": serialized,
+            },
+        )
+    return sorted(findings, key=Finding.sort_key), stats
+
+
+def _run_rules(
+    project: Project, module: ModuleInfo, rules, config, cache
+) -> List[Finding]:
+    suppressions = cache.suppressions(module.path)
+    findings: List[Finding] = []
+    for spec in rules:
+        severity = config.severity_for(spec)
+        for node, message in spec.func(project, module):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if suppressions.is_suppressed(spec.id, line):
+                continue
+            findings.append(
+                Finding(
+                    rule=spec.id,
+                    path=module.rel_path,
+                    line=line,
+                    col=col,
+                    message=message,
+                    severity=severity,
+                    snippet=module.ctx.snippet(line),
+                )
+            )
+    return findings

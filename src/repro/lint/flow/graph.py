@@ -1,0 +1,539 @@
+"""Project model: modules, import graph, call graph, function summaries.
+
+A :class:`Project` is the whole-program view the flow rules run
+against.  Each lint target file becomes a :class:`ModuleInfo` carrying:
+
+* its dotted module name (derived by walking up through ``__init__.py``
+  packages, so ``src/repro/cache/cache.py`` is ``repro.cache.cache``);
+* the project-internal modules it imports (the import graph — its
+  reverse closure is the invalidation cone for incremental runs);
+* a :class:`FunctionSummary` per function/method, carrying exactly the
+  facts cross-module rules need (taint of the return value, writes to
+  module-level state, resolved outgoing calls).
+
+Summaries are plain data — they serialize into the incremental
+whole-program summary (see ``engine.py``), which is what lets a warm
+run skip re-parsing unchanged modules entirely: a clean module
+contributes its cached imports and summaries to the graphs while only
+changed modules and their reverse-dependency cone are re-analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FunctionSummary",
+    "GlobalWrite",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+    "module_name_for",
+]
+
+#: Mutating container methods that count as writes to module-level state.
+MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "remove", "setdefault", "update",
+    "write", "writelines",
+})
+
+
+@dataclass(frozen=True)
+class GlobalWrite:
+    """One statement that mutates module-level state.
+
+    ``memo`` marks the per-process memo-cache idiom — a module-level
+    mapping that the same function also *reads* (``key in CACHE`` /
+    ``CACHE[key]`` / ``CACHE.get``), so worker-local contents never
+    change what the function returns for a key.  REP015 exempts it.
+    """
+
+    name: str
+    line: int
+    kind: str  # "global-assign" | "subscript" | "attribute" | "method"
+    memo: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "line": self.line,
+            "kind": self.kind, "memo": self.memo,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GlobalWrite":
+        return cls(
+            name=str(data["name"]), line=int(data["line"]),
+            kind=str(data["kind"]), memo=bool(data["memo"]),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Serializable per-function facts for cross-module rules."""
+
+    qualname: str
+    lineno: int
+    is_nested: bool = False
+    class_name: Optional[str] = None
+    #: Return value derives from a nondeterminism source (REP014).
+    returns_taint: bool = False
+    #: Where the taint comes from, for diagnostics ("time.time()").
+    taint_origin: str = ""
+    #: Module-level mutations performed directly by this function.
+    global_writes: Tuple[GlobalWrite, ...] = ()
+    #: Absolutized dotted names this function calls (project-internal
+    #: resolution happens against these at query time).
+    calls: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "is_nested": self.is_nested,
+            "class_name": self.class_name,
+            "returns_taint": self.returns_taint,
+            "taint_origin": self.taint_origin,
+            "global_writes": [w.to_dict() for w in self.global_writes],
+            "calls": list(self.calls),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            lineno=int(data["lineno"]),
+            is_nested=bool(data["is_nested"]),
+            class_name=data.get("class_name"),
+            returns_taint=bool(data["returns_taint"]),
+            taint_origin=str(data.get("taint_origin", "")),
+            global_writes=tuple(
+                GlobalWrite.from_dict(w) for w in data["global_writes"]
+            ),
+            calls=tuple(str(c) for c in data["calls"]),
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """One module of the project (parsed this run, or summary-restored)."""
+
+    name: str
+    rel_path: str
+    path: Path
+    #: Parsed context; ``None`` for modules restored from the summary
+    #: cache (their facts live entirely in the fields below).
+    ctx: Optional[object] = None
+    #: Project-internal dotted module names this module imports.
+    imports: Set[str] = field(default_factory=set)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: Module-level names bound to nondeterministic values.
+    tainted_globals: Set[str] = field(default_factory=set)
+    #: Module-level names assigned at module scope (mutation targets).
+    global_names: Set[str] = field(default_factory=set)
+    #: Function/class defs by qualname -> AST node (parsed modules only).
+    defs: Dict[str, ast.AST] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.path.name == "__init__.py":
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a file, walking up through ``__init__.py``.
+
+    ``src/repro/cache/cache.py`` -> ``repro.cache.cache``;
+    a loose file with no package parents is just its stem.
+    """
+    path = Path(path).resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def absolutize(dotted: str, package: str) -> str:
+    """Resolve a possibly-relative dotted name against ``package``.
+
+    ``..common.map_items`` inside package ``repro.experiments`` becomes
+    ``repro.common.map_items``... no: one leading dot stays inside the
+    package, each further dot climbs one level — exactly Python's
+    ``from .. import`` semantics.
+    """
+    if not dotted.startswith("."):
+        return dotted
+    level = len(dotted) - len(dotted.lstrip("."))
+    rest = dotted[level:]
+    base_parts = package.split(".") if package else []
+    climb = level - 1
+    if climb > len(base_parts):
+        return rest  # over-relative; treat as external
+    base = base_parts[: len(base_parts) - climb]
+    if rest:
+        base.append(rest)
+    return ".".join(base)
+
+
+class Project:
+    """Whole-program view over the lint target (see module docstring)."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self._by_rel: Dict[str, ModuleInfo] = {
+            m.rel_path: m for m in modules.values()
+        }
+        self._reverse: Optional[Dict[str, Set[str]]] = None
+
+    # -- lookups -------------------------------------------------------
+
+    def by_rel_path(self, rel_path: str) -> Optional[ModuleInfo]:
+        return self._by_rel.get(rel_path)
+
+    def importers_of(self, name: str) -> Set[str]:
+        """Module names that import ``name`` directly."""
+        if self._reverse is None:
+            reverse: Dict[str, Set[str]] = {}
+            for module in self.modules.values():
+                for imported in module.imports:
+                    reverse.setdefault(imported, set()).add(module.name)
+            self._reverse = reverse
+        return set(self._reverse.get(name, ()))
+
+    def reverse_cone(self, names: Sequence[str]) -> Set[str]:
+        """``names`` plus everything that (transitively) imports them.
+
+        This is the incremental-invalidation set: a change in module M
+        can only affect findings in modules that can observe M through
+        the import graph.
+        """
+        cone: Set[str] = set()
+        work = [name for name in names]
+        while work:
+            name = work.pop()
+            if name in cone:
+                continue
+            cone.add(name)
+            work.extend(self.importers_of(name))
+        return {name for name in cone if name in self.modules}
+
+    # -- call resolution ----------------------------------------------
+
+    def resolve_function(
+        self, module: ModuleInfo, dotted: Optional[str]
+    ) -> Optional[Tuple[ModuleInfo, FunctionSummary]]:
+        """Project-internal function a dotted call name refers to.
+
+        Handles same-module calls (plain names, ``self.helper`` inside a
+        method's class), imported functions (through the module's import
+        aliases, already folded into ``dotted`` by ``ctx.resolve``), and
+        ``module.attr`` chains.  Returns ``None`` for anything external
+        or dynamic.
+        """
+        if not dotted:
+            return None
+        dotted = absolutize(dotted, module.package)
+        if "." not in dotted:
+            summary = module.functions.get(dotted)
+            return (module, summary) if summary is not None else None
+        prefix, _, attr = dotted.rpartition(".")
+        # self.helper / cls.helper inside a method: try Class.helper here.
+        if prefix in ("self", "cls"):
+            for qualname, summary in module.functions.items():
+                if summary.class_name and qualname.endswith(f".{attr}"):
+                    return module, summary
+            return None
+        target = self.modules.get(prefix)
+        if target is not None:
+            summary = target.functions.get(attr)
+            if summary is not None:
+                return target, summary
+        # Class.method within this module ("Fig5Result.to_payload").
+        summary = module.functions.get(dotted)
+        if summary is not None:
+            return module, summary
+        # from package import module_member where the package __init__
+        # re-exports: try one more module component.
+        head, _, mid = prefix.rpartition(".")
+        if head and mid:
+            target = self.modules.get(head)
+            if target is not None:
+                summary = target.functions.get(f"{mid}.{attr}")
+                if summary is not None:
+                    return target, summary
+        return None
+
+    def reachable_from(
+        self, module: ModuleInfo, summary: FunctionSummary, limit: int = 200
+    ) -> List[Tuple[ModuleInfo, FunctionSummary]]:
+        """Call-graph closure from one function (itself included)."""
+        seen: Set[Tuple[str, str]] = set()
+        order: List[Tuple[ModuleInfo, FunctionSummary]] = []
+        work: List[Tuple[ModuleInfo, FunctionSummary]] = [(module, summary)]
+        while work and len(order) < limit:
+            mod, fn = work.pop(0)
+            key = (mod.name, fn.qualname)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append((mod, fn))
+            for callee in fn.calls:
+                resolved = self.resolve_function(mod, callee)
+                if resolved is not None:
+                    work.append(resolved)
+        return order
+
+
+# -- building ----------------------------------------------------------
+
+
+def _project_imports(
+    ctx, module_name: str, package: str, known: Set[str]
+) -> Set[str]:
+    """Project-internal modules ``ctx`` imports (absolute names)."""
+    imports: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                imports.add(item.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = absolutize("." * node.level + (node.module or ""), package)
+            if base:
+                imports.add(base)
+            for item in node.names:
+                if item.name != "*":
+                    imports.add(f"{base}.{item.name}" if base else item.name)
+    resolved = set()
+    for name in imports:
+        # "from repro.experiments import common" produces both
+        # "repro.experiments" and "repro.experiments.common"; keep the
+        # ones that are actually project modules.
+        if name in known and name != module_name:
+            resolved.add(name)
+    return resolved
+
+
+def _binding_names(target: ast.AST, names: Set[str]) -> None:
+    """Collect names *bound* by an assignment target.
+
+    ``x``, ``(a, b)``, ``[a, *rest]`` bind; ``d[k]`` and ``obj.attr``
+    mutate an existing object and bind nothing — their base name must
+    not be mistaken for a local.
+    """
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _binding_names(elt, names)
+    elif isinstance(target, ast.Starred):
+        _binding_names(target.value, names)
+
+
+def _local_names(fn: ast.AST) -> Set[str]:
+    """Names bound locally in a function (params + plain assignments)."""
+    names: Set[str] = set()
+    args = fn.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _binding_names(target, names)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            _binding_names(node.target, names)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    _binding_names(item.optional_vars, names)
+    return names
+
+
+def _declared_globals(fn: ast.AST) -> Set[str]:
+    return {
+        name
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Global)
+        for name in node.names
+    }
+
+
+def _module_global_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+    return names
+
+
+def _reads_global(fn: ast.AST, name: str, write_lines: Set[int]) -> bool:
+    """Whether ``fn`` reads ``name`` outside its write statements."""
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Name) and node.id == name):
+            continue
+        if isinstance(node.ctx, ast.Load) and node.lineno not in write_lines:
+            return True
+    return False
+
+
+def _collect_global_writes(
+    fn: ast.AST, module_globals: Set[str]
+) -> Tuple[GlobalWrite, ...]:
+    """Direct mutations of module-level state performed by ``fn``."""
+    locals_ = _local_names(fn)
+    declared = _declared_globals(fn)
+    # A name is a module global here when declared `global`, or when it
+    # is bound at module level and not shadowed by a local binding.
+    def is_global(name: str) -> bool:
+        if name in declared:
+            return True
+        return name in module_globals and name not in locals_
+
+    writes: List[GlobalWrite] = []
+    write_lines: Dict[str, Set[int]] = {}
+
+    def note(name: str, line: int, kind: str) -> None:
+        writes.append(GlobalWrite(name=name, line=line, kind=kind))
+        write_lines.setdefault(name, set()).add(line)
+
+    for node in ast.walk(fn):
+        if node is fn:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested functions summarize separately
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        else:
+            targets = []
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared:
+                note(target.id, node.lineno, "global-assign")
+            elif isinstance(target, ast.Subscript):
+                base = target.value
+                if isinstance(base, ast.Name) and is_global(base.id):
+                    note(base.id, node.lineno, "subscript")
+            elif isinstance(target, ast.Attribute):
+                base = target.value
+                if isinstance(base, ast.Name) and is_global(base.id):
+                    note(base.id, node.lineno, "attribute")
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and is_global(node.func.value.id)
+        ):
+            note(node.func.value.id, node.lineno, "method")
+
+    # Memo-cache classification: a subscript/setdefault write to a
+    # global the function also reads is the per-process memo idiom.
+    final: List[GlobalWrite] = []
+    for write in writes:
+        memo = write.kind in ("subscript", "method") and _reads_global(
+            fn, write.name, write_lines.get(write.name, set())
+        )
+        final.append(
+            GlobalWrite(
+                name=write.name, line=write.line, kind=write.kind, memo=memo
+            )
+        )
+    return tuple(final)
+
+
+def _collect_calls(ctx, fn: ast.AST) -> Tuple[str, ...]:
+    """Resolved dotted names of every call inside ``fn`` (de-duplicated).
+
+    ``functools.partial(f, ...)`` contributes ``f`` as well — a partial
+    over a function will eventually call it, which is exactly what the
+    reachability closure needs to see.
+    """
+    calls: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.resolve(node.func)
+        if name is not None:
+            calls.add(name)
+            if name in ("functools.partial", "partial") and node.args:
+                inner = ctx.resolve(node.args[0])
+                if inner is not None:
+                    calls.add(inner)
+    return tuple(sorted(calls))
+
+
+def _walk_functions(tree: ast.Module):
+    """Yield (qualname, class_name, is_nested, node) for every function."""
+
+    def visit(body, prefix: str, class_name, nested: bool):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{stmt.name}"
+                yield qual, class_name, nested, stmt
+                yield from visit(stmt.body, f"{qual}.", class_name, True)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from visit(
+                    stmt.body, f"{prefix}{stmt.name}." if not nested else prefix,
+                    stmt.name, nested,
+                )
+
+    yield from visit(tree.body, "", None, False)
+
+
+def build_module_info(
+    ctx, name: str, known_modules: Set[str]
+) -> ModuleInfo:
+    """Build a parsed :class:`ModuleInfo` from a module context."""
+    info = ModuleInfo(
+        name=name, rel_path=ctx.rel_path, path=Path(ctx.path), ctx=ctx
+    )
+    info.global_names = _module_global_names(ctx.tree)
+    info.imports = _project_imports(ctx, name, info.package, known_modules)
+    for qualname, class_name, nested, node in _walk_functions(ctx.tree):
+        info.defs[qualname] = node
+        info.functions[qualname] = FunctionSummary(
+            qualname=qualname,
+            lineno=node.lineno,
+            is_nested=nested,
+            class_name=class_name,
+            global_writes=_collect_global_writes(node, info.global_names),
+            calls=_collect_calls(ctx, node),
+        )
+    return info
+
+
+def build_project(cache, files: Sequence[Path]) -> Project:
+    """Parse every file and assemble the full project (no summary reuse)."""
+    names: Dict[Path, str] = {
+        Path(path).resolve(): module_name_for(path) for path in files
+    }
+    known = set(names.values())
+    modules: Dict[str, ModuleInfo] = {}
+    for path, name in sorted(names.items(), key=lambda kv: kv[1]):
+        ctx = cache.get(path)
+        modules[name] = build_module_info(ctx, name, known)
+    return Project(modules)

@@ -1,0 +1,559 @@
+"""Interprocedural rules REP014–REP017 (scope="project").
+
+A project rule receives the whole-program :class:`Project` (with its
+:class:`~repro.lint.flow.taint.TaintAnalysis` attached as
+``project.taint``) plus the one module it should report findings *in*,
+and yields ``(node, message)`` pairs exactly like the per-file rules.
+
+Findings are always anchored in the module under analysis — REP015
+reports at the *dispatch call site*, not inside the callee that
+mutates a global — because incremental invalidation re-runs exactly a
+changed module's reverse import cone: the dispatch site imports its
+workers, so a worker edit dirties every module whose findings could
+move.  Anchoring findings in callee modules would break that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.flow.graph import FunctionSummary, ModuleInfo, Project
+from repro.lint.registry import SCOPE_PROJECT, rule
+
+__all__ = [
+    "rep014_nondeterminism_taint",
+    "rep015_parallel_safety",
+    "rep016_payload_symmetry",
+    "rep017_swallowed_failures",
+]
+
+#: Fan-out entry points whose first argument runs in worker processes.
+DISPATCH_FUNCTIONS = frozenset({"parallel_map", "resilient_map", "map_items"})
+
+#: Calls that persist results: tainted arguments here are REP014 sinks.
+_STORE_WRITE_METHODS = frozenset({"put_json", "put_bytes", "put_text"})
+
+#: Result-rendering functions by name fragment: their return values and
+#: file writes end up in ``results/*.txt``.
+_RENDERER_PREFIXES = ("render_", "format_", "write_")
+
+
+def _function_nodes(module: ModuleInfo):
+    """(qualname, summary, def node) for each parsed function."""
+    for qualname, summary in sorted(module.functions.items()):
+        node = module.defs.get(qualname)
+        if node is not None:
+            yield qualname, summary, node
+
+
+def _walk_skipping_nested(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested def/class."""
+    work: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while work:
+        node = work.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        work.extend(ast.iter_child_nodes(node))
+
+
+def _module_statements(module: ModuleInfo) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    """Every (enclosing function qualname, node) pair in the module.
+
+    Module-level nodes come with qualname ``None``; nodes inside a
+    function are attributed to their *innermost* def.
+    """
+    if module.ctx is None:
+        return
+    tree = module.ctx.tree
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for sub in ast.walk(node):
+                yield None, sub
+    for qualname, _summary, fn in _function_nodes(module):
+        for sub in _walk_skipping_nested(fn):
+            yield qualname, sub
+
+
+# ---------------------------------------------------------------------
+# REP014: nondeterminism taint reaching serialized/rendered output
+# ---------------------------------------------------------------------
+
+
+@rule(
+    "REP014",
+    "nondeterminism-taint",
+    hazard=(
+        "values derived from host clocks, global RNG state, or hash/"
+        "address order that flow into serialized payloads, artifact-"
+        "store writes, or rendered result tables make reruns of the "
+        "sampling pipeline disagree byte-for-byte, breaking the "
+        "reproduction contract of the paper's error tables."
+    ),
+    scope=SCOPE_PROJECT,
+)
+def rep014_nondeterminism_taint(
+    project: Project, module: ModuleInfo
+) -> Iterator[Tuple[ast.AST, str]]:
+    taint = project.taint
+    if module.ctx is None or taint.is_contained_module(module):
+        return
+
+    # Sink 1: to_payload return values (the serialization boundary).
+    for qualname, _summary, _node in _function_nodes(module):
+        if qualname.rsplit(".", 1)[-1] != "to_payload":
+            continue
+        for stmt, origin in taint.tainted_returns(module, qualname):
+            yield stmt, (
+                f"{qualname}() returns a value derived from {origin}; "
+                "nondeterminism in serialized payloads breaks rerun "
+                "equality -- thread it through repro.telemetry.clock "
+                "or drop the field"
+            )
+
+    # Sinks 2+3: store writes and renderer calls with tainted arguments.
+    for qualname, call in _module_statements(module):
+        if not isinstance(call, ast.Call):
+            continue
+        sink = _sink_label(module, call)
+        if sink is None:
+            continue
+        cfg, states = (None, {})
+        if qualname is not None:
+            cfg, states = taint.states_for(module, qualname)
+        state = _state_at(cfg, states, call)
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            origin = taint.expr_taint(module, arg, state)
+            if origin is not None:
+                yield call, (
+                    f"argument of {sink} is derived from {origin}; "
+                    "persisted artifacts must not embed nondeterministic "
+                    "values -- route through repro.telemetry.clock"
+                )
+                break
+
+
+def _sink_label(module: ModuleInfo, call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _STORE_WRITE_METHODS:
+        return f".{func.attr}() (artifact store write)"
+    dotted = module.ctx.resolve(func) if module.ctx else None
+    if dotted is not None:
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail.startswith(_RENDERER_PREFIXES) and (
+            "result" in tail or "table" in tail or "report" in tail
+        ):
+            return f"{tail}() (results renderer)"
+    return None
+
+
+def _state_at(cfg, states, call: ast.Call) -> dict:
+    """The dataflow in-state of the statement containing ``call``."""
+    if cfg is None:
+        return {}
+    best: dict = {}
+    for index, stmt in enumerate(cfg.nodes):
+        if stmt.lineno <= call.lineno <= getattr(stmt, "end_lineno", stmt.lineno):
+            for node in ast.walk(stmt):
+                if node is call:
+                    return states.get(index, {})
+    return best
+
+
+# ---------------------------------------------------------------------
+# REP015: parallel-safety of dispatched workers
+# ---------------------------------------------------------------------
+
+
+@rule(
+    "REP015",
+    "parallel-unsafe-worker",
+    hazard=(
+        "a worker dispatched through the process pool that mutates "
+        "module-level state mutates a *copy* in the child process: the "
+        "write is silently lost in the parent, and under threads it "
+        "races.  Unpicklable workers (lambdas, nested functions) fail "
+        "only at dispatch time on spawn-based platforms."
+    ),
+    scope=SCOPE_PROJECT,
+)
+def rep015_parallel_safety(
+    project: Project, module: ModuleInfo
+) -> Iterator[Tuple[ast.AST, str]]:
+    if module.ctx is None:
+        return
+    for qualname, call in _module_statements(module):
+        if not isinstance(call, ast.Call):
+            continue
+        dotted = module.ctx.resolve(call.func)
+        if dotted is None or dotted.rsplit(".", 1)[-1] not in DISPATCH_FUNCTIONS:
+            continue
+        if not call.args:
+            continue
+        dispatch_name = dotted.rsplit(".", 1)[-1]
+        worker = call.args[0]
+        if isinstance(worker, ast.Lambda):
+            yield call, (
+                f"{dispatch_name}() worker is a lambda, which cannot be "
+                "pickled for process-pool dispatch -- define a module-"
+                "level function instead"
+            )
+            continue
+        resolved = _resolve_worker(project, module, qualname, worker)
+        if resolved is None:
+            continue
+        worker_module, summary = resolved
+        if summary.is_nested:
+            yield call, (
+                f"{dispatch_name}() worker {summary.qualname}() is a "
+                "nested function, which cannot be pickled for process-"
+                "pool dispatch -- hoist it to module level"
+            )
+            continue
+        for mod, fn, write in _unsafe_writes(project, worker_module, summary):
+            yield call, (
+                f"{dispatch_name}() worker {summary.qualname}() mutates "
+                f"module-level state: {fn.qualname}() writes "
+                f"{mod.name}.{write.name} ({write.kind}, line {write.line}); "
+                "worker-side writes to module globals are lost or race "
+                "across workers -- return the value through the pool "
+                "instead"
+            )
+            break  # one finding per dispatch site is enough signal
+
+
+def _resolve_worker(
+    project: Project,
+    module: ModuleInfo,
+    enclosing: Optional[str],
+    worker: ast.AST,
+) -> Optional[Tuple[ModuleInfo, FunctionSummary]]:
+    """The function a dispatch call's worker argument refers to.
+
+    Handles a direct reference, ``functools.partial(f, ...)`` inline,
+    and a local name previously bound to either form inside the same
+    enclosing function.
+    """
+    if isinstance(worker, ast.Call):
+        dotted = module.ctx.resolve(worker.func)
+        if dotted in ("functools.partial", "partial") and worker.args:
+            worker = worker.args[0]
+        else:
+            return None  # worker built by an arbitrary call; opaque
+    dotted = module.ctx.resolve(worker)
+    if dotted is None:
+        return None
+    resolved = project.resolve_function(module, dotted)
+    if resolved is not None:
+        return resolved
+    if "." in dotted or enclosing is None:
+        return None
+    # A function nested in the dispatching function itself.
+    nested = module.functions.get(f"{enclosing}.{dotted}")
+    if nested is not None:
+        return module, nested
+    # A bare local name: look for `name = functools.partial(f, ...)` or
+    # `name = f` in the enclosing function.
+    fn = module.defs.get(enclosing)
+    if fn is None:
+        return None
+    for node in _walk_skipping_nested(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == dotted for t in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call):
+            inner = module.ctx.resolve(value.func)
+            if inner in ("functools.partial", "partial") and value.args:
+                value = value.args[0]
+            else:
+                continue
+        inner_dotted = module.ctx.resolve(value)
+        if inner_dotted is not None and inner_dotted != dotted:
+            resolved = project.resolve_function(module, inner_dotted)
+            if resolved is not None:
+                return resolved
+    return None
+
+
+def _unsafe_writes(
+    project: Project, worker_module: ModuleInfo, summary: FunctionSummary
+):
+    """Non-memo global writes reachable from a worker, reporting order
+    deterministic (closure order, then line)."""
+    for mod, fn in project.reachable_from(worker_module, summary):
+        for write in fn.global_writes:
+            if not write.memo:
+                yield mod, fn, write
+
+
+# ---------------------------------------------------------------------
+# REP016: to_payload / from_payload field symmetry
+# ---------------------------------------------------------------------
+
+
+@rule(
+    "REP016",
+    "payload-asymmetry",
+    hazard=(
+        "a field written by to_payload() but never read by "
+        "from_payload() (or vice versa) silently drops data on the "
+        "save/load round trip, so resumed or re-plotted experiments "
+        "diverge from the originals without any error."
+    ),
+    scope=SCOPE_PROJECT,
+)
+def rep016_payload_symmetry(
+    project: Project, module: ModuleInfo
+) -> Iterator[Tuple[ast.AST, str]]:
+    if module.ctx is None:
+        return
+    classes: dict = {}
+    for qualname, summary, node in _function_nodes(module):
+        tail = qualname.rsplit(".", 1)[-1]
+        if tail in ("to_payload", "from_payload") and summary.class_name:
+            classes.setdefault(summary.class_name, {})[tail] = node
+    for class_name, pair in sorted(classes.items()):
+        to_node = pair.get("to_payload")
+        from_node = pair.get("from_payload")
+        if to_node is None or from_node is None:
+            continue
+        to_keys, to_dynamic = _payload_write_keys(to_node)
+        from_keys, from_dynamic = _payload_read_keys(from_node)
+        # A dynamic side (dict comprehension, **spread, computed keys)
+        # makes its key set unknowable statically; only report
+        # asymmetries visible from the fully-literal side.
+        if not to_dynamic and not from_dynamic:
+            for key in sorted(to_keys - from_keys):
+                yield from_node, (
+                    f"{class_name}.to_payload() writes field {key!r} but "
+                    f"from_payload() never reads it; the round trip "
+                    "silently drops data"
+                )
+            for key in sorted(from_keys - to_keys):
+                yield to_node, (
+                    f"{class_name}.from_payload() reads field {key!r} but "
+                    f"to_payload() never writes it; loading a saved "
+                    "payload will fail or default unexpectedly"
+                )
+
+
+def _payload_write_keys(fn: ast.AST) -> Tuple[Set[str], bool]:
+    """Literal string keys to_payload produces, plus a dynamic flag."""
+    keys: Set[str] = set()
+    dynamic = False
+    for node in _walk_skipping_nested(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+                else:
+                    dynamic = True  # **spread or computed key
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "dict":
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        keys.add(kw.arg)
+                    else:
+                        dynamic = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+        elif isinstance(node, (ast.DictComp, ast.GeneratorExp)):
+            dynamic = True
+    return keys, dynamic
+
+
+def _payload_derived_names(fn: ast.AST, params: Set[str]) -> Set[str]:
+    """Names holding payload data: the params plus loop/comprehension
+    variables and locals bound from subscripts of payload names.
+
+    ``for r in payload["rows"]`` makes ``r`` payload-derived, so nested
+    reads like ``r["benchmark"]`` count toward the consumed key set —
+    mirroring how the write side counts nested dict-literal keys.
+    """
+    derived = set(params)
+
+    def from_payload_expr(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in derived
+        if isinstance(expr, ast.Subscript):
+            return from_payload_expr(expr.value)
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "get"
+        ):
+            return from_payload_expr(expr.func.value)
+        return False
+
+    def bind(target: ast.AST) -> None:
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name):
+                derived.add(leaf.id)
+
+    for _ in range(4):  # tiny fixpoint; chains deeper than this are rare
+        before = len(derived)
+        for node in _walk_skipping_nested(fn):
+            if isinstance(node, ast.Assign) and from_payload_expr(node.value):
+                for target in node.targets:
+                    bind(target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and from_payload_expr(
+                node.iter
+            ):
+                bind(node.target)
+            elif isinstance(node, ast.comprehension) and from_payload_expr(
+                node.iter
+            ):
+                bind(node.target)
+        if len(derived) == before:
+            break
+    return derived
+
+
+def _payload_read_keys(fn: ast.AST) -> Tuple[Set[str], bool]:
+    """Literal string keys from_payload consumes, plus a dynamic flag."""
+    params = set()
+    args = fn.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        if arg.arg not in ("cls", "self"):
+            params.add(arg.arg)
+    params = _payload_derived_names(fn, params)
+    keys: Set[str] = set()
+    dynamic = False
+    for node in _walk_skipping_nested(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in params
+        ):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                keys.add(node.slice.value)
+            else:
+                dynamic = True
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in params
+            and node.args
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                keys.add(first.value)
+            else:
+                dynamic = True
+        elif (
+            isinstance(node, ast.Call)
+            and any(
+                kw.arg is None
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id in params
+                for kw in node.keywords
+            )
+        ):
+            dynamic = True  # cls(**payload): consumes every key
+    return keys, dynamic
+
+
+# ---------------------------------------------------------------------
+# REP017: swallowed failure paths around dispatch / journal writes
+# ---------------------------------------------------------------------
+
+#: Calls whose failure must surface: worker dispatch/harvest and the
+#: resilience journal's write path.
+_REP017_FUNCTIONS = DISPATCH_FUNCTIONS | {"as_completed", "journal_item"}
+_REP017_METHODS = frozenset({"submit", "result", "journal_item"})
+
+#: Names that mark a handler as producing a recorded failure outcome.
+_OUTCOME_NAMES = frozenset({"ItemOutcome", "_failure_outcome", "failure_outcome"})
+
+
+@rule(
+    "REP017",
+    "swallowed-failure",
+    hazard=(
+        "an exception handler around worker dispatch or journal writes "
+        "that neither re-raises nor records an outcome turns a failed "
+        "measurement into a silent gap: the run reports success while "
+        "the sampled data is incomplete."
+    ),
+    scope=SCOPE_PROJECT,
+)
+def rep017_swallowed_failures(
+    project: Project, module: ModuleInfo
+) -> Iterator[Tuple[ast.AST, str]]:
+    if module.ctx is None:
+        return
+    for _qualname, node in _module_statements(module):
+        if not isinstance(node, ast.Try):
+            continue
+        sink = _rep017_sink(module, node)
+        if sink is None:
+            continue
+        for handler in node.handlers:
+            if _handler_surfaces_error(handler):
+                continue
+            yield handler, (
+                f"exception handler around {sink} swallows the failure: "
+                "it neither re-raises, uses the bound exception, nor "
+                "produces an ItemOutcome -- failed work becomes a "
+                "silent gap in the results"
+            )
+
+
+def _rep017_sink(module: ModuleInfo, try_node: ast.Try) -> Optional[str]:
+    """Label of the first guarded dispatch/journal call, if any."""
+    for stmt in try_node.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _REP017_METHODS:
+                    return f".{func.attr}()"
+                if func.attr == "append" and isinstance(func.value, ast.Name) and (
+                    "journal" in func.value.id.lower()
+                ):
+                    return f"{func.value.id}.append()"
+            dotted = module.ctx.resolve(func) if module.ctx else None
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in _REP017_FUNCTIONS:
+                return f"{dotted.rsplit('.', 1)[-1]}()"
+    return None
+
+
+def _handler_surfaces_error(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises, uses the exception, or records it."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _OUTCOME_NAMES:
+                return True
+    if handler.name:
+        for node in ast.walk(handler):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+    return False

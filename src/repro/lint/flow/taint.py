@@ -1,0 +1,304 @@
+"""Nondeterminism-taint analysis (the REP014 engine).
+
+A value is *tainted* when it derives from a nondeterminism source —
+host clocks, the global RNGs, unseeded RNG constructors, ``os.urandom``
+/ ``uuid`` / ``secrets``, or hash/address order (``hash``/``id``).
+Taint propagates through expressions and assignments via the forward
+dataflow solver, and *interprocedurally* through function summaries: a
+project function whose return value is tainted taints its call sites,
+fixpointed across the whole project so chains like
+``helper() -> stamp() -> time.time()`` are seen from any module.
+
+Containment is the escape hatch: functions defined in a
+``rep014-allowed`` module (default ``repro/telemetry/clock.py``) are
+trusted to discipline nondeterminism — their summaries are forced
+clean and calls through them launder taint.  That encodes the repo's
+actual policy: raw clocks are fine *inside* the telemetry clock,
+nowhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lint.flow.cfg import CFG, build_cfg
+from repro.lint.flow.dataflow import join_origin_maps, solve_forward
+from repro.lint.flow.graph import ModuleInfo, Project
+from repro.lint.rules import (
+    MONOTONIC_CLOCK_CALLS,
+    NUMPY_GLOBAL_RNG_FNS,
+    STDLIB_GLOBAL_RNG_FNS,
+    WALL_CLOCK_CALLS,
+    _has_seed_argument,
+)
+
+__all__ = ["TaintAnalysis"]
+
+#: RNG constructors that are only deterministic when seeded.
+_SEEDABLE_CTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "random.Random",
+})
+
+#: Always-nondeterministic calls beyond the clock/RNG families.
+_ENTROPY_CALLS = frozenset({
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+})
+
+#: Builtins whose result depends on interpreter run (PYTHONHASHSEED,
+#: heap addresses) — the "hash-order" family from the paper's
+#: reproducibility appendix.
+_ORDER_BUILTINS = frozenset({"hash", "id"})
+
+#: Ceiling on the project-wide summary fixpoint; taint chains longer
+#: than this are beyond anything a sane codebase contains.
+_MAX_SUMMARY_ROUNDS = 10
+
+
+def _source_origin(dotted: str, node: ast.Call) -> Optional[str]:
+    """Origin label when ``dotted(...)`` is a nondeterminism source."""
+    if dotted in WALL_CLOCK_CALLS or dotted in MONOTONIC_CLOCK_CALLS:
+        return f"{dotted}()"
+    if dotted in _ENTROPY_CALLS or dotted.startswith("secrets."):
+        return f"{dotted}()"
+    if dotted in _ORDER_BUILTINS:
+        return f"{dotted}()"
+    prefix, _, attr = dotted.rpartition(".")
+    if prefix == "random" and attr in STDLIB_GLOBAL_RNG_FNS:
+        return f"{dotted}()"
+    if prefix == "numpy.random" and attr in NUMPY_GLOBAL_RNG_FNS:
+        return f"{dotted}()"
+    if dotted in _SEEDABLE_CTORS and not _has_seed_argument(node):
+        return f"unseeded {dotted}()"
+    return None
+
+
+class TaintAnalysis:
+    """Project-wide taint facts: summaries, globals, per-function states."""
+
+    def __init__(self, project: Project, config) -> None:
+        self.project = project
+        self.config = config
+        #: (module, qualname) -> (CFG, in-states) memo for sink queries.
+        self._states: Dict[Tuple[str, str], Tuple[CFG, Dict[int, dict]]] = {}
+        #: module name -> {global name: origin} for parsed modules.
+        self._global_origins: Dict[str, Dict[str, str]] = {}
+
+    # -- policy --------------------------------------------------------
+
+    def is_contained_module(self, module: ModuleInfo) -> bool:
+        allowed = getattr(self.config, "rep014_allowed", ())
+        return any(module.rel_path.endswith(suffix) for suffix in allowed)
+
+    # -- expression evaluation -----------------------------------------
+
+    def expr_taint(
+        self, module: ModuleInfo, node: Optional[ast.AST], state: Dict[str, str]
+    ) -> Optional[str]:
+        """Origin string when ``node`` evaluates to a tainted value."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            origin = state.get(node.id)
+            if origin is not None:
+                return origin
+            if node.id in module.tainted_globals:
+                return f"module-level {module.name}.{node.id}"
+            return None
+        if isinstance(node, ast.Lambda):
+            return None  # body runs at call time, not here
+        if isinstance(node, ast.Call):
+            return self._call_taint(module, node, state)
+        # Generic propagation: an expression is tainted when any child
+        # expression is (attribute chains, arithmetic, f-strings,
+        # containers, comprehensions all reduce to this).
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.comprehension, ast.keyword)):
+                origin = self.expr_taint(module, child, state)
+                if origin is not None:
+                    return origin
+            elif isinstance(child, ast.FormattedValue):
+                origin = self.expr_taint(module, child.value, state)
+                if origin is not None:
+                    return origin
+        return None
+
+    def _call_taint(
+        self, module: ModuleInfo, node: ast.Call, state: Dict[str, str]
+    ) -> Optional[str]:
+        dotted = module.ctx.resolve(node.func) if module.ctx else None
+        if dotted is not None:
+            origin = _source_origin(dotted, node)
+            if origin is not None:
+                return origin
+            resolved = self.project.resolve_function(module, dotted)
+            if resolved is not None:
+                target_module, summary = resolved
+                if self.is_contained_module(target_module):
+                    return None  # contained API launders taint
+                if summary.returns_taint:
+                    via = summary.taint_origin or f"{dotted}()"
+                    return f"{dotted}() [{via}]" if "[" not in via else via
+        # Unknown callee: taint flows through arguments (str(t), f(t)...).
+        for arg in node.args:
+            origin = self.expr_taint(module, arg, state)
+            if origin is not None:
+                return origin
+        for keyword in node.keywords:
+            origin = self.expr_taint(module, keyword.value, state)
+            if origin is not None:
+                return origin
+        return None
+
+    # -- statement transfer --------------------------------------------
+
+    def _bind_target(
+        self, target: ast.AST, origin: Optional[str], state: Dict[str, str]
+    ) -> None:
+        """Gen/kill every plain name bound by an assignment target."""
+        for leaf in ast.walk(target):
+            if not isinstance(leaf, ast.Name):
+                continue
+            if origin is None:
+                state.pop(leaf.id, None)
+            else:
+                state[leaf.id] = origin
+
+    def transfer(self, module: ModuleInfo):
+        """A ``transfer(stmt, state) -> state`` closure for the solver."""
+
+        def run(stmt: ast.stmt, state: Dict[str, str]) -> Dict[str, str]:
+            state = dict(state)
+            if isinstance(stmt, ast.Assign):
+                origin = self.expr_taint(module, stmt.value, state)
+                for target in stmt.targets:
+                    self._bind_target(target, origin, state)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                origin = self.expr_taint(module, stmt.value, state)
+                self._bind_target(stmt.target, origin, state)
+            elif isinstance(stmt, ast.AugAssign):
+                origin = self.expr_taint(module, stmt.value, state)
+                if origin is None and isinstance(stmt.target, ast.Name):
+                    origin = state.get(stmt.target.id)
+                self._bind_target(stmt.target, origin, state)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                origin = self.expr_taint(module, stmt.iter, state)
+                if origin is not None:
+                    self._bind_target(stmt.target, origin, state)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is None:
+                        continue
+                    origin = self.expr_taint(module, item.context_expr, state)
+                    if origin is not None:
+                        self._bind_target(item.optional_vars, origin, state)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                state.pop(stmt.name, None)
+            return state
+
+        return run
+
+    # -- per-function solving ------------------------------------------
+
+    def states_for(
+        self, module: ModuleInfo, qualname: str
+    ) -> Tuple[Optional[CFG], Dict[int, dict]]:
+        """(CFG, fixpoint in-states) of one function; memoized."""
+        key = (module.name, qualname)
+        cached = self._states.get(key)
+        if cached is not None:
+            return cached
+        node = module.defs.get(qualname)
+        if node is None:
+            return None, {}
+        cfg = build_cfg(node.body)
+        states = solve_forward(
+            cfg, self.transfer(module), join_origin_maps, {}
+        )
+        self._states[key] = (cfg, states)
+        return cfg, states
+
+    def tainted_returns(
+        self, module: ModuleInfo, qualname: str
+    ) -> Iterator[Tuple[ast.Return, str]]:
+        """Return statements of a function whose value is tainted."""
+        cfg, states = self.states_for(module, qualname)
+        if cfg is None:
+            return
+        for index, stmt in enumerate(cfg.nodes):
+            if not isinstance(stmt, ast.Return) or stmt.value is None:
+                continue
+            state = states.get(index)
+            if state is None:
+                continue  # unreachable
+            origin = self.expr_taint(module, stmt.value, state)
+            if origin is not None:
+                yield stmt, origin
+
+    # -- whole-project fixpoint ----------------------------------------
+
+    def _module_globals_pass(self, module: ModuleInfo) -> bool:
+        """Straight-line taint over module-level assignments."""
+        if module.ctx is None:
+            return False
+        state: Dict[str, str] = dict(
+            self._global_origins.get(module.name, {})
+        )
+        run = self.transfer(module)
+        for stmt in module.ctx.tree.body:
+            state = run(stmt, state)
+        changed = set(state) != module.tainted_globals
+        module.tainted_globals = set(state)
+        self._global_origins[module.name] = state
+        return changed
+
+    def global_origin(self, module: ModuleInfo, name: str) -> str:
+        return self._global_origins.get(module.name, {}).get(
+            name, f"module-level {module.name}.{name}"
+        )
+
+    def compute(self, dirty: Optional[set] = None) -> None:
+        """Fixpoint ``returns_taint`` / ``tainted_globals`` project-wide.
+
+        ``dirty`` restricts re-analysis to the named modules — the
+        incremental engine passes the changed set plus its reverse
+        import cone; summaries of clean modules were loaded from the
+        cache and are stable by construction.
+        """
+        targets = [
+            module
+            for name, module in sorted(self.project.modules.items())
+            if module.ctx is not None and (dirty is None or name in dirty)
+        ]
+        for _ in range(_MAX_SUMMARY_ROUNDS):
+            changed = False
+            for module in targets:
+                changed |= self._module_globals_pass(module)
+                contained = self.is_contained_module(module)
+                for qualname, summary in module.functions.items():
+                    if contained:
+                        if summary.returns_taint:
+                            summary.returns_taint = False
+                            summary.taint_origin = ""
+                        continue
+                    origins = [o for _, o in self.tainted_returns(module, qualname)]
+                    tainted = bool(origins)
+                    origin = min(origins) if origins else ""
+                    if (
+                        tainted != summary.returns_taint
+                        or origin != summary.taint_origin
+                    ):
+                        summary.returns_taint = tainted
+                        summary.taint_origin = origin
+                        changed = True
+            if not changed:
+                break
+            # Summaries moved: per-function states are stale.
+            self._states.clear()

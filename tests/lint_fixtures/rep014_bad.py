@@ -1,0 +1,22 @@
+"""REP014 fixtures: nondeterminism taint reaching serialized output."""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+class RunResult:
+    def __init__(self, value):
+        self.value = value
+
+    def to_payload(self):
+        # Interprocedural: the taint enters through stamp()'s summary.
+        return {"value": self.value, "generated_at": stamp()}
+
+
+def persist(store, metrics):
+    jitter = random.random()
+    store.put_json("metrics", {"name": "x"}, {"jitter": jitter, **metrics})

@@ -1,0 +1,22 @@
+"""REP014 good: payloads built from contained or seeded values only."""
+
+from random import Random
+
+from repro.telemetry.clock import wall_time_s
+
+
+def stamp():
+    return wall_time_s()
+
+
+class RunResult:
+    def __init__(self, value):
+        self.value = value
+
+    def to_payload(self):
+        return {"value": self.value, "generated_at": stamp()}
+
+
+def persist(store, rng_seed):
+    rng = Random(rng_seed)
+    store.put_json("metrics", {"name": "x"}, {"jitter": rng.random()})

@@ -1,0 +1,25 @@
+"""REP015 fixtures: parallel-dispatched workers that are not pool-safe."""
+
+from repro.parallel import parallel_map
+
+_SEEN = []
+
+
+def record(name):
+    _SEEN.append(name)
+    return name
+
+
+def run_all(names):
+    return parallel_map(record, names)
+
+
+def run_lambda(names):
+    return parallel_map(lambda n: n.upper(), names)
+
+
+def run_nested(names):
+    def worker(n):
+        return n.lower()
+
+    return parallel_map(worker, names)

@@ -1,0 +1,24 @@
+"""REP015 good: workers return values; memo caches are exempt."""
+
+import functools
+
+from repro.parallel import parallel_map
+
+_CACHE = {}
+
+
+def expensive(name, suffix=""):
+    if name in _CACHE:
+        return _CACHE[name]
+    value = name.upper() + suffix
+    _CACHE[name] = value
+    return value
+
+
+def run_all(names):
+    return parallel_map(expensive, names)
+
+
+def run_bound(names):
+    worker = functools.partial(expensive, suffix="!")
+    return parallel_map(worker, names)

@@ -1,0 +1,33 @@
+"""REP016 fixtures: asymmetric to_payload/from_payload field sets."""
+
+
+class SampleResult:
+    def __init__(self, benchmark, error, runs):
+        self.benchmark = benchmark
+        self.error = error
+        self.runs = runs
+
+    def to_payload(self):
+        return {
+            "benchmark": self.benchmark,
+            "error": self.error,
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(
+            benchmark=payload["benchmark"], error=payload["error"], runs=3
+        )
+
+
+class CostResult:
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def to_payload(self):
+        return {"seconds": self.seconds}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(seconds=payload["seconds"] * payload["scale"])

@@ -1,0 +1,29 @@
+"""REP016 good: symmetric round trips; dynamic sides are not guessed at."""
+
+
+class GoodResult:
+    def __init__(self, benchmark, error):
+        self.benchmark = benchmark
+        self.error = error
+
+    def to_payload(self):
+        return {"benchmark": self.benchmark, "error": self.error}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(
+            benchmark=payload["benchmark"], error=payload.get("error", 0.0)
+        )
+
+
+class DynamicResult:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def to_payload(self):
+        return {"x": self.x, "y": self.y}
+
+    @classmethod
+    def from_payload(cls, payload):
+        return cls(**payload)

@@ -1,0 +1,27 @@
+"""REP017 good: every failure path re-raises, records, or uses the error."""
+
+from repro.parallel import parallel_map
+
+
+def run_loudly(worker, items):
+    try:
+        return parallel_map(worker, items)
+    except RuntimeError as exc:
+        raise RuntimeError(f"dispatch failed: {exc}") from exc
+
+
+def journal_loudly(journal, record, log):
+    try:
+        journal.append(record)
+    except OSError as exc:
+        log.warning("journal write failed: %s", exc)
+
+
+def harvest(futures, failure_outcome):
+    out = []
+    for future in futures:
+        try:
+            out.append(future.result())
+        except Exception as exc:
+            out.append(failure_outcome(exc))
+    return out

@@ -1,0 +1,706 @@
+"""Whole-program flow engine: CFG, graphs, taint, incrementality, CLI.
+
+Covers the :mod:`repro.lint.flow` layers bottom-up — CFG shape,
+project/call-graph construction on synthetic packages, the taint
+fixpoint, the incremental summary cache (exact reverse-cone
+invalidation, the ``flow.summary.hit`` counter, parse-once), the SARIF
+reporter, ``baseline --update`` merging, and ``--changed`` scoping.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, render_sarif
+from repro.lint.astcache import AstCache
+from repro.lint.baseline import (
+    load_baseline,
+    merge_baseline,
+    save_baseline,
+    save_fingerprints,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.flow import build_cfg, build_project, lint_project
+from repro.lint.flow.cfg import EXIT
+from repro.lint.flow.dataflow import join_origin_maps, solve_forward
+from repro.lint.flow.graph import absolutize, module_name_for
+from repro.lint.flow.taint import TaintAnalysis
+from repro.lint.registry import Finding, Severity
+from repro.lint.walker import iter_python_files
+from repro.parallel.store import ArtifactStore
+from repro.telemetry.recorder import TraceRecorder, using_recorder
+
+pytestmark = pytest.mark.lint
+
+
+def _parse_body(source: str):
+    return ast.parse(textwrap.dedent(source)).body
+
+
+# ---------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------
+
+
+class TestCfg:
+    def test_linear_chain(self):
+        cfg = build_cfg(_parse_body("a = 1\nb = 2\nc = 3\n"))
+        assert len(cfg.nodes) == 3
+        assert cfg.succs[cfg.entry] != {EXIT}
+        # The last statement falls through to EXIT.
+        order = [cfg.entry]
+        while cfg.succs[order[-1]] != {EXIT}:
+            (nxt,) = cfg.succs[order[-1]]
+            order.append(nxt)
+        assert len(order) == 3
+
+    def test_if_branches_rejoin(self):
+        cfg = build_cfg(
+            _parse_body(
+                """
+                if cond:
+                    x = 1
+                else:
+                    x = 2
+                done = True
+                """
+            )
+        )
+        branch = cfg.entry
+        assert len(cfg.succs[branch]) == 2
+        targets = cfg.succs[branch]
+        # Both arms flow into the join statement.
+        joins = {next(iter(cfg.succs[t])) for t in targets}
+        assert len(joins) == 1
+
+    def test_while_has_back_edge_and_exit(self):
+        cfg = build_cfg(
+            _parse_body(
+                """
+                while cond:
+                    x = 1
+                y = 2
+                """
+            )
+        )
+        head = cfg.entry
+        succs = cfg.succs[head]
+        assert len(succs) == 2  # body entry + loop exit
+        body = [s for s in succs if isinstance(cfg.nodes[s], ast.Assign)
+                and cfg.nodes[s].targets[0].id == "x"][0]
+        assert cfg.succs[body] == {head}  # back edge
+
+    def test_return_goes_to_exit(self):
+        cfg = build_cfg(_parse_body("return 1\nx = 2\n"))
+        assert cfg.succs[cfg.entry] == {EXIT}
+
+    def test_try_body_edges_into_handler(self):
+        cfg = build_cfg(
+            _parse_body(
+                """
+                try:
+                    risky()
+                except ValueError:
+                    handled = True
+                after = 1
+                """
+            )
+        )
+        risky = cfg.entry
+        handler_targets = {
+            s
+            for s in cfg.succs[risky]
+            if isinstance(cfg.nodes[s], ast.Assign)
+            and cfg.nodes[s].targets[0].id == "handled"
+        }
+        assert handler_targets  # exceptional edge exists
+
+    def test_break_targets_loop_exit(self):
+        cfg = build_cfg(
+            _parse_body(
+                """
+                for item in items:
+                    break
+                after = 1
+                """
+            )
+        )
+        loop = cfg.entry
+        brk = [s for s in cfg.succs[loop] if isinstance(cfg.nodes[s], ast.Break)]
+        after = [
+            s for s in cfg.succs[loop] if isinstance(cfg.nodes[s], ast.Assign)
+        ]
+        assert brk and after
+        assert cfg.succs[brk[0]] == {after[0]}
+
+
+class TestDataflow:
+    def test_join_is_order_insensitive(self):
+        a = {"x": "time.time()"}
+        b = {"x": "random.random()", "y": "id()"}
+        assert join_origin_maps(a, b) == join_origin_maps(b, a)
+
+    def test_solver_reaches_fixpoint_on_loop(self):
+        cfg = build_cfg(
+            _parse_body(
+                """
+                while cond:
+                    x = x + 1
+                done = x
+                """
+            )
+        )
+
+        def transfer(stmt, state):
+            out = dict(state)
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                out[stmt.targets[0].id] = "seen"
+            return out
+
+        states = solve_forward(cfg, transfer, join_origin_maps, {})
+        assert states  # terminated
+
+
+# ---------------------------------------------------------------------
+# Project / call graph on synthetic packages
+# ---------------------------------------------------------------------
+
+
+def _write_package(root: Path, files: dict) -> Path:
+    pkg = root / "pkg"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source), encoding="utf-8")
+    return pkg
+
+
+def _project_for(root: Path, config=None):
+    config = config or LintConfig(baseline=None, root=root)
+    cache = AstCache(config)
+    files = iter_python_files([root], config)
+    return build_project(cache, files), cache, files, config
+
+
+class TestProjectGraph:
+    def test_module_names_follow_packages(self, tmp_path):
+        pkg = _write_package(tmp_path, {"a.py": "x = 1\n"})
+        assert module_name_for(pkg / "a.py") == "pkg.a"
+        assert module_name_for(pkg / "__init__.py") == "pkg"
+
+    def test_absolutize_relative_imports(self):
+        assert absolutize(".common", "pkg.sub") == "pkg.sub.common"
+        assert absolutize("..common", "pkg.sub") == "pkg.common"
+        assert absolutize("os.path", "pkg") == "os.path"
+
+    def test_import_graph_and_reverse_cone(self, tmp_path):
+        _write_package(
+            tmp_path,
+            {
+                "a.py": "X = 1\n",
+                "b.py": "from pkg.a import X\nY = X\n",
+                "c.py": "import pkg.b\nZ = pkg.b.Y\n",
+                "d.py": "W = 4\n",
+            },
+        )
+        project, _cache, _files, _cfg = _project_for(tmp_path)
+        assert "pkg.a" in project.modules["pkg.b"].imports
+        assert project.importers_of("pkg.a") == {"pkg.b"}
+        cone = project.reverse_cone(["pkg.a"])
+        assert cone == {"pkg.a", "pkg.b", "pkg.c"}
+        assert project.reverse_cone(["pkg.d"]) == {"pkg.d"}
+
+    def test_call_graph_resolves_across_modules_and_partials(self, tmp_path):
+        _write_package(
+            tmp_path,
+            {
+                "a.py": """
+                    def helper():
+                        return 1
+                    """,
+                "b.py": """
+                    import functools
+                    from pkg.a import helper
+
+                    def caller():
+                        return helper()
+
+                    def binder():
+                        return functools.partial(helper, 1)
+                    """,
+            },
+        )
+        project, _cache, _files, _cfg = _project_for(tmp_path)
+        b = project.modules["pkg.b"]
+        resolved = project.resolve_function(b, "pkg.a.helper")
+        assert resolved is not None and resolved[1].qualname == "helper"
+        # partial(...) contributes the wrapped function to the call set.
+        assert "pkg.a.helper" in b.functions["binder"].calls
+        closure = project.reachable_from(b, b.functions["caller"])
+        names = {(m.name, f.qualname) for m, f in closure}
+        assert ("pkg.a", "helper") in names
+
+    def test_memo_writes_classified(self, tmp_path):
+        _write_package(
+            tmp_path,
+            {
+                "a.py": """
+                    _CACHE = {}
+                    _LOG = []
+
+                    def memoized(key):
+                        if key in _CACHE:
+                            return _CACHE[key]
+                        _CACHE[key] = key * 2
+                        return _CACHE[key]
+
+                    def leaky(key):
+                        _LOG.append(key)
+                        return key
+                    """,
+            },
+        )
+        project, _cache, _files, _cfg = _project_for(tmp_path)
+        a = project.modules["pkg.a"]
+        memo_writes = a.functions["memoized"].global_writes
+        assert memo_writes and all(w.memo for w in memo_writes)
+        leaky_writes = a.functions["leaky"].global_writes
+        assert leaky_writes and not any(w.memo for w in leaky_writes)
+
+
+class TestTaint:
+    def test_returns_taint_propagates_across_modules(self, tmp_path):
+        _write_package(
+            tmp_path,
+            {
+                "clocks.py": """
+                    import time
+
+                    def now():
+                        return time.time()
+                    """,
+                "uses.py": """
+                    from pkg.clocks import now
+
+                    def stamp():
+                        value = now()
+                        return value
+                    """,
+            },
+        )
+        project, _cache, _files, cfg = _project_for(tmp_path)
+        analysis = TaintAnalysis(project, cfg)
+        project.taint = analysis
+        analysis.compute()
+        clocks = project.modules["pkg.clocks"]
+        uses = project.modules["pkg.uses"]
+        assert clocks.functions["now"].returns_taint
+        assert uses.functions["stamp"].returns_taint
+        assert "time.time()" in uses.functions["stamp"].taint_origin
+
+    def test_containment_module_is_clean(self, tmp_path):
+        _write_package(
+            tmp_path,
+            {
+                "clocks.py": """
+                    import time
+
+                    def now():
+                        return time.time()
+                    """,
+            },
+        )
+        cfg = LintConfig(
+            baseline=None, root=tmp_path, rep014_allowed=("pkg/clocks.py",)
+        )
+        project, _cache, _files, _ = _project_for(tmp_path, cfg)
+        analysis = TaintAnalysis(project, cfg)
+        project.taint = analysis
+        analysis.compute()
+        assert not project.modules["pkg.clocks"].functions["now"].returns_taint
+
+    def test_assignment_kills_taint(self, tmp_path):
+        _write_package(
+            tmp_path,
+            {
+                "a.py": """
+                    import time
+
+                    def reassigned():
+                        value = time.time()
+                        value = 0.0
+                        return value
+                    """,
+            },
+        )
+        project, _cache, _files, cfg = _project_for(tmp_path)
+        analysis = TaintAnalysis(project, cfg)
+        project.taint = analysis
+        analysis.compute()
+        assert not project.modules["pkg.a"].functions["reassigned"].returns_taint
+
+
+# ---------------------------------------------------------------------
+# Incremental summary cache
+# ---------------------------------------------------------------------
+
+
+_CHAIN = {
+    "a.py": "X = 1\n",
+    "b.py": "from pkg.a import X\nY = X\n",
+    "c.py": "import pkg.b\nZ = pkg.b.Y\n",
+    "d.py": "W = 4\n",
+}
+
+
+class TestIncremental:
+    def _run(self, root, store, config=None):
+        config = config or LintConfig(baseline=None, root=root)
+        cache = AstCache(config)
+        files = iter_python_files([root], config)
+        findings, stats = lint_project(
+            files, config, cache=cache, store=store
+        )
+        return findings, stats, cache
+
+    def test_warm_run_reuses_every_summary(self, tmp_path):
+        _write_package(tmp_path, _CHAIN)
+        store = ArtifactStore(tmp_path / "cache")
+        _, cold, _ = self._run(tmp_path, store)
+        assert cold.analyzed == 5 and cold.reused == 0  # 4 modules + __init__
+        _, warm, cache = self._run(tmp_path, store)
+        assert warm.analyzed == 0 and warm.reused == 5
+        # Restoring summaries must not parse anything.
+        assert cache.parse_count == 0
+
+    def test_touched_file_invalidates_exactly_its_cone(self, tmp_path):
+        pkg = _write_package(tmp_path, _CHAIN)
+        store = ArtifactStore(tmp_path / "cache")
+        self._run(tmp_path, store)
+        (pkg / "b.py").write_text(
+            "from pkg.a import X\nY = X + 1\n", encoding="utf-8"
+        )
+        _, stats, cache = self._run(tmp_path, store)
+        # b changed; c imports b.  a, d, and the package __init__ stay
+        # summary-restored and unparsed.
+        assert stats.analyzed == 2 and stats.reused == 3
+        assert cache.parse_count == 2
+
+    def test_hit_counter_reported_via_telemetry(self, tmp_path):
+        pkg = _write_package(tmp_path, _CHAIN)
+        store = ArtifactStore(tmp_path / "cache")
+        self._run(tmp_path, store)
+        (pkg / "b.py").write_text(
+            "from pkg.a import X\nY = X + 2\n", encoding="utf-8"
+        )
+        recorder = TraceRecorder()
+        with using_recorder(recorder):
+            self._run(tmp_path, store)
+        assert recorder.metrics.counters["flow.summary.hit"] == 3
+        assert recorder.metrics.counters["flow.summary.miss"] == 2
+
+    def test_cached_findings_survive_reuse(self, tmp_path):
+        pkg = _write_package(
+            tmp_path,
+            {
+                "worker.py": """
+                    _SEEN = []
+
+                    def record(name):
+                        _SEEN.append(name)
+                        return name
+                    """,
+                "driver.py": """
+                    from repro.parallel import parallel_map
+                    from pkg.worker import record
+
+                    def run(names):
+                        return parallel_map(record, names)
+                    """,
+                "other.py": "K = 1\n",
+            },
+        )
+        store = ArtifactStore(tmp_path / "cache")
+        cold, cold_stats, _ = self._run(tmp_path, store)
+        assert [f.rule for f in cold] == ["REP015"]
+        # Touch an unrelated module: the REP015 finding must come back
+        # from the summary cache without re-analyzing the driver.
+        (pkg / "other.py").write_text("K = 2\n", encoding="utf-8")
+        warm, warm_stats, _ = self._run(tmp_path, store)
+        assert [f.rule for f in warm] == ["REP015"]
+        assert warm_stats.analyzed == 1
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_worker_edit_dirties_the_dispatch_site(self, tmp_path):
+        pkg = _write_package(
+            tmp_path,
+            {
+                "worker.py": """
+                    def record(name):
+                        return name
+                    """,
+                "driver.py": """
+                    from repro.parallel import parallel_map
+                    from pkg.worker import record
+
+                    def run(names):
+                        return parallel_map(record, names)
+                    """,
+            },
+        )
+        store = ArtifactStore(tmp_path / "cache")
+        clean, _, _ = self._run(tmp_path, store)
+        assert clean == []
+        # Introduce the hazard in the *callee*; the finding appears at
+        # the dispatch site because the driver is in worker.py's cone.
+        (pkg / "worker.py").write_text(
+            textwrap.dedent(
+                """
+                _SEEN = []
+
+                def record(name):
+                    _SEEN.append(name)
+                    return name
+                """
+            ),
+            encoding="utf-8",
+        )
+        warm, stats, _ = self._run(tmp_path, store)
+        assert [f.rule for f in warm] == ["REP015"]
+        assert warm[0].path.endswith("driver.py")
+        assert stats.analyzed == 2  # worker + driver; __init__ reused
+
+    def test_no_store_analyzes_everything(self, tmp_path):
+        _write_package(tmp_path, _CHAIN)
+        _, stats, _ = self._run(tmp_path, store=None)
+        assert stats.analyzed == 5 and stats.reused == 0
+
+
+class TestParseOnce:
+    def test_shared_cache_parses_each_file_once(self, tmp_path):
+        _write_package(tmp_path, _CHAIN)
+        config = LintConfig(baseline=None, root=tmp_path)
+        cache = AstCache(config)
+        files = iter_python_files([tmp_path], config)
+        # Per-file pass AND flow pass through one cache.
+        lint_paths([tmp_path], config, cache=cache)
+        assert cache.parse_count == len(files)
+
+    def test_content_hash_does_not_parse(self, tmp_path):
+        _write_package(tmp_path, {"a.py": "x = 1\n"})
+        config = LintConfig(baseline=None, root=tmp_path)
+        cache = AstCache(config)
+        digest = cache.content_hash(tmp_path / "pkg" / "a.py")
+        assert len(digest) == 64
+        assert cache.parse_count == 0
+
+
+# ---------------------------------------------------------------------
+# SARIF reporter
+# ---------------------------------------------------------------------
+
+
+class TestSarif:
+    def _finding(self, **kw):
+        base = dict(
+            rule="REP015",
+            path="src/repro/x.py",
+            line=12,
+            col=4,
+            message="worker mutates module state",
+            severity=Severity.ERROR,
+            snippet="parallel_map(record, names)",
+        )
+        base.update(kw)
+        return Finding(**base)
+
+    def test_shape_and_levels(self):
+        log = json.loads(
+            render_sarif(
+                [
+                    self._finding(),
+                    self._finding(
+                        rule="REP016", severity=Severity.WARNING, col=0
+                    ),
+                ],
+                baselined=1,
+                files=3,
+            )
+        )
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["REP015", "REP016"]
+        first, second = run["results"]
+        assert first["level"] == "error"
+        assert second["level"] == "warning"
+        loc = first["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert loc["region"]["startLine"] == 12
+        assert loc["region"]["startColumn"] == 5  # 1-based
+        assert first["partialFingerprints"]["reproLintFingerprint/v1"]
+        assert run["properties"] == {"files": 3, "baselined": 1}
+
+    def test_empty_run_is_valid(self):
+        log = json.loads(render_sarif([], files=0))
+        assert log["runs"][0]["results"] == []
+
+    def test_cli_emits_sarif(self, tmp_path, capsys, monkeypatch):
+        _write_package(tmp_path, {"a.py": "X = 1\n"})
+        monkeypatch.chdir(tmp_path)
+        code = lint_main(
+            [
+                "pkg", "--format", "sarif", "--no-baseline",
+                "--no-flow-cache", "--select", "REP004",
+            ]
+        )
+        assert code == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+
+
+# ---------------------------------------------------------------------
+# baseline --update merging
+# ---------------------------------------------------------------------
+
+
+class TestBaselineMerge:
+    def test_merge_keeps_existing_and_adds_new(self):
+        existing = [("src/a.py", "REP004", "time.time()")]
+        findings = [
+            Finding(
+                rule="REP015", path="src/b.py", line=3, col=0,
+                message="m", snippet="parallel_map(f, xs)",
+            ),
+            Finding(
+                rule="REP004", path="src/a.py", line=9, col=0,
+                message="m", snippet="time.time()",
+            ),
+        ]
+        merged = merge_baseline(existing, findings)
+        assert ("src/a.py", "REP004", "time.time()") in merged
+        assert ("src/b.py", "REP015", "parallel_map(f, xs)") in merged
+        # The REP004 finding matched the existing entry: no duplicate.
+        assert len(merged) == 2
+
+    def test_merge_preserves_stale_entries(self):
+        # A baselined finding that no longer fires must survive --update.
+        existing = [("src/gone.py", "REP001", "np.random.rand()")]
+        merged = merge_baseline(existing, [])
+        assert merged == existing
+
+    def test_merge_respects_multiplicity(self):
+        fp = ("src/a.py", "REP002", "x == y")
+        finding = Finding(
+            rule="REP002", path="src/a.py", line=1, col=0,
+            message="m", snippet="x == y",
+        )
+        merged = merge_baseline([fp], [finding, finding])
+        assert merged.count(fp) == 2
+
+    def test_cli_baseline_update_round_trip(self, tmp_path, monkeypatch):
+        _write_package(
+            tmp_path,
+            {
+                "worker.py": """
+                    _SEEN = []
+
+                    def record(name):
+                        _SEEN.append(name)
+                        return name
+                    """,
+                "driver.py": """
+                    from repro.parallel import parallel_map
+                    from pkg.worker import record
+
+                    def run(names):
+                        return parallel_map(record, names)
+                    """,
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        # Seed the baseline with a foreign rule's entry.
+        save_fingerprints(
+            baseline, [("src/old.py", "REP001", "np.random.rand()")]
+        )
+        code = lint_main(
+            ["baseline", "--update", "--baseline", str(baseline), "pkg"]
+        )
+        assert code == 0
+        merged = load_baseline(baseline)
+        assert ("src/old.py", "REP001", "np.random.rand()") in merged
+        assert any(fp[1] == "REP015" for fp in merged)
+        # The lint run is now clean against the merged baseline.
+        code = lint_main(
+            ["pkg", "--baseline", str(baseline), "--no-flow-cache"]
+        )
+        assert code == 0
+
+    def test_save_baseline_round_trip_still_works(self, tmp_path):
+        finding = Finding(
+            rule="REP015", path="src/b.py", line=3, col=0,
+            message="m", snippet="parallel_map(f, xs)",
+        )
+        path = tmp_path / "b.json"
+        save_baseline(path, [finding])
+        assert load_baseline(path) == [finding.fingerprint]
+
+
+# ---------------------------------------------------------------------
+# --changed scoping
+# ---------------------------------------------------------------------
+
+
+class TestChangedScoping:
+    def test_changed_only_reports_in_reverse_cone(self, tmp_path):
+        pkg = _write_package(
+            tmp_path,
+            {
+                "worker.py": """
+                    _SEEN = []
+
+                    def record(name):
+                        _SEEN.append(name)
+                        return name
+                    """,
+                "driver.py": """
+                    from repro.parallel import parallel_map
+                    from pkg.worker import record
+
+                    def run(names):
+                        return parallel_map(record, names)
+                    """,
+                "other.py": "import time\n\n\ndef t():\n    return time.time()\n",
+            },
+        )
+        config = LintConfig(baseline=None, root=tmp_path)
+        # Changing only worker.py: the REP015 finding in driver.py is in
+        # worker's reverse cone and must be reported; other.py's
+        # per-file REP004 finding must not (file unchanged).
+        findings = lint_paths(
+            [tmp_path], config, changed_only=[pkg / "worker.py"]
+        )
+        assert [f.rule for f in findings] == ["REP015"]
+        assert findings[0].path.endswith("driver.py")
+
+    def test_changed_only_keeps_per_file_rules_on_changed_files(
+        self, tmp_path
+    ):
+        pkg = _write_package(
+            tmp_path,
+            {"clocky.py": "import time\n\n\ndef t():\n    return time.time()\n"},
+        )
+        config = LintConfig(baseline=None, root=tmp_path)
+        findings = lint_paths(
+            [tmp_path], config, changed_only=[pkg / "clocky.py"]
+        )
+        assert any(f.rule == "REP004" for f in findings)

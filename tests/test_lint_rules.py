@@ -6,7 +6,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import LintConfig, lint_file
+from repro.lint import LintConfig, lint_file, lint_paths
 
 FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
 
@@ -27,6 +27,21 @@ def run_rule(rule_id: str, filename: str, **config_kwargs):
         **config_kwargs,
     )
     return lint_file(FIXTURES / filename, config)
+
+
+def run_flow_rule(rule_id: str, filename: str, **config_kwargs):
+    """Lint one fixture with a single *project-scope* rule enabled.
+
+    Flow rules run under :func:`lint_paths` (they need the whole-program
+    engine, even for a one-module project).
+    """
+    config = LintConfig(
+        baseline=None,
+        root=FIXTURES,
+        enable=frozenset({rule_id}),
+        **config_kwargs,
+    )
+    return lint_paths([FIXTURES / filename], config)
 
 
 #: (rule id, bad fixture, expected findings, good fixture)
@@ -56,6 +71,71 @@ def test_rule_fires_and_stays_silent(rule_id, bad, expected, good):
     assert all(f.rule == rule_id for f in findings)
     assert all(f.path and f.line >= 1 and f.message for f in findings)
     assert run_rule(rule_id, good) == []
+
+
+#: (rule id, bad fixture, expected findings, good fixture) — flow rules.
+FLOW_CASES = [
+    ("REP014", "rep014_bad.py", 2, "rep014_good.py"),
+    ("REP015", "rep015_bad.py", 3, "rep015_good.py"),
+    ("REP016", "rep016_bad.py", 2, "rep016_good.py"),
+    ("REP017", "rep017_bad.py", 3, "rep017_good.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,bad,expected,good", FLOW_CASES, ids=[c[0] for c in FLOW_CASES]
+)
+def test_flow_rule_fires_and_stays_silent(rule_id, bad, expected, good):
+    findings = run_flow_rule(rule_id, bad)
+    assert len(findings) == expected, [f.message for f in findings]
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.path and f.line >= 1 and f.message for f in findings)
+    assert run_flow_rule(rule_id, good) == []
+
+
+class TestFlowRuleDetails:
+    def test_rep014_is_interprocedural(self):
+        # The taint enters to_payload through a helper's return summary.
+        findings = run_flow_rule("REP014", "rep014_bad.py")
+        payload = [f for f in findings if "to_payload" in f.message]
+        assert len(payload) == 1
+        assert "time.time()" in payload[0].message
+
+    def test_rep014_containment_launders_taint(self):
+        # Marking the bad fixture itself as a containment module clears it.
+        assert (
+            run_flow_rule(
+                "REP014", "rep014_bad.py", rep014_allowed=("rep014_bad.py",)
+            )
+            == []
+        )
+
+    def test_rep015_reports_at_dispatch_site_with_write_details(self):
+        findings = run_flow_rule("REP015", "rep015_bad.py")
+        mutation = [f for f in findings if "mutates" in f.message]
+        assert len(mutation) == 1
+        assert "_SEEN" in mutation[0].message
+        assert "parallel_map" in mutation[0].snippet
+
+    def test_rep015_memo_caches_and_partials_are_exempt(self):
+        # rep015_good dispatches both a memo-caching worker and a
+        # functools.partial over it; neither may fire.
+        assert run_flow_rule("REP015", "rep015_good.py") == []
+
+    def test_rep016_names_the_asymmetric_field(self):
+        messages = " ".join(
+            f.message for f in run_flow_rule("REP016", "rep016_bad.py")
+        )
+        assert "'runs'" in messages
+        assert "'scale'" in messages
+
+    def test_rep017_names_the_guarded_sink(self):
+        messages = [
+            f.message for f in run_flow_rule("REP017", "rep017_bad.py")
+        ]
+        assert any("parallel_map()" in m for m in messages)
+        assert any("journal.append()" in m for m in messages)
+        assert any(".result()" in m for m in messages)
 
 
 class TestRuleDetails:
