@@ -28,6 +28,7 @@ the ``lint.per_file`` / ``lint.flow`` telemetry spans.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro import telemetry
@@ -43,13 +44,34 @@ _ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = _ROOT / "BENCH_pipeline.json"
 TRACE_SUMMARY_PATH = _ROOT / "BENCH_trace_summary.json"
 
-#: Span-name prefixes folded into each reported stage.
+#: Span-name prefixes folded into each reported stage.  ``cache_sim``
+#: sums only the top-level replay spans: the fused engine emits nested
+#: ``cache.fused`` drain spans inside ``cache.replay``, and a ``cache.``
+#: prefix would count that time twice.
 _STAGES = {
     "pipeline": ("pinpoints.",),
-    "cache_sim": ("cache.",),
+    "cache_sim": ("cache.replay",),
     "sniper": ("sniper.",),
     "store_io": ("store.",),
 }
+
+#: Serial-cold per-stage time budgets in seconds, with headroom over the
+#: measured baseline (see BENCH_pipeline.json).  A stage exceeding its
+#: budget by more than ``_BUDGET_TOLERANCE`` fails the run when
+#: ``REPRO_BENCH_ENFORCE`` is set (the CI bench-smoke job sets it);
+#: otherwise overruns only show up in the recorded report.
+_BUDGETS = {
+    "pipeline": 30.0,
+    "cache_sim": 12.5,
+    "sniper": 1.0,
+    "store_io": 1.0,
+}
+_BUDGET_TOLERANCE = 1.2
+_ENFORCE_ENV = "REPRO_BENCH_ENFORCE"
+
+
+def _enforcing() -> bool:
+    return os.environ.get(_ENFORCE_ENV, "").lower() not in ("", "0", "false")
 
 
 def _sweep(jobs: int) -> str:
@@ -137,11 +159,14 @@ def test_pipeline_serial_parallel_warm(tmp_path):
     finally:
         set_store(previous)
 
+    from repro.cache.fused import resolve_backend
+
     identical = serial == parallel == warm
     record = {
         "bench": "fig7+fig8+fig10 full-suite sweep",
         "cores": cores,
         "jobs_parallel": jobs,
+        "cache_backend": resolve_backend(),
         "serial_cold_s": round(serial_cold_s, 3),
         "parallel_cold_s": round(parallel_cold_s, 3),
         "warm_s": round(warm_s, 3),
@@ -149,6 +174,11 @@ def test_pipeline_serial_parallel_warm(tmp_path):
         "warm_speedup": round(serial_cold_s / warm_s, 2),
         "outputs_identical": identical,
         "serial_cold_stages_s": _stage_breakdown(recorder),
+        "budgets": {
+            "tolerance": _BUDGET_TOLERANCE,
+            "stages_s": dict(_BUDGETS),
+            "enforced": _enforcing(),
+        },
         "lint": _lint_benchmark(tmp_path),
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
@@ -169,6 +199,14 @@ def test_pipeline_serial_parallel_warm(tmp_path):
     stages = record["serial_cold_stages_s"]
     assert stages["pipeline"] > 0.0
     assert stages["cache_sim"] > 0.0
+    # Per-stage budget gate: opt-in so developer laptops and loaded CI
+    # runners do not flake, mandatory where REPRO_BENCH_ENFORCE is set.
+    if _enforcing():
+        for stage, budget in _BUDGETS.items():
+            assert stages[stage] <= budget * _BUDGET_TOLERANCE, (
+                f"stage {stage!r} took {stages[stage]}s, budget "
+                f"{budget}s (tolerance x{_BUDGET_TOLERANCE})"
+            )
     # Warm lint serves every module summary from the store.
     lint = record["lint"]
     assert lint["cold"]["flow_summary_hits"] == 0

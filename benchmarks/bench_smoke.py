@@ -1,0 +1,100 @@
+"""Fast cache-backend smoke check for CI (`bench-smoke` job).
+
+A full cold sweep (``bench_perf_pipeline.py``) takes minutes; this file
+is the sub-minute gate that runs on every pull request.  It replays a
+few dozen slices of one calibrated benchmark through every available
+cache backend and asserts the invariant the fused engine is built on:
+**backends differ only in speed, never in results** — identical
+per-level access, miss, and writeback counts.
+
+A generous absolute wall budget guards against order-of-magnitude
+regressions (an accidentally quadratic kernel, a backend silently
+falling back to per-access simulation).  The budget gates only when
+``REPRO_BENCH_ENFORCE`` is set (the CI job sets it), so loaded laptops
+can still run the file informatively.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cache.fused import BACKENDS, resolve_backend
+from repro.pin.engine import Engine
+from repro.pin.tools.allcache import AllCache
+from repro.telemetry.clock import monotonic_ns
+from repro.workloads.spec2017 import build_program
+
+#: Slices replayed per backend (with a warmup prefix, like a region).
+_NUM_SLICES = 24
+_WARMUP_SLICES = 6
+
+#: Absolute wall budget for one backend's replay, in seconds.  The
+#: slowest backend (numpy, per-batch) does this in well under a second
+#: on 2020s hardware; 20s catches only catastrophic regressions.
+_WALL_BUDGET_S = 20.0
+
+_ENFORCE_ENV = "REPRO_BENCH_ENFORCE"
+
+
+def _enforcing() -> bool:
+    return os.environ.get(_ENFORCE_ENV, "").lower() not in ("", "0", "false")
+
+
+def _available_backends() -> list:
+    """Every backend that resolves to itself on this machine."""
+    return [b for b in BACKENDS if resolve_backend(b) == b]
+
+
+def _replay(backend: str) -> dict:
+    program = build_program("505.mcf_r")
+    tool = AllCache(backend=backend)
+    engine = Engine([tool])
+    start = monotonic_ns()
+    engine.run(
+        program.iter_slices(_WARMUP_SLICES, _NUM_SLICES - _WARMUP_SLICES),
+        warmup=program.iter_slices(0, _WARMUP_SLICES),
+    )
+    wall_s = (monotonic_ns() - start) / 1e9
+    stats = {
+        name: (s.accesses, s.misses, s.writebacks)
+        for name, s in tool.stats().items()
+    }
+    return {"backend": backend, "wall_s": round(wall_s, 3), "stats": stats}
+
+
+def test_backends_agree_and_fit_budget():
+    backends = _available_backends()
+    assert "numpy" in backends and "fused" in backends
+    runs = [_replay(backend) for backend in backends]
+
+    reference = runs[0]["stats"]
+    for run in runs[1:]:
+        assert run["stats"] == reference, (
+            f"backend {run['backend']!r} diverged from "
+            f"{runs[0]['backend']!r}: {run['stats']} != {reference}"
+        )
+    # The replay actually exercised the hierarchy end to end.
+    assert reference["L1D"][0] > 0
+    assert reference["L3"][0] > 0
+
+    report = {
+        "bench": "cache-backend smoke",
+        "slices": _NUM_SLICES,
+        "warmup_slices": _WARMUP_SLICES,
+        "default_backend": resolve_backend(),
+        "runs": [
+            {k: v for k, v in run.items() if k != "stats"} for run in runs
+        ],
+        "wall_budget_s": _WALL_BUDGET_S,
+        "enforced": _enforcing(),
+    }
+    print()
+    print(json.dumps(report, indent=2))
+
+    if _enforcing():
+        for run in runs:
+            assert run["wall_s"] <= _WALL_BUDGET_S, (
+                f"backend {run['backend']!r} took {run['wall_s']}s, "
+                f"budget {_WALL_BUDGET_S}s"
+            )

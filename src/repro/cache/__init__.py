@@ -6,10 +6,24 @@ hierarchy with miss filtering between levels (an access only reaches L2 if
 it missed in L1, etc.).  Caches are stateful so cold-start effects — the
 central subject of the paper's Section IV-D — arise naturally when a
 regional checkpoint is replayed in isolation.
+
+``repro.cache.fused`` adds the fused single-pass engine: whole slices
+buffered and swept through all four levels in one chunked pass, with
+interchangeable numpy / native / numba backends that are bit-identical
+to the per-batch reference (see DESIGN.md section 13).
 """
 
 from repro.cache.stats import CacheStats
 from repro.cache.cache import CacheLevel
+from repro.cache.fused import FusedHierarchy, build_hierarchy, resolve_backend
 from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
 
-__all__ = ["CacheStats", "CacheLevel", "CacheHierarchy", "HierarchyResult"]
+__all__ = [
+    "CacheStats",
+    "CacheLevel",
+    "CacheHierarchy",
+    "FusedHierarchy",
+    "HierarchyResult",
+    "build_hierarchy",
+    "resolve_backend",
+]

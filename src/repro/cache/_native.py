@@ -1,0 +1,209 @@
+"""Native compiled backend for the fused hierarchy walk.
+
+Compiles a small C kernel — the sequential per-access direct-mapped
+hierarchy walk, the same reference semantics as
+``CacheLevel._access_direct_mapped_reference`` — with the host C
+compiler at first use, and loads it through :mod:`ctypes`.  The build is
+content-addressed (the object file name embeds a hash of the source and
+compiler), so it compiles once per machine and is reused by every
+process, including parallel workers racing to create it (writes go to a
+temporary file followed by an atomic rename).
+
+Everything degrades gracefully: no compiler, a failed build, or a
+failed load all surface as :func:`load_kernel` returning ``None``, and
+the caller falls back to the fused numpy backend.  The kernel is a pure
+function of its inputs — determinism is unaffected by which backend
+runs.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* One pass over an interleaved ifetch+data reference stream through a
+ * direct-mapped L1I/L1D -> L2 -> L3 hierarchy with miss filtering,
+ * write-allocate, and write-back accounting.  `resident` holds one tag
+ * per set (-1 = empty) and `dirty` one flag per set -- the exact state
+ * representation CacheLevel keeps, so native and numpy passes can
+ * interleave on the same hierarchy.  `counts` is a 4x3 row-major table:
+ * rows L1I,L1D,L2,L3; columns accesses,misses,writebacks. */
+void repro_dm_hierarchy(
+    const int64_t *lines, const uint8_t *writes, const uint8_t *is_data,
+    int64_t n,
+    int64_t *res_l1i, uint8_t *dir_l1i, int64_t mask_l1i, int64_t shift_l1i,
+    int64_t *res_l1d, uint8_t *dir_l1d, int64_t mask_l1d, int64_t shift_l1d,
+    int64_t *res_l2,  uint8_t *dir_l2,  int64_t mask_l2,  int64_t shift_l2,
+    int64_t *res_l3,  uint8_t *dir_l3,  int64_t mask_l3,  int64_t shift_l3,
+    int64_t *counts)
+{
+    for (int64_t i = 0; i < n; i++) {
+        int64_t line = lines[i];
+        uint8_t w;
+        int64_t *res; uint8_t *dir; int64_t mask, shift, *c;
+        if (is_data[i]) {
+            res = res_l1d; dir = dir_l1d; mask = mask_l1d; shift = shift_l1d;
+            c = counts + 3; w = writes[i];
+        } else {
+            res = res_l1i; dir = dir_l1i; mask = mask_l1i; shift = shift_l1i;
+            c = counts + 0; w = 0;
+        }
+        int64_t s = line & mask, tag = line >> shift;
+        c[0]++;
+        if (res[s] == tag) { if (w) dir[s] = 1; continue; }
+        c[1]++;
+        if (res[s] >= 0 && dir[s]) c[2]++;
+        res[s] = tag; dir[s] = w;
+
+        s = line & mask_l2; tag = line >> shift_l2;
+        counts[6]++;
+        if (res_l2[s] == tag) { if (w) dir_l2[s] = 1; continue; }
+        counts[7]++;
+        if (res_l2[s] >= 0 && dir_l2[s]) counts[8]++;
+        res_l2[s] = tag; dir_l2[s] = w;
+
+        s = line & mask_l3; tag = line >> shift_l3;
+        counts[9]++;
+        if (res_l3[s] == tag) { if (w) dir_l3[s] = 1; continue; }
+        counts[10]++;
+        if (res_l3[s] >= 0 && dir_l3[s]) counts[11]++;
+        res_l3[s] = tag; dir_l3[s] = w;
+    }
+}
+"""
+
+_CACHE_ENV = "REPRO_NATIVE_CACHE"
+_FLAGS = ["-O2", "-shared", "-fPIC"]
+
+#: Memoized load result: unset, or (kernel-or-None).
+_LOADED: list = []
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_dir() -> Path:
+    override = os.environ.get(_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-spec2017" / "native"
+
+
+def _build(compiler: str) -> Optional[Path]:
+    digest = hashlib.sha256(
+        (_SOURCE + "\0" + compiler + "\0" + " ".join(_FLAGS)).encode()
+    ).hexdigest()[:16]
+    out_dir = _build_dir()
+    lib_path = out_dir / f"reprocache-{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=out_dir) as tmp:
+            src = Path(tmp) / "kernel.c"
+            src.write_text(_SOURCE)
+            obj = Path(tmp) / "kernel.so"
+            proc = subprocess.run(
+                [compiler, *_FLAGS, str(src), "-o", str(obj)],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                return None
+            # Atomic publish: concurrent workers race benignly.
+            os.replace(obj, lib_path)
+    except OSError:
+        return None
+    return lib_path
+
+
+def _bind(lib_path: Path):
+    lib = ctypes.CDLL(str(lib_path))
+    fn = lib.repro_dm_hierarchy
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    i64 = ctypes.c_int64
+    fn.restype = None
+    fn.argtypes = (
+        [i64p, u8p, u8p, i64]
+        + [i64p, u8p, i64, i64] * 4
+        + [i64p]
+    )
+    return fn
+
+
+class NativeKernel:
+    """ctypes binding of the compiled hierarchy walk."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def __call__(
+        self,
+        lines: np.ndarray,
+        writes: np.ndarray,
+        is_data: np.ndarray,
+        level_state,
+        counts: np.ndarray,
+    ) -> None:
+        """Run one chunk.
+
+        Args:
+            lines: Granularity-shifted int64 line addresses, program order.
+            writes: uint8 write flags aligned with ``lines``.
+            is_data: uint8 flags, 1 = data reference, 0 = ifetch.
+            level_state: Four ``(resident, dirty, set_mask, set_shift)``
+                tuples in L1I, L1D, L2, L3 order.
+            counts: int64 ``(4, 3)`` array accumulating accesses, misses
+                and writebacks per level.
+        """
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        args = [
+            lines.ctypes.data_as(i64p),
+            writes.ctypes.data_as(u8p),
+            is_data.ctypes.data_as(u8p),
+            lines.size,
+        ]
+        for resident, dirty, set_mask, set_shift in level_state:
+            args += [
+                resident.ctypes.data_as(i64p),
+                dirty.ctypes.data_as(u8p),
+                set_mask,
+                set_shift,
+            ]
+        args.append(counts.ctypes.data_as(i64p))
+        self._fn(*args)
+
+
+def load_kernel() -> Optional[NativeKernel]:
+    """Compile (once) and load the native kernel, or ``None``."""
+    if _LOADED:
+        return _LOADED[0]
+    kernel = None
+    compiler = _compiler()
+    if compiler is not None:
+        lib_path = _build(compiler)
+        if lib_path is not None:
+            try:
+                kernel = NativeKernel(_bind(lib_path))
+            except OSError:
+                kernel = None
+    _LOADED.append(kernel)
+    return kernel

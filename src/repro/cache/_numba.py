@@ -1,0 +1,108 @@
+"""Optional numba backend for the fused hierarchy walk.
+
+Same semantics as the native C kernel in :mod:`repro.cache._native`: a
+sequential per-access direct-mapped hierarchy walk over the interleaved
+ifetch+data stream, operating in place on each level's ``resident`` /
+``dirty`` arrays.  When numba is not installed :func:`load_kernel`
+returns ``None`` and callers fall back to the fused numpy backend — the
+import is fully gated, nothing here requires numba at module load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Memoized load result: unset, or (kernel-or-None).
+_LOADED: list = []
+
+
+def _walk(
+    lines, writes, is_data, n,
+    res_l1i, dir_l1i, mask_l1i, shift_l1i,
+    res_l1d, dir_l1d, mask_l1d, shift_l1d,
+    res_l2, dir_l2, mask_l2, shift_l2,
+    res_l3, dir_l3, mask_l3, shift_l3,
+    counts,
+):  # pragma: no cover - exercised only where numba is installed
+    for i in range(n):
+        line = lines[i]
+        if is_data[i]:
+            w = writes[i]
+            s = line & mask_l1d
+            tag = line >> shift_l1d
+            counts[1, 0] += 1
+            if res_l1d[s] == tag:
+                if w:
+                    dir_l1d[s] = True
+                continue
+            counts[1, 1] += 1
+            if res_l1d[s] >= 0 and dir_l1d[s]:
+                counts[1, 2] += 1
+            res_l1d[s] = tag
+            dir_l1d[s] = w
+        else:
+            w = False
+            s = line & mask_l1i
+            tag = line >> shift_l1i
+            counts[0, 0] += 1
+            if res_l1i[s] == tag:
+                continue
+            counts[0, 1] += 1
+            if res_l1i[s] >= 0 and dir_l1i[s]:
+                counts[0, 2] += 1
+            res_l1i[s] = tag
+            dir_l1i[s] = False
+
+        s = line & mask_l2
+        tag = line >> shift_l2
+        counts[2, 0] += 1
+        if res_l2[s] == tag:
+            if w:
+                dir_l2[s] = True
+            continue
+        counts[2, 1] += 1
+        if res_l2[s] >= 0 and dir_l2[s]:
+            counts[2, 2] += 1
+        res_l2[s] = tag
+        dir_l2[s] = w
+
+        s = line & mask_l3
+        tag = line >> shift_l3
+        counts[3, 0] += 1
+        if res_l3[s] == tag:
+            if w:
+                dir_l3[s] = True
+            continue
+        counts[3, 1] += 1
+        if res_l3[s] >= 0 and dir_l3[s]:
+            counts[3, 2] += 1
+        res_l3[s] = tag
+        dir_l3[s] = w
+
+
+class NumbaKernel:
+    """Adapter giving the jitted walk the NativeKernel call shape."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def __call__(self, lines, writes, is_data, level_state, counts) -> None:
+        args = [lines, writes, is_data, lines.size]
+        for resident, dirty, set_mask, set_shift in level_state:
+            args += [resident, dirty, set_mask, set_shift]
+        args.append(counts)
+        self._fn(*args)
+
+
+def load_kernel() -> Optional[NumbaKernel]:
+    """JIT-compile (once) and return the numba kernel, or ``None``."""
+    if _LOADED:
+        return _LOADED[0]
+    try:
+        from numba import njit
+    except ImportError:
+        _LOADED.append(None)
+        return None
+    kernel = NumbaKernel(njit(cache=True, nogil=True)(_walk))
+    _LOADED.append(kernel)
+    return kernel

@@ -2,23 +2,28 @@
 
 Two execution strategies share one external behaviour:
 
-* ``associativity == 1`` (the paper's Table I L2/L3) uses an exact,
-  fully vectorized numpy path: within a batch, an access misses iff the
-  previous access to its set carried a different tag.  This is what makes
-  whole-program simulation tractable in Python.
+* ``associativity == 1`` (the paper's Table I L2/L3) uses the exact,
+  fully vectorized run-collapse sweep (:func:`dm_sweep`): the batch is
+  grouped by set with one packed-key sort (:func:`set_order`) and
+  collapsed into runs of consecutive identical lines; only run heads
+  can miss, only each set's lead run compares against pre-batch state,
+  and writeback accounting and the state scatter happen at run
+  granularity.  This is what makes whole-program simulation tractable
+  in Python, and the same kernel powers the fused engine
+  (``repro.cache.fused``) over arbitrarily long chunked streams.
 * ``associativity > 1`` picks one of two bit-identical strategies from
   the shape of the first batch it sees.  Traffic that spreads across
   many sets (miss-filtered L2/L3 streams) takes the *wave* path: LRU
   stacks live in a packed ``(num_sets, assoc)`` int64 array (way 0 =
-  MRU, ``tag << 1 | dirty``), the batch is grouped by set (stable
-  argsort, the `_access_direct_mapped` technique) and collapsed into
-  runs of adjacent same-set same-tag accesses, and wave *w* retires the
-  *w*-th run of every touched set — pairwise-distinct sets, hence
-  independent — with vectorized match/shift operations over the ways
-  axis.  Traffic that concentrates into few sets (an L1's hot working
-  set) would pay O(accesses-per-set) waves for tiny vectors, so it
-  keeps the sequential per-set ordered-dict loop instead — which also
-  serves as the differential-testing oracle (``reference=True``).
+  MRU, ``tag << 1 | dirty``), the batch is grouped by set and collapsed
+  into runs of adjacent same-set same-tag accesses, and wave *w*
+  retires the *w*-th run of every touched set — pairwise-distinct sets,
+  hence independent — with vectorized match/shift operations over the
+  ways axis.  Traffic that concentrates into few sets (an L1's hot
+  working set) would pay O(accesses-per-set) waves for tiny vectors, so
+  it keeps the sequential per-set ordered-dict loop instead — which
+  also serves as the differential-testing oracle (``reference=True``,
+  and ``_access_direct_mapped_reference`` for the direct-mapped case).
 
 Both paths are *stateful across batches*, which is essential: replaying a
 regional pinball on a fresh hierarchy reproduces the cold-start misses the
@@ -37,6 +42,127 @@ from repro.cache.stats import CacheStats
 from repro.config import CacheConfig, TRACE_LINE_BYTES
 from repro.errors import SimulationError
 from repro.telemetry.recorder import get_recorder
+
+
+def set_order(lines: np.ndarray, set_mask: int) -> np.ndarray:
+    """Indices that sort ``lines`` by set index, ties in program order.
+
+    Equivalent to ``np.argsort(lines & set_mask, kind="stable")`` but
+    built as one radix-friendly key — ``(set_index << pos_bits) | pos`` —
+    so numpy's SIMD quicksort applies (the keys are unique, making
+    stability free).  The key fits uint32 for every realistic batch;
+    wider shapes fall back to int64 keys, then to a stable argsort.
+    """
+    n = lines.size
+    pos_bits = max(1, int(n - 1).bit_length())
+    set_bits = int(set_mask).bit_length()
+    if set_bits + pos_bits <= 32:
+        key = (lines & set_mask).astype(np.uint32)
+        key <<= np.uint32(pos_bits)
+        key |= np.arange(n, dtype=np.uint32)
+        key.sort()
+        return key & np.uint32((1 << pos_bits) - 1)
+    if set_bits + pos_bits <= 63:
+        key = (lines & set_mask) << pos_bits
+        key |= np.arange(n, dtype=np.int64)
+        key.sort()
+        return key & ((1 << pos_bits) - 1)
+    return np.argsort(lines & set_mask, kind="stable")
+
+
+def dm_sweep(
+    resident: np.ndarray,
+    dirty: np.ndarray,
+    set_mask: int,
+    set_shift: int,
+    lines: np.ndarray,
+    writes: Optional[np.ndarray],
+):
+    """One direct-mapped set-partitioned sweep over a reference stream.
+
+    The stream is grouped by set (program order within each set) and
+    collapsed into runs of consecutive same-line accesses.  Only run
+    heads can miss: a mid-group run head always misses (the resident
+    line is the previous run's, which carries a different tag), so only
+    each set's *lead* run needs a comparison against the pre-sweep
+    ``resident`` tag.  Miss filtering, write-back accounting, and the
+    resident/dirty state update all happen at run granularity.
+
+    Operates in place on the caller's ``resident`` (tag per set, -1 =
+    empty) and ``dirty`` arrays — the same representation
+    :class:`CacheLevel` keeps — so fused and per-batch access paths can
+    interleave on one level without divergence.
+
+    Args:
+        resident: Per-set resident tag (-1 empty); updated in place.
+        dirty: Per-set dirty flag; updated in place.
+        set_mask: ``num_sets - 1``.
+        set_shift: Bits to shift a line address down to its tag.
+        lines: Granularity-shifted line addresses in program order.
+        writes: Optional per-access write flags (``None`` = all clean).
+
+    Returns:
+        ``(miss_idx, writebacks)`` — positions into ``lines`` that
+        missed (in set-sorted order, not program order) and the number
+        of dirty evictions.
+    """
+    n = lines.size
+    idx = set_order(lines, set_mask)
+    l_sorted = lines[idx]
+
+    # A run boundary is simply a line-address change: equal adjacent
+    # lines share (set, tag); unequal adjacent lines differ in tag or
+    # belong to different sets — either way a new run.
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(l_sorted[1:], l_sorted[:-1], out=head[1:])
+    run_starts = np.flatnonzero(head)
+    num_runs = run_starts.size
+    l_runs = l_sorted[run_starts]
+    s_runs = l_runs & set_mask
+    t_runs = l_runs >> set_shift
+
+    group_head = np.empty(num_runs, dtype=bool)
+    group_head[0] = True
+    np.not_equal(s_runs[1:], s_runs[:-1], out=group_head[1:])
+    group_final = np.empty(num_runs, dtype=bool)
+    group_final[-1] = True
+    group_final[:-1] = group_head[1:]
+
+    lead = np.flatnonzero(group_head)
+    lead_resident = resident[s_runs[lead]]
+    run_miss = np.ones(num_runs, dtype=bool)
+    run_miss[lead] = t_runs[lead] != lead_resident
+
+    # A run is "wet" when its occupancy period holds a dirty line: any
+    # write inside the run, or — for a lead run that *hits* — carry-in
+    # dirt from the pre-sweep resident period it continues.
+    if writes is not None:
+        w_sorted = writes[idx]
+        cumw = np.cumsum(w_sorted, dtype=np.int32)
+        run_last = np.empty(num_runs, dtype=np.int64)
+        run_last[:-1] = run_starts[1:] - 1
+        run_last[-1] = n - 1
+        wet = (cumw[run_last] - cumw[run_starts] + w_sorted[run_starts]) > 0
+    else:
+        wet = np.zeros(num_runs, dtype=bool)
+    cont = lead[~run_miss[lead]]
+    if cont.size:
+        wet[cont] |= dirty[s_runs[cont]]
+
+    # Every non-final run is evicted inside the sweep by its successor;
+    # lead misses additionally evict valid pre-sweep residents.
+    writebacks = int(wet[~group_final].sum())
+    lead_evicts = run_miss[lead] & (lead_resident >= 0)
+    if lead_evicts.any():
+        writebacks += int(dirty[s_runs[lead[lead_evicts]]].sum())
+
+    final_sets = s_runs[group_final]
+    resident[final_sets] = t_runs[group_final]
+    dirty[final_sets] = wet[group_final]
+
+    miss_idx = idx[run_starts[run_miss]]
+    return miss_idx, writebacks
 
 
 class CacheLevel:
@@ -77,6 +203,7 @@ class CacheLevel:
         self.config = config
         self.stats = CacheStats()
         self.recording = recording
+        self.reference = reference
         self._granularity_shift = (
             config.line_size // TRACE_LINE_BYTES
         ).bit_length() - 1
@@ -165,16 +292,7 @@ class CacheLevel:
                 )
         if self._granularity_shift:
             lines = lines >> self._granularity_shift
-        if self._assoc == 1:
-            miss, writebacks = self._access_direct_mapped(lines, writes)
-        else:
-            self._ensure_associative_state(lines)
-            if self._sets is not None:
-                miss, writebacks = self._access_associative_reference(
-                    lines, writes
-                )
-            else:
-                miss, writebacks = self._access_associative(lines, writes)
+        miss, writebacks = self._simulate(lines, writes)
         if self.recording:
             self.stats.record(int(lines.size), int(miss.sum()), writebacks)
         recorder = get_recorder()
@@ -185,61 +303,63 @@ class CacheLevel:
             recorder.count("cache.batches", 1, level=self.name)
         return miss
 
+    def _simulate(self, lines: np.ndarray, writes: np.ndarray):
+        """Core state update on granularity-shifted lines.
+
+        Shared by :meth:`access_many` (per-batch path) and the fused
+        hierarchy engine, which records statistics itself.
+
+        Returns:
+            ``(miss, writebacks)`` — program-order boolean miss array
+            and the batch's dirty-eviction count.
+        """
+        if self._assoc == 1:
+            if self.reference:
+                return self._access_direct_mapped_reference(lines, writes)
+            return self._access_direct_mapped(lines, writes)
+        self._ensure_associative_state(lines)
+        if self._sets is not None:
+            return self._access_associative_reference(lines, writes)
+        return self._access_associative(lines, writes)
+
     def _access_direct_mapped(self, lines: np.ndarray, writes: np.ndarray):
-        set_idx = lines & self._set_mask
-        tags = lines >> self._set_shift
-        order = np.argsort(set_idx, kind="stable")
-        s_sorted = set_idx[order]
-        t_sorted = tags[order]
-        w_sorted = writes[order]
+        miss_idx, writebacks = dm_sweep(
+            self._resident,
+            self._dirty,
+            self._set_mask,
+            self._set_shift,
+            lines,
+            writes,
+        )
+        miss = np.zeros(lines.size, dtype=bool)
+        miss[miss_idx] = True
+        return miss, writebacks
 
-        group_start = np.empty(lines.size, dtype=bool)
-        group_start[0] = True
-        np.not_equal(s_sorted[1:], s_sorted[:-1], out=group_start[1:])
-
-        prev_tag = np.empty_like(t_sorted)
-        prev_tag[1:] = t_sorted[:-1]
-        prev_tag[group_start] = self._resident[s_sorted[group_start]]
-
-        miss_sorted = t_sorted != prev_tag
+    def _access_direct_mapped_reference(
+        self, lines: np.ndarray, writes: np.ndarray
+    ):
+        """Sequential per-access direct-mapped loop: the DM test oracle."""
+        resident = self._resident
+        dirty = self._dirty
+        set_mask = self._set_mask
+        set_shift = self._set_shift
         miss = np.empty(lines.size, dtype=bool)
-        miss[order] = miss_sorted
-
-        group_end = np.empty(lines.size, dtype=bool)
-        group_end[-1] = True
-        np.not_equal(s_sorted[1:], s_sorted[:-1], out=group_end[:-1])
-
-        # Write-back accounting.  Occupancy periods: a new period begins
-        # at every miss (fetch); the first access of a set-group that
-        # *hits* continues the pre-batch resident period (carry-in dirty).
-        period_start = group_start | miss_sorted
-        period_id = np.cumsum(period_start) - 1
-        wet = np.bincount(
-            period_id, weights=w_sorted.astype(np.float64)
-        ) > 0
-        continuation = group_start & ~miss_sorted
-        if continuation.any():
-            wet[period_id[continuation]] |= \
-                self._dirty[s_sorted[continuation]]
-
         writebacks = 0
-        # Evictions within the batch: a miss whose predecessor in the
-        # same set-group existed (the previous period was evicted).
-        mid_batch = np.flatnonzero(miss_sorted & ~group_start)
-        if mid_batch.size:
-            writebacks += int(wet[period_id[mid_batch] - 1].sum())
-        # Evictions of pre-batch residents: a group-start miss over a
-        # valid resident line.
-        lead = miss_sorted & group_start
-        if lead.any():
-            evicted_sets = s_sorted[lead]
-            valid = self._resident[evicted_sets] >= 0
-            writebacks += int(
-                self._dirty[evicted_sets[valid]].sum()
-            )
-
-        self._resident[s_sorted[group_end]] = t_sorted[group_end]
-        self._dirty[s_sorted[group_end]] = wet[period_id[group_end]]
+        for i, (line, write) in enumerate(
+            zip(lines.tolist(), writes.tolist())
+        ):
+            s = line & set_mask
+            tag = line >> set_shift
+            if resident[s] == tag:
+                miss[i] = False
+                if write:
+                    dirty[s] = True
+            else:
+                if resident[s] >= 0 and dirty[s]:
+                    writebacks += 1
+                resident[s] = tag
+                dirty[s] = bool(write)
+                miss[i] = True
         return miss, writebacks
 
     def install(self, lines: np.ndarray) -> None:
@@ -269,7 +389,28 @@ class CacheLevel:
         set_mask = self._set_mask
         set_shift = self._set_shift
         assoc = self._assoc
-        for line in lines.tolist():
+        if self.reference:
+            # Oracle: the plain per-line loop.
+            for line in lines.tolist():
+                entry = table[line & set_mask]
+                tag = line >> set_shift
+                if tag in entry:
+                    entry.move_to_end(tag)
+                else:
+                    if len(entry) >= assoc:
+                        entry.popitem(last=False)
+                    entry[tag] = False
+            return
+        # Sets are independent and re-installing the line already at MRU
+        # is a no-op, so group by set and collapse consecutive same-line
+        # runs: only each run's head touches the ordered dict.  (Only
+        # *consecutive* duplicates may collapse — a repeat with another
+        # line in between still needs its move-to-MRU.)
+        l_sorted = lines[set_order(lines, set_mask)]
+        head = np.empty(l_sorted.size, dtype=bool)
+        head[0] = True
+        np.not_equal(l_sorted[1:], l_sorted[:-1], out=head[1:])
+        for line in l_sorted[head].tolist():
             entry = table[line & set_mask]
             tag = line >> set_shift
             if tag in entry:
@@ -326,11 +467,10 @@ class CacheLevel:
         MRU, so the rest are hits that only OR in the run's writes.)
         """
         n = lines.size
-        set_idx = lines & self._set_mask
-        tags = lines >> self._set_shift
-        order = np.argsort(set_idx, kind="stable")
-        s_sorted = set_idx[order]
-        t_sorted = tags[order]
+        order = set_order(lines, self._set_mask)
+        l_sorted = lines[order]
+        s_sorted = l_sorted & self._set_mask
+        t_sorted = l_sorted >> self._set_shift
 
         head = np.empty(n, dtype=bool)
         head[0] = True

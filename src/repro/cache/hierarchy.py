@@ -68,6 +68,15 @@ class CacheHierarchy:
         for level in self.levels:
             level.reset()
 
+    def drain(self) -> None:
+        """Flush any buffered work (no-op for the per-batch hierarchy)."""
+
+    def process_trace(self, trace) -> None:
+        """Observe one slice trace: its ifetch stream, then its data
+        stream — the order the ``allcache`` pintool uses."""
+        self.access_ifetch(trace.ifetch_lines)
+        self.access_data(trace.mem_lines, trace.mem_is_write)
+
     def access_data(self, lines: np.ndarray, is_write: np.ndarray = None) -> None:
         """Run a data reference stream through L1D -> L2 -> L3.
 
@@ -78,22 +87,29 @@ class CacheHierarchy:
                 per-level write-back counters.
         """
         miss1 = self.l1d.access_many(lines, is_write)
-        if miss1.any():
-            sub_writes = None if is_write is None else is_write[miss1]
-            miss2 = self.l2.access_many(lines[miss1], sub_writes)
-            if miss2.any():
+        # Compose miss masks as index arrays once per level: indexing the
+        # original stream by idx2 = idx1[miss2] avoids materializing the
+        # lines[miss1] copy a second time at L3.
+        idx1 = np.flatnonzero(miss1)
+        if idx1.size:
+            sub_writes = None if is_write is None else is_write[idx1]
+            miss2 = self.l2.access_many(lines[idx1], sub_writes)
+            idx2 = idx1[miss2]
+            if idx2.size:
                 self.l3.access_many(
-                    lines[miss1][miss2],
-                    None if sub_writes is None else sub_writes[miss2],
+                    lines[idx2],
+                    None if is_write is None else is_write[idx2],
                 )
 
     def access_ifetch(self, lines: np.ndarray) -> None:
         """Run an instruction fetch stream through L1I -> L2 -> L3."""
         miss1 = self.l1i.access_many(lines)
-        if miss1.any():
-            miss2 = self.l2.access_many(lines[miss1])
-            if miss2.any():
-                self.l3.access_many(lines[miss1][miss2])
+        idx1 = np.flatnonzero(miss1)
+        if idx1.size:
+            miss2 = self.l2.access_many(lines[idx1])
+            idx2 = idx1[miss2]
+            if idx2.size:
+                self.l3.access_many(lines[idx2])
 
     def snapshot(self) -> HierarchyResult:
         """Copy current per-level statistics."""

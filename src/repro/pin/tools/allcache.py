@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.cache.fused import build_hierarchy
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.stats import CacheStats
 from repro.config import ALLCACHE_SIM, CacheHierarchyConfig
@@ -27,6 +28,9 @@ class AllCache(Pintool):
             configuration (see ``repro.config.ALLCACHE_SIM``).
         hierarchy: Optional pre-built hierarchy (e.g. a
             ``PrefetchingHierarchy``); overrides ``config``.
+        backend: Cache-simulation backend for the built hierarchy (see
+            ``repro.cache.fused``); defaults to ``REPRO_CACHE_BACKEND``
+            / auto-detection.  Ignored when ``hierarchy`` is given.
     """
 
     stateful = True
@@ -35,6 +39,7 @@ class AllCache(Pintool):
         self,
         config: Optional[CacheHierarchyConfig] = None,
         hierarchy: Optional[CacheHierarchy] = None,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__()
         if hierarchy is not None:
@@ -42,12 +47,14 @@ class AllCache(Pintool):
             self.config = hierarchy.config
         else:
             self.config = config if config is not None else ALLCACHE_SIM
-            self.hierarchy = CacheHierarchy(self.config)
+            self.hierarchy = build_hierarchy(self.config, backend=backend)
 
     def process_slice(self, trace: SliceTrace) -> None:
         self.hierarchy.set_recording(not self.warmup)
-        self.hierarchy.access_ifetch(trace.ifetch_lines)
-        self.hierarchy.access_data(trace.mem_lines, trace.mem_is_write)
+        self.hierarchy.process_trace(trace)
+
+    def end(self) -> None:
+        self.hierarchy.drain()
 
     def stats(self) -> Dict[str, CacheStats]:
         """Per-level statistics keyed by level name (L1I/L1D/L2/L3)."""

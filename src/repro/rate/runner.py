@@ -167,20 +167,21 @@ class SPECrateRunner:
                 ifetch = trace.ifetch_lines + offset
                 data = trace.mem_lines + offset
 
-                miss_i = levels["l1i"].access_many(ifetch)
-                if miss_i.any():
-                    miss2 = levels["l2"].access_many(ifetch[miss_i])
+                idx_i = np.flatnonzero(levels["l1i"].access_many(ifetch))
+                if idx_i.size:
+                    miss2 = levels["l2"].access_many(ifetch[idx_i])
                     if miss2.any():
-                        l3_miss = shared_l3.access_many(ifetch[miss_i][miss2])
+                        l3_miss = shared_l3.access_many(ifetch[idx_i[miss2]])
                         l3_misses[copy] += int(l3_miss.sum())
                         l2_misses[copy] += int(miss2.sum())
 
                 miss_d = levels["l1d"].access_many(data)
                 l1d_misses[copy] += int(miss_d.sum())
-                if miss_d.any():
-                    miss2 = levels["l2"].access_many(data[miss_d])
+                idx_d = np.flatnonzero(miss_d)
+                if idx_d.size:
+                    miss2 = levels["l2"].access_many(data[idx_d])
                     if miss2.any():
-                        l3_miss = shared_l3.access_many(data[miss_d][miss2])
+                        l3_miss = shared_l3.access_many(data[idx_d[miss2]])
                         l3_misses[copy] += int(l3_miss.sum())
                         l2_misses[copy] += int(miss2.sum())
 

@@ -13,6 +13,7 @@ difference is *purely* a cache/sampling effect, never generation noise.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -20,6 +21,7 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.isa.basicblock import BasicBlock, CodeRegion
 from repro.isa.trace import SliceTrace
+from repro.workloads import slicecache
 from repro.workloads.phases import PhaseSpec
 from repro.workloads.schedule import PhaseSchedule
 
@@ -183,6 +185,27 @@ class SyntheticProgram:
                 phase.block_sizes
             )
 
+        # Content fingerprint for the slice-trace memo: two programs with
+        # equal fingerprints generate bit-identical slices (the name is
+        # display-only and deliberately excluded).
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    self.seed,
+                    self.slice_size,
+                    self.block_model,
+                    self.markov_self_loop,
+                    int(shared_blocks),
+                    float(shared_fraction),
+                )
+            ).encode()
+        )
+        for spec in self.phases:
+            digest.update(repr(spec).encode())
+        digest.update(self.schedule.assignment.tobytes())
+        self._trace_key = digest.hexdigest()
+
     @property
     def num_slices(self) -> int:
         """Total slices in the whole execution."""
@@ -211,6 +234,9 @@ class SyntheticProgram:
             raise WorkloadError(
                 f"slice {slice_index} out of range [0, {self.num_slices})"
             )
+        cached = slicecache.lookup((self._trace_key, slice_index))
+        if cached is not None:
+            return cached
         phase_id = self.schedule[slice_index]
         phase = self._runtime[phase_id]
         rng = np.random.default_rng([self.seed, 1 + slice_index])
@@ -259,7 +285,7 @@ class SyntheticProgram:
         )
         branch_count = int(instruction_count * phase.spec.branch_fraction)
 
-        return SliceTrace(
+        trace = SliceTrace(
             index=slice_index,
             phase_id=phase_id,
             instruction_count=instruction_count,
@@ -271,6 +297,8 @@ class SyntheticProgram:
             branch_count=branch_count,
             branch_entropy=phase.spec.branch_entropy,
         )
+        slicecache.store((self._trace_key, slice_index), trace)
+        return trace
 
     def _markov_entry_counts(
         self, phase: _RuntimePhase, entries: int, rng: np.random.Generator

@@ -6,9 +6,15 @@
 #
 #   tools/bench.sh             # the pipeline benchmark only
 #   tools/bench.sh benchmarks/ # the full figure-regeneration harness
+#
+# Per-stage time budgets (the ``budgets`` block of BENCH_pipeline.json)
+# are enforced here: a stage regressing past its budget by more than the
+# recorded tolerance fails the run.  Set REPRO_BENCH_ENFORCE=0 in the
+# environment to record without gating.
 set -eu
 cd "$(dirname "$0")/.."
 target="${1:-benchmarks/bench_perf_pipeline.py}"
 [ "$#" -gt 0 ] && shift
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+REPRO_BENCH_ENFORCE="${REPRO_BENCH_ENFORCE-1}" \
+    PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     exec python -m pytest "$target" -q -s "$@"
