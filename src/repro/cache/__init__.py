@@ -15,7 +15,12 @@ to the per-batch reference (see DESIGN.md section 13).
 
 from repro.cache.stats import CacheStats
 from repro.cache.cache import CacheLevel
-from repro.cache.fused import FusedHierarchy, build_hierarchy, resolve_backend
+from repro.cache.fused import (
+    FusedHierarchy,
+    apply_backend,
+    build_hierarchy,
+    resolve_backend,
+)
 from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "CacheHierarchy",
     "FusedHierarchy",
     "HierarchyResult",
+    "apply_backend",
     "build_hierarchy",
     "resolve_backend",
 ]

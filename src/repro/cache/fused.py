@@ -84,6 +84,41 @@ def _count_fallback(requested: str, resolved: str) -> None:
         )
 
 
+def apply_backend(backend: Optional[str] = None) -> str:
+    """Validate the backend choice up front and pin it for this process.
+
+    CLI entry points call this at startup: an explicit
+    ``--cache-backend`` value wins over (and is written into)
+    ``REPRO_CACHE_BACKEND`` so forked workers inherit it; with no flag,
+    the environment variable itself is validated.  Either way a typo
+    fails here — at argument-handling time, with the valid choices
+    listed — instead of deep inside the first cache simulation minutes
+    into a run.
+
+    Returns the validated name (``auto`` when nothing was requested).
+
+    Raises:
+        ConfigError: On an unrecognized backend name, from the flag or
+            the environment.
+    """
+    choices = BACKENDS + ("auto",)
+    if backend is not None:
+        if backend not in choices:
+            raise ConfigError(
+                f"unknown cache backend {backend!r}; "
+                f"expected one of {', '.join(choices)}"
+            )
+        os.environ[_BACKEND_ENV] = backend
+        return backend
+    inherited = os.environ.get(_BACKEND_ENV)
+    if inherited and inherited not in choices:
+        raise ConfigError(
+            f"unknown cache backend {inherited!r} in {_BACKEND_ENV}; "
+            f"expected one of {', '.join(choices)}"
+        )
+    return inherited or "auto"
+
+
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Resolve a backend request to an available backend.
 

@@ -1,0 +1,179 @@
+"""Optional localhost HTTP front for the campaign server.
+
+A deliberately tiny HTTP/1.1 facade over the same server object the
+unix socket drives — no framework, no streaming, loopback only.  It
+exists for curl-ability and dashboards:
+
+* ``GET  /v1/ping``              — liveness + server status
+* ``GET  /v1/jobs``              — the ``ls`` listing
+* ``GET  /v1/jobs/<id>``         — one job's status document
+* ``POST /v1/jobs``              — submit ``{"experiment": ..., "kwargs": ...}``
+* ``POST /v1/jobs/<id>/cancel``  — cancel
+* ``GET  /v1/metrics``           — the server metrics snapshot
+
+Every read is bounded (`asyncio.wait_for` + header/body size caps), so
+a stalled or hostile peer cannot wedge the event loop, and the listener
+binds 127.0.0.1 only — the service's security boundary is the unix
+socket's file permissions, and HTTP does not widen it beyond the host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.errors import CampaignServiceError, ProtocolError
+
+__all__ = ["start_http"]
+
+#: Bind address: loopback only, never configurable to a public interface.
+HOST = "127.0.0.1"
+
+#: Per-read deadline and request size caps.
+READ_TIMEOUT_S = 10.0
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+}
+
+
+async def start_http(server, port: int) -> Tuple[object, int]:
+    """Bind the HTTP facade; returns ``(listener, actual port)``.
+
+    ``port=0`` asks the kernel for a free port — the ready file reports
+    the actual one.
+    """
+
+    async def handle(reader, writer):
+        await _handle_http(server, reader, writer)
+
+    listener = await asyncio.start_server(
+        handle, host=HOST, port=port, limit=MAX_HEADER_BYTES
+    )
+    actual = listener.sockets[0].getsockname()[1]
+    return listener, actual
+
+
+async def _handle_http(server, reader, writer) -> None:
+    try:
+        status, payload = await _serve_one(server, reader)
+    except asyncio.TimeoutError:
+        status, payload = 408, {"error": "request timed out"}
+    except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+        writer.close()
+        return
+    body = (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("ascii")
+    try:
+        writer.write(head + body)
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _serve_one(server, reader) -> Tuple[int, dict]:
+    raw = await asyncio.wait_for(
+        reader.readuntil(b"\r\n\r\n"), timeout=READ_TIMEOUT_S
+    )
+    if len(raw) > MAX_HEADER_BYTES:
+        return 413, {"error": "headers too large"}
+    try:
+        head = raw.decode("latin-1")
+        request_line, *header_lines = head.split("\r\n")
+        method, target, _ = request_line.split(" ", 2)
+    except ValueError:
+        return 400, {"error": "malformed request line"}
+    headers = {}
+    for line in header_lines:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    body = b""
+    if method == "POST":
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": "body too large"}
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=READ_TIMEOUT_S
+            )
+    return _route(server, method, target, body)
+
+
+def _route(server, method: str, target: str, body: bytes) -> Tuple[int, dict]:
+    path = target.split("?", 1)[0].rstrip("/") or "/"
+    try:
+        if method == "GET" and path == "/v1/ping":
+            return 200, {"ok": True, "server": server.server_status()}
+        if method == "GET" and path == "/v1/metrics":
+            return 200, {"ok": True, "metrics": server.recorder.metrics.snapshot()}
+        if method == "GET" and path == "/v1/jobs":
+            from repro.campaign.jobs import summarize_jobs
+
+            return 200, {
+                "ok": True,
+                "jobs": summarize_jobs(
+                    [server._jobs[j] for j in server._order]
+                ),
+            }
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if method == "GET":
+                return 200, {
+                    "ok": True,
+                    "job": server._require_job(rest).describe(),
+                }
+            if method == "POST" and rest.endswith("/cancel"):
+                job_id = rest[: -len("/cancel")]
+                return 200, {
+                    "ok": True,
+                    "job": server.cancel(job_id).describe(),
+                }
+            return 405, {"error": f"{method} not allowed on {path}"}
+        if method == "POST" and path == "/v1/jobs":
+            request = _parse_json_body(body)
+            outcome = server.submit(
+                request.get("experiment"),
+                request.get("kwargs"),
+                priority=request.get("priority", 100),
+            )
+            return 200, {"ok": True, **outcome}
+        return 404, {"error": f"no route for {method} {path}"}
+    except ProtocolError as exc:
+        return 400, {"ok": False, "error": str(exc)}
+    except CampaignServiceError as exc:
+        return 400, {"ok": False, "error": str(exc)}
+
+
+def _parse_json_body(body: bytes) -> dict:
+    try:
+        request = json.loads(body.decode("utf-8") or "{}")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return request

@@ -1,0 +1,83 @@
+"""The server's crash-safe job ledger, built on the campaign journal.
+
+The campaign server durably records every accepted submission and every
+job state transition by appending to a :class:`CampaignJournal` under
+the fixed key ``campaign-server`` — the same fsync'd JSONL machinery
+(and the same exclusive writer lock) that makes individual campaigns
+resumable.  The lock doubles as the server singleton guard: a second
+``serve`` against the same store root gets a structured
+:class:`~repro.errors.JournalLockedError` at boot instead of two
+daemons racing one ledger.
+
+On restart, :meth:`ServerLedger.load` replays the ledger last-write-wins
+per job id, giving the server back every job it had accepted; jobs in a
+non-terminal state are re-adopted and resumed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.campaign.jobs import Job
+from repro.errors import CampaignServiceError
+from repro.resilience.journal import CampaignJournal
+
+__all__ = ["LEDGER_KEY", "ServerLedger"]
+
+#: Fixed journal key of the server ledger under a store root.
+LEDGER_KEY = "campaign-server"
+
+
+class ServerLedger:
+    """Durable submit/state log for one campaign server instance."""
+
+    def __init__(self, store_root) -> None:
+        self.journal = CampaignJournal(
+            CampaignJournal.path_for(store_root, LEDGER_KEY)
+        )
+
+    def acquire(self) -> None:
+        """Take the server-singleton lock (JournalLockedError if held)."""
+        self.journal.acquire()
+
+    def record_submit(self, job: Job) -> None:
+        self.journal.append(
+            {"event": "job", "action": "submit", "job": job.describe()}
+        )
+
+    def record_state(self, job: Job) -> None:
+        self.journal.append(
+            {"event": "job", "action": "state", "job": job.describe()}
+        )
+
+    def load(self) -> List[Job]:
+        """Replay the ledger: one Job per id, last record wins.
+
+        Records that don't reconstruct (a torn final line already got
+        dropped by the journal's corrupt-line handling; this covers
+        well-formed JSON with missing job fields) are skipped rather
+        than taking the whole ledger down.
+        """
+        by_id: Dict[str, Job] = {}
+        order: List[str] = []
+        for record in self.journal.load():
+            if record.get("event") != "job":
+                continue
+            payload = record.get("job")
+            if not isinstance(payload, dict):
+                continue
+            try:
+                job = Job.from_record(payload)
+            except (CampaignServiceError, TypeError):
+                continue
+            if job.id not in by_id:
+                order.append(job.id)
+            by_id[job.id] = job
+        return [by_id[job_id] for job_id in order]
+
+    def discard(self) -> None:
+        """Forget all prior jobs (fresh, non-resumed server boot)."""
+        self.journal.discard()
+
+    def close(self) -> None:
+        self.journal.close()

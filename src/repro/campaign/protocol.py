@@ -1,0 +1,135 @@
+"""The ``repro-campaign-v1`` wire protocol: versioned JSON frames.
+
+One frame is one JSON object on one ``\\n``-terminated line, UTF-8
+encoded, carrying an explicit protocol tag in ``"v"``.  Explicit
+versioning is the whole point: a client and server built from different
+code revisions fail loudly with a version message instead of
+misinterpreting each other's fields, exactly like the result/store/
+journal schema tags elsewhere in the system.
+
+Requests carry ``"op"`` plus op-specific fields; responses carry
+``"ok"`` (with payload fields) or ``"ok": false`` plus ``"error"`` and a
+stable machine-readable ``"code"``.  Streaming ops (``watch``) send
+many event frames and terminate with an ``{"event": "end"}`` frame.
+
+Frame size is bounded (:data:`MAX_FRAME_BYTES`) so a corrupt peer
+cannot make either side buffer unbounded garbage looking for a
+newline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL",
+    "check_ok",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+    "request_frame",
+]
+
+#: Protocol tag stamped on (and required in) every frame.
+PROTOCOL = "repro-campaign-v1"
+
+#: Longest encoded frame either side accepts, newline included.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Operations the server understands.
+OPS = (
+    "ping",
+    "submit",
+    "status",
+    "result",
+    "watch",
+    "cancel",
+    "ls",
+    "shutdown",
+)
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame: protocol-stamped, one line, size-checked."""
+    stamped = dict(payload)
+    stamped["v"] = PROTOCOL
+    try:
+        line = json.dumps(
+            stamped, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON-serializable: {exc}") from exc
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return line
+
+
+def decode_frame(raw: bytes) -> dict:
+    """Parse and version-check one received line into a frame dict."""
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(raw)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        frame = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    version = frame.get("v")
+    if version != PROTOCOL:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL!r}"
+        )
+    return frame
+
+
+def request_frame(op: str, **fields) -> dict:
+    """Build a client request frame for ``op`` (validated against OPS)."""
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of: {', '.join(OPS)}"
+        )
+    frame = dict(fields)
+    frame["op"] = op
+    return frame
+
+
+def ok_frame(**fields) -> dict:
+    """Build a success response frame."""
+    frame = dict(fields)
+    frame["ok"] = True
+    return frame
+
+
+def error_frame(code: str, message: str, **fields) -> dict:
+    """Build an error response frame with a stable machine code."""
+    frame = dict(fields)
+    frame.update({"ok": False, "code": code, "error": message})
+    return frame
+
+
+def check_ok(frame: dict) -> dict:
+    """Raise :class:`ProtocolError` for error frames; pass ok ones through."""
+    if not isinstance(frame, dict) or frame.get("ok") is not True:
+        code = frame.get("code", "error") if isinstance(frame, dict) else "?"
+        message: Optional[str] = (
+            frame.get("error") if isinstance(frame, dict) else None
+        )
+        raise ProtocolError(
+            f"server refused the request [{code}]: {message or 'no detail'}"
+        )
+    return frame

@@ -1,0 +1,50 @@
+"""Priority/FIFO scheduling queue with lazy cancellation.
+
+A tiny heap over ``(priority, seq, job_id)``: lower priority numbers run
+first, and within one priority tier the monotonically increasing
+submission sequence keeps strict FIFO order.  Cancellation is lazy — a
+cancelled entry stays in the heap and is skipped at pop time — so
+``cancel`` is O(1) and never has to re-heapify.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Min-heap of queued job ids, ordered by (priority, submission)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str]] = []
+        self._seq = 0
+        self._dropped: Set[str] = set()
+
+    def push(self, job_id: str, priority: int) -> None:
+        heapq.heappush(self._heap, (priority, self._seq, job_id))
+        self._seq += 1
+
+    def drop(self, job_id: str) -> None:
+        """Lazily remove a job; a later :meth:`pop` skips it."""
+        self._dropped.add(job_id)
+
+    def pop(self) -> Optional[str]:
+        """Highest-priority queued job id, or None when empty."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._dropped:
+                self._dropped.discard(job_id)
+                continue
+            return job_id
+        return None
+
+    def __len__(self) -> int:
+        return sum(
+            1 for _, _, job_id in self._heap if job_id not in self._dropped
+        )
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,608 @@
+"""The campaign daemon: asyncio event loop + forked worker children.
+
+One :class:`CampaignServer` owns four things:
+
+* the **listener** — a unix-domain socket speaking newline-delimited
+  ``repro-campaign-v1`` frames (plus an optional localhost HTTP front,
+  :mod:`repro.campaign.httpfront`);
+* the **scheduler** — a priority/FIFO :class:`JobQueue` drained onto a
+  bounded pool of forked children (one process per job, because the
+  recorder/store/campaign slots are process-level singletons);
+* the **ledger** — every accepted submission and state transition is
+  fsync'd through :class:`ServerLedger` before it is acknowledged, so a
+  SIGKILL'd server rebooted with ``--resume`` re-adopts its in-flight
+  jobs and their campaigns resume from their own journals;
+* the **broadcast plane** — the scheduler tick tails each running job's
+  progress JSONL and fans new lines out to ``watch`` subscribers.
+
+Deduplication happens at submit time against both the in-flight job
+table and the artifact store, using the registry result-cache key — an
+identical submission either joins the existing job or is born ``done``
+from the stored result, and ``campaign.dedup.hit`` counts both.
+
+Shutdown is a drain: SIGTERM (or the ``shutdown`` op) stops the
+scheduler from starting new work, lets running children finish and
+journal, then exits 0.  Queued jobs stay in the ledger and run on the
+next ``--resume`` boot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.campaign import worker
+from repro.campaign.jobs import (
+    DEFAULT_PRIORITY,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    Job,
+    job_key,
+    result_params,
+    summarize_jobs,
+    validate_submission,
+)
+from repro.campaign.ledger import ServerLedger
+from repro.campaign.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+)
+from repro.campaign.queue import JobQueue
+from repro.errors import CampaignServiceError, ProtocolError, StoreError
+from repro.telemetry.clock import monotonic_ns
+from repro.telemetry.exporters import summarize, write_summary
+from repro.telemetry.recorder import TraceRecorder
+
+__all__ = ["CampaignServer", "TICK_S"]
+
+#: Scheduler cadence: start work, tail progress, reap children.
+TICK_S = 0.05
+
+
+class CampaignServer:
+    """One campaign service instance bound to one artifact store."""
+
+    def __init__(
+        self,
+        store,
+        socket_path,
+        *,
+        http_port: Optional[int] = None,
+        workers: int = 2,
+        resume: bool = False,
+        policy_options: Optional[dict] = None,
+        metrics_out=None,
+    ) -> None:
+        if store is None:
+            raise CampaignServiceError(
+                "the campaign service needs an artifact store "
+                "(it is the dedup index and the crash-safe ledger); "
+                "run serve without --no-cache"
+            )
+        self.store = store
+        self.socket_path = Path(socket_path)
+        self.http_port = http_port
+        self.workers = max(1, int(workers))
+        self.resume = resume
+        self.policy_options = dict(policy_options or {})
+        self.metrics_out = metrics_out
+        self.recorder = TraceRecorder()
+        self.ledger = ServerLedger(store.root)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._by_key: Dict[str, str] = {}
+        self._queue = JobQueue()
+        self._running: Dict[str, multiprocessing.Process] = {}
+        self._watchers: Dict[str, List[asyncio.Queue]] = {}
+        self._progress_offset: Dict[str, int] = {}
+        self._next_id = 1
+        self._draining = False
+        self._adopted = 0
+        self._conn_tasks: set = set()
+
+    # -- boot ----------------------------------------------------------
+
+    def boot(self) -> None:
+        """Acquire the singleton lock and replay (or discard) the ledger.
+
+        Raises :class:`~repro.errors.JournalLockedError` when another
+        server already owns this store root.
+        """
+        self.ledger.acquire()
+        if not self.resume:
+            self.ledger.discard()
+            return
+        for job in self.ledger.load():
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            if job.id.startswith("job-"):
+                try:
+                    self._next_id = max(self._next_id, int(job.id[4:]) + 1)
+                except ValueError:
+                    pass
+            if job.key and (job.state != STATE_FAILED or job.key not in self._by_key):
+                self._by_key.setdefault(job.key, job.id)
+            if not job.terminal:
+                # Re-adopt: whatever this job had journaled survives in
+                # its own campaign journal; resume=True replays it.
+                job.state = STATE_QUEUED
+                job.resume = True
+                job.error = None
+                self._queue.push(job.id, job.priority)
+                self._adopted += 1
+                self.recorder.count("campaign.adopted")
+                self.ledger.record_state(job)
+
+    # -- submission / dedup --------------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        kwargs: Optional[dict] = None,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> dict:
+        """Validate, dedup, ledger, and queue one submission.
+
+        Returns ``{"job": <describe>, "deduped": bool}``.  Raises
+        :class:`CampaignServiceError` on validation failure or while
+        draining.
+        """
+        if self._draining:
+            raise CampaignServiceError(
+                "server is draining and not accepting submissions"
+            )
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise CampaignServiceError(
+                f"priority must be an integer, got {priority!r}"
+            )
+        spec, kwargs = validate_submission(experiment, kwargs)
+        key = job_key(self.store, spec.name, kwargs)
+        if key is not None:
+            existing_id = self._by_key.get(key)
+            existing = self._jobs.get(existing_id) if existing_id else None
+            if existing is not None and existing.state not in (
+                STATE_FAILED,
+                STATE_CANCELLED,
+            ):
+                self.recorder.count("campaign.dedup.hit", source="inflight")
+                return {"job": existing.describe(), "deduped": True}
+        job = Job(
+            id=f"job-{self._next_id:04d}",
+            experiment=spec.name,
+            kwargs=kwargs,
+            priority=priority,
+            key=key,
+            submitted_ns=monotonic_ns(),
+        )
+        self._next_id += 1
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        if key is not None:
+            self._by_key[key] = job.id
+        if key is not None and self._has_stored_result(job):
+            # The store already holds this exact result: the job is
+            # born done, no child ever forks.
+            job.state = STATE_DONE
+            job.cached = True
+            job.finished_ns = monotonic_ns()
+            self.recorder.count("campaign.dedup.hit", source="store")
+            self.recorder.count("campaign.done")
+            self.ledger.record_submit(job)
+            return {"job": job.describe(), "deduped": True}
+        self.ledger.record_submit(job)
+        self._queue.push(job.id, job.priority)
+        self.recorder.count("campaign.queued")
+        return {"job": job.describe(), "deduped": False}
+
+    def _has_stored_result(self, job: Job) -> bool:
+        try:
+            return self.store.has(
+                "result", result_params(job.experiment, job.kwargs)
+            )
+        except StoreError:
+            return False
+
+    def cancel(self, job_id: str) -> Job:
+        job = self._require_job(job_id)
+        if job.terminal:
+            return job
+        job.cancel_requested = True
+        if job.state == STATE_QUEUED:
+            self._queue.drop(job.id)
+            self._transition(job, STATE_CANCELLED)
+        else:
+            proc = self._running.get(job.id)
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        return job
+
+    def _require_job(self, job_id) -> Job:
+        job = self._jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise CampaignServiceError(f"unknown job {job_id!r}")
+        return job
+
+    # -- scheduling ----------------------------------------------------
+
+    def _transition(self, job: Job, state: str) -> None:
+        job.state = state
+        if state in (STATE_DONE, STATE_FAILED, STATE_CANCELLED):
+            job.finished_ns = monotonic_ns()
+            self.recorder.count(f"campaign.{state}")
+        self.ledger.record_state(job)
+
+    def _start_job(self, job: Job) -> None:
+        job.started_ns = monotonic_ns()
+        self.recorder.observe(
+            "campaign.queue_latency_s",
+            (job.started_ns - job.submitted_ns) / 1e9,
+        )
+        status_file = worker.status_path(self.store.root, job.id)
+        try:
+            status_file.unlink()
+        except OSError:
+            pass
+        progress_file = worker.progress_path(self.store.root, job.id)
+        self._progress_offset[job.id] = (
+            progress_file.stat().st_size if progress_file.exists() else 0
+        )
+        payload = {
+            "store_root": str(self.store.root),
+            "job_id": job.id,
+            "experiment": job.experiment,
+            "kwargs": dict(job.kwargs),
+            "policy": dict(self.policy_options),
+            "resume": job.resume,
+            "close_fds": self._child_close_fds(),
+        }
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        proc = ctx.Process(
+            target=worker.child_main, args=(payload,), daemon=False
+        )
+        proc.start()
+        self._running[job.id] = proc
+        job.state = STATE_RUNNING
+        self.recorder.count("campaign.running")
+        self.ledger.record_state(job)
+        self._broadcast(job.id, {"event": "state", "job": job.describe()})
+
+    def _child_close_fds(self) -> List[int]:
+        # The forked child inherits the server's ledger lock fd; were it
+        # to keep it, a child outliving a dead server would hold the
+        # singleton lock and block the restart it is supposed to enable.
+        fds = []
+        handle = self.ledger.journal._lock_handle
+        if handle is not None:
+            fds.append(handle.fileno())
+        data = self.ledger.journal._handle
+        if data is not None:
+            fds.append(data.fileno())
+        return fds
+
+    def _tick(self) -> None:
+        if not self._draining:
+            while len(self._running) < self.workers:
+                job_id = self._queue.pop()
+                if job_id is None:
+                    break
+                job = self._jobs[job_id]
+                if job.cancel_requested:
+                    self._transition(job, STATE_CANCELLED)
+                    continue
+                self._start_job(job)
+        self._pump_progress()
+        self._reap()
+
+    def _pump_progress(self) -> None:
+        for job_id in list(self._running):
+            self._drain_progress_file(job_id)
+
+    def _drain_progress_file(self, job_id: str) -> None:
+        path = worker.progress_path(self.store.root, job_id)
+        offset = self._progress_offset.get(job_id, 0)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            return
+        if not chunk:
+            return
+        # Only complete lines; a torn tail is re-read next tick.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return
+        self._progress_offset[job_id] = offset + end + 1
+        for line in chunk[: end + 1].splitlines():
+            try:
+                event = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if isinstance(event, dict):
+                event.update({"event": "progress", "job": job_id})
+                self._broadcast(job_id, event)
+
+    def _reap(self) -> None:
+        for job_id, proc in list(self._running.items()):
+            if proc.is_alive():
+                continue
+            proc.join()
+            del self._running[job_id]
+            job = self._jobs[job_id]
+            self._drain_progress_file(job_id)
+            status = self._read_status(job_id)
+            if status is not None:
+                job.reused_items = int(status.get("reused_items", 0))
+                job.completed_items = int(status.get("completed_items", 0))
+                job.total_items = int(status.get("total_items", 0))
+                job.degraded = bool(status.get("degraded", False))
+                job.error = status.get("error")
+                self._transition(
+                    job, STATE_DONE if status.get("ok") else STATE_FAILED
+                )
+            elif job.cancel_requested:
+                self._transition(job, STATE_CANCELLED)
+            else:
+                job.error = (
+                    f"worker exited without a status document "
+                    f"(exit code {proc.exitcode})"
+                )
+                self._transition(job, STATE_FAILED)
+            self._broadcast(job_id, {"event": "state", "job": job.describe()})
+            self._broadcast(
+                job_id, {"event": "end", "job": job_id, "state": job.state}
+            )
+            self._watchers.pop(job_id, None)
+
+    def _read_status(self, job_id: str) -> Optional[dict]:
+        path = worker.status_path(self.store.root, job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                status = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return status if isinstance(status, dict) else None
+
+    def _broadcast(self, job_id: str, event: dict) -> None:
+        for queue in self._watchers.get(job_id, ()):  # pragma: no branch
+            queue.put_nowait(event)
+
+    # -- status payloads -----------------------------------------------
+
+    def server_status(self) -> dict:
+        states: Dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "pid": os.getpid(),
+            "protocol": PROTOCOL,
+            "store_root": str(self.store.root),
+            "workers": self.workers,
+            "draining": self._draining,
+            "adopted": self._adopted,
+            "jobs": states,
+            "metrics": self.recorder.metrics.snapshot(),
+        }
+
+    def stored_result(self, job: Job) -> dict:
+        if job.state != STATE_DONE:
+            raise CampaignServiceError(
+                f"job {job.id} is {job.state}, not done"
+            )
+        try:
+            payload = self.store.get_json(
+                "result", result_params(job.experiment, job.kwargs)
+            )
+        except StoreError as exc:
+            raise CampaignServiceError(
+                f"stored result for {job.id} is unreadable: {exc}"
+            ) from exc
+        if payload is None:
+            raise CampaignServiceError(
+                f"no stored result for {job.id} (store was cleared?)"
+            )
+        return payload
+
+    def request_drain(self) -> None:
+        self._draining = True
+
+    # -- event loop ----------------------------------------------------
+
+    async def run(self, ready_file=None) -> int:
+        """Serve until drained; returns the process exit code (0)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        listener = await asyncio.start_unix_server(
+            self._handle_client,
+            path=str(self.socket_path),
+            limit=MAX_FRAME_BYTES + 1024,
+        )
+        http_listener = None
+        if self.http_port is not None:
+            from repro.campaign import httpfront
+
+            http_listener, self.http_port = await httpfront.start_http(
+                self, self.http_port
+            )
+        if ready_file is not None:
+            Path(ready_file).write_text(
+                json.dumps(
+                    {
+                        "socket": str(self.socket_path),
+                        "http_port": self.http_port,
+                        "pid": os.getpid(),
+                    },
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+        try:
+            while not (self._draining and not self._running):
+                self._tick()
+                await asyncio.sleep(TICK_S)
+            self._tick()
+        finally:
+            listener.close()
+            await listener.wait_closed()
+            if http_listener is not None:
+                http_listener.close()
+                await http_listener.wait_closed()
+            # Idle connections (a peer holding the socket open between
+            # requests) would otherwise be cancelled at loop teardown
+            # and logged as unretrieved exceptions.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+            self._finalize()
+        return 0
+
+    def _finalize(self) -> None:
+        if self.metrics_out is not None:
+            try:
+                write_summary(self.metrics_out, summarize(self.recorder))
+            except OSError:
+                pass
+        self.ledger.close()
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    # -- frame dispatch ------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer,
+                        error_frame("protocol", "frame exceeds size limit"),
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError as exc:
+                    await self._send(
+                        writer, error_frame("protocol", str(exc))
+                    )
+                    break
+                response = await self._dispatch(frame, writer)
+                if response is not None:
+                    await self._send(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # The server drained while this peer idled; drop the
+            # connection quietly (run() cancels and gathers us).
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer, frame: dict) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    async def _dispatch(self, frame: dict, writer) -> Optional[dict]:
+        op = frame.get("op")
+        try:
+            if op == "ping":
+                return ok_frame(server=self.server_status())
+            if op == "submit":
+                outcome = self.submit(
+                    frame.get("experiment"),
+                    frame.get("kwargs"),
+                    priority=frame.get("priority", DEFAULT_PRIORITY),
+                )
+                return ok_frame(**outcome)
+            if op == "status":
+                if frame.get("job") is None:
+                    return ok_frame(server=self.server_status())
+                return ok_frame(job=self._require_job(frame["job"]).describe())
+            if op == "result":
+                job = self._require_job(frame.get("job"))
+                return ok_frame(job=job.describe(), payload=self.stored_result(job))
+            if op == "cancel":
+                return ok_frame(job=self.cancel(frame.get("job")).describe())
+            if op == "ls":
+                return ok_frame(
+                    jobs=summarize_jobs(
+                        [self._jobs[j] for j in self._order]
+                    )
+                )
+            if op == "watch":
+                await self._op_watch(frame, writer)
+                return None
+            if op == "shutdown":
+                await self._send(writer, ok_frame(draining=True))
+                self.request_drain()
+                return None
+            return error_frame("unknown-op", f"unknown op {op!r}")
+        except (CampaignServiceError, ProtocolError) as exc:
+            return error_frame("refused", str(exc))
+
+    async def _op_watch(self, frame: dict, writer) -> None:
+        try:
+            job = self._require_job(frame.get("job"))
+        except CampaignServiceError as exc:
+            await self._send(writer, error_frame("refused", str(exc)))
+            return
+        await self._send(writer, ok_frame(job=job.describe()))
+        if job.terminal:
+            await self._send(
+                writer, {"event": "end", "job": job.id, "state": job.state}
+            )
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        self._watchers.setdefault(job.id, []).append(queue)
+        try:
+            while True:
+                event = await queue.get()
+                await self._send(writer, event)
+                if event.get("event") == "end":
+                    break
+        finally:
+            try:
+                self._watchers.get(job.id, []).remove(queue)
+            except ValueError:
+                pass

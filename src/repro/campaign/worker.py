@@ -1,0 +1,194 @@
+"""Job execution in an isolated child process, with live progress.
+
+The recorder, store, campaign, and fault-plan slots are all
+module-level singletons, so two experiments cannot share one process.
+The server therefore forks one child per job (:func:`child_main` is the
+``multiprocessing.Process`` target) — which also gives the service its
+crash semantics for free: a SIGKILL'd child leaves its fsync'd campaign
+journal behind, and the re-adopted job resumes from it.
+
+Progress streaming: :class:`ProgressRecorder` extends the normal
+:class:`TraceRecorder` by mirroring a whitelist of per-item counters
+(journal appends, cache hits, retries) as JSONL lines into
+``<store root>/campaigns/<job id>.progress.jsonl``.  The server tails
+that file on its scheduler tick and broadcasts new lines to ``watch``
+subscribers — no sockets in the child, no extra IPC machinery, and a
+dead child's progress trail survives for post-mortems.
+
+Completion handshake: the child atomically writes
+``<job id>.status.json`` (tmp + ``os.replace``) as its last act, so the
+server distinguishes "exited after finishing" from "died mid-run" by
+the file's existence, never by exit-code guesswork alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+from pathlib import Path
+
+from repro.telemetry.recorder import TraceRecorder
+
+__all__ = [
+    "PROGRESS_COUNTERS",
+    "ProgressRecorder",
+    "child_main",
+    "progress_path",
+    "run_job",
+    "status_path",
+]
+
+#: Counters mirrored into the progress stream.  Everything here is
+#: incremented per item (or per attempt) by the parallel runner or the
+#: registry, so the stream reads as a live per-item trace of the job.
+PROGRESS_COUNTERS = frozenset(
+    {
+        "journal.append",
+        "journal.hit",
+        "result.hit",
+        "result.miss",
+        "item.retry",
+        "item.timeout",
+        "parallel.tasks",
+    }
+)
+
+
+def progress_path(store_root, job_id: str) -> Path:
+    """Where a job's live progress JSONL accumulates."""
+    return Path(store_root) / "campaigns" / f"{job_id}.progress.jsonl"
+
+
+def status_path(store_root, job_id: str) -> Path:
+    """Where a job's terminal status document lands (atomic write)."""
+    return Path(store_root) / "campaigns" / f"{job_id}.status.json"
+
+
+class ProgressRecorder(TraceRecorder):
+    """TraceRecorder that streams whitelisted counters to a JSONL file.
+
+    Lines are flushed per event (they are rare — one per completed item,
+    not per simulated access), so the server's tail sees them promptly.
+    A write failure disables the stream rather than failing the job:
+    progress is observability, not correctness.
+    """
+
+    def __init__(self, stream_path: Path, clock=None) -> None:
+        super().__init__(clock=clock)
+        self._stream_path = Path(stream_path)
+        self._stream = None
+        self._stream_dead = False
+
+    def count(self, name: str, n: int = 1, **tags) -> None:
+        super().count(name, n, **tags)
+        if name not in PROGRESS_COUNTERS or self._stream_dead:
+            return
+        try:
+            if self._stream is None:
+                self._stream_path.parent.mkdir(parents=True, exist_ok=True)
+                self._stream = open(
+                    self._stream_path, "a", encoding="utf-8"
+                )
+            self._stream.write(
+                json.dumps(
+                    {"counter": name, "n": n, "tags": tags},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            self._stream.flush()
+        except OSError:
+            self._stream_dead = True
+
+    def close_stream(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+
+
+def run_job(payload: dict) -> dict:
+    """Execute one job in this process; returns its status document.
+
+    ``payload`` carries everything the child needs (it must be
+    picklable across the fork): store root, experiment name, kwargs,
+    resilience policy fields, and the resume flag.
+    """
+    from repro.experiments.common import configure_cache
+    from repro.experiments.registry import execute, get_spec
+    from repro.resilience.context import Campaign, using_campaign
+    from repro.resilience.policy import ResiliencePolicy
+    from repro.telemetry.recorder import using_recorder
+
+    store_root = payload["store_root"]
+    job_id = payload["job_id"]
+    spec = get_spec(payload["experiment"])
+    policy = ResiliencePolicy.from_options(**payload.get("policy", {}))
+    campaign = Campaign(policy=policy, resume=bool(payload.get("resume")))
+    recorder = ProgressRecorder(progress_path(store_root, job_id))
+    configure_cache(store_root)
+    status = {
+        "job_id": job_id,
+        "ok": False,
+        "error": None,
+        "reused_items": 0,
+        "completed_items": 0,
+        "total_items": 0,
+        "degraded": False,
+    }
+    try:
+        with using_recorder(recorder), using_campaign(campaign):
+            execute(spec, payload.get("kwargs") or {})
+        status["ok"] = True
+    except Exception as exc:  # repro-lint: disable=REP006 -- the child is the process boundary: any failure must become a status document for the server, not a traceback lost in a daemon log
+        status["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        recorder.close_stream()
+    status["reused_items"] = campaign.reused_items
+    status["completed_items"] = campaign.completed_items
+    status["total_items"] = campaign.total_items
+    status["degraded"] = campaign.degraded
+    return status
+
+
+def child_main(payload: dict) -> None:
+    """``multiprocessing.Process`` target: run the job, land the status.
+
+    The status file is written atomically (tmp + ``os.replace``) so the
+    server never reads a half-written document; its absence after the
+    child exits means the child died mid-run.
+
+    The fork inherits the server's asyncio signal handlers and its
+    ledger lock fd; both are shed first — a child outliving a dead
+    server must not hold the server-singleton lock, and SIGTERM must
+    kill the child (cancel), not poke the parent's event loop.
+    """
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (OSError, ValueError):
+            pass
+    try:
+        signal.set_wakeup_fd(-1)
+    except (OSError, ValueError):
+        pass
+    for fd in payload.get("close_fds", ()):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    status = run_job(payload)
+    target = status_path(payload["store_root"], payload["job_id"])
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(status, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    sys.exit(0 if status["ok"] else 1)

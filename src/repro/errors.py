@@ -63,3 +63,30 @@ class ResilienceError(ReproError):
     """Fault-tolerant execution failed: a timeout expired, the worker
     pool collapsed under a ``fail`` policy, or a journal entry could not
     be decoded."""
+
+
+class JournalLockedError(ResilienceError):
+    """Another process holds the exclusive lock on a campaign journal.
+
+    Two writers interleaving appends into one JSONL journal would corrupt
+    the resume state both of them depend on, so the second acquirer gets
+    this structured error instead of a torn journal.  ``path`` is the
+    journal the lock guards.
+    """
+
+    def __init__(self, path, detail: str = "") -> None:
+        self.path = str(path)
+        message = (
+            f"campaign journal {self.path} is locked by another process"
+        )
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class CampaignServiceError(ReproError):
+    """The campaign service refused a request or could not perform it."""
+
+
+class ProtocolError(CampaignServiceError):
+    """A campaign wire frame was malformed or spoke the wrong version."""

@@ -1,4 +1,4 @@
-"""The simulation-correctness rule set (REP001–REP013).
+"""The simulation-correctness rule set (REP001–REP013, REP018).
 
 Every rule here guards a way a simulation codebase silently loses
 determinism or fidelity: hidden global RNG state, float round-trip
@@ -628,4 +628,90 @@ def check_bare_except_dispatch(ctx) -> Yield:
                     "bare except around worker dispatch; catch the "
                     "specific failures (or let the resilience policy "
                     "classify them into ItemOutcome records), or re-raise"
+                )
+
+
+#: Synchronous sleeps that stall an event loop (REP018).
+_BLOCKING_SLEEP_CALLS = frozenset({"time.sleep"})
+_BLOCKING_SLEEP_BASENAMES = frozenset({"sleep_s"})
+
+#: subprocess entry points that block until the child exits.
+_BLOCKING_SUBPROCESS_CALLS = frozenset({
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output",
+})
+
+#: Socket/IO methods that block without a guaranteed timeout.
+_BLOCKING_SOCKET_METHODS = frozenset({
+    "recv", "recv_into", "recvfrom", "recvfrom_into", "accept", "sendall",
+})
+
+
+def _async_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Call nodes executed *on the event loop* of one async def.
+
+    Nested ``def``/``async def`` bodies are skipped: a nested sync
+    function runs wherever it is eventually called (often a worker
+    thread or child process), and a nested async def is visited as its
+    own function by the rule's outer walk.
+    """
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule(
+    "REP018",
+    "blocking-call-in-async",
+    hazard=(
+        "a synchronous sleep, an un-timed socket read, a bare "
+        "future.result(), or a blocking subprocess call inside an async "
+        "function stalls the whole event loop: the campaign server "
+        "stops accepting submissions, watch streams freeze, and the "
+        "scheduler misses its tick — a single slow peer becomes a "
+        "service-wide hang."
+    ),
+)
+def check_blocking_call_in_async(ctx) -> Yield:
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _async_calls(func):
+            name = _call_name(ctx, node)
+            basename = name.rsplit(".", 1)[-1] if name else None
+            if name in _BLOCKING_SLEEP_CALLS or (
+                basename in _BLOCKING_SLEEP_BASENAMES
+            ):
+                yield node, (
+                    f"{basename}() blocks the event loop inside async "
+                    f"def {func.name}; await asyncio.sleep() instead"
+                )
+                continue
+            if name in _BLOCKING_SUBPROCESS_CALLS:
+                yield node, (
+                    f"{name}() blocks the event loop inside async def "
+                    f"{func.name}; use asyncio.create_subprocess_exec() "
+                    "or run it in a worker"
+                )
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            if attr in _BLOCKING_SOCKET_METHODS:
+                yield node, (
+                    f".{attr}() is a blocking socket call with no "
+                    f"timeout guard inside async def {func.name}; use "
+                    "the asyncio stream APIs (or wrap in "
+                    "asyncio.wait_for)"
+                )
+            elif attr == "result" and not node.args and not node.keywords:
+                yield node, (
+                    f".result() with no timeout blocks the event loop "
+                    f"inside async def {func.name}; await the future "
+                    "instead"
                 )

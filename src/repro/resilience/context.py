@@ -62,11 +62,18 @@ class Campaign:
         Called by ``registry.execute`` once the campaign's identity (the
         experiment + kwargs content address) is known.  On resume, ok
         outcomes from the existing journal become the replay cache.
+
+        Takes the journal's exclusive writer lock up front, so two
+        processes resuming the same campaign key cannot interleave
+        appends — the second one gets
+        :class:`~repro.errors.JournalLockedError` before reading or
+        discarding anything.
         """
         if self.journal is not None:
             return
         self.key = key
         journal = CampaignJournal(CampaignJournal.path_for(store_root, key))
+        journal.acquire()
         if journal.exists():
             if self.resume:
                 for record in journal.load():

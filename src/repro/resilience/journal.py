@@ -17,6 +17,13 @@ Layout: ``<store root>/journals/<campaign key>.jsonl``, beside the
 artifact objects, so ``cache clear`` (which only removes ``objects/``)
 keeps journals and an interrupted campaign survives a cache wipe of its
 intermediates.
+
+Concurrency: a journal is a single-writer file.  :meth:`acquire` takes
+an exclusive ``flock`` on ``<journal>.lock`` (released by :meth:`close`,
+and by the kernel if the holder dies, including SIGKILL), so two
+processes resuming the same campaign key cannot interleave appends —
+the second acquirer gets a structured
+:class:`~repro.errors.JournalLockedError` instead of a torn journal.
 """
 
 from __future__ import annotations
@@ -29,7 +36,12 @@ import pickle
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.errors import ResilienceError
+try:
+    import fcntl
+except ImportError:  # non-POSIX: locking degrades to best-effort
+    fcntl = None
+
+from repro.errors import JournalLockedError, ResilienceError
 from repro.telemetry.recorder import count as telemetry_count
 
 __all__ = ["JOURNAL_SCHEMA", "CampaignJournal", "decode_value", "encode_value"]
@@ -68,14 +80,56 @@ class CampaignJournal:
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._handle = None
+        self._lock_handle = None
 
     @classmethod
     def path_for(cls, store_root, campaign_key: str) -> Path:
         """Journal location for a campaign under an artifact-store root."""
         return Path(store_root) / "journals" / f"{campaign_key}.jsonl"
 
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
     def exists(self) -> bool:
         return self.path.is_file()
+
+    def acquire(self) -> None:
+        """Take the exclusive single-writer lock on this journal.
+
+        Idempotent per instance.  Raises
+        :class:`~repro.errors.JournalLockedError` when any other open
+        file description (another process, or another journal object in
+        this one) already holds it.  The lock lives on ``<path>.lock``
+        so it survives :meth:`discard` deleting the journal itself, and
+        the kernel drops it automatically when the holder dies.
+        """
+        if self._lock_handle is not None or fcntl is None:
+            return
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(self.lock_path, "ab")
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot open journal lock {self.lock_path}: {exc}"
+            ) from exc
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            handle.close()
+            raise JournalLockedError(self.path, detail=str(exc)) from exc
+        self._lock_handle = handle
+
+    def release(self) -> None:
+        """Release the single-writer lock, if this instance holds it."""
+        if self._lock_handle is None:
+            return
+        handle, self._lock_handle = self._lock_handle, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
 
     def append(self, record: dict) -> None:
         """Durably append one record (schema-stamped, fsync'd)."""
@@ -86,6 +140,7 @@ class CampaignJournal:
         ).encode("utf-8") + b"\n"
         try:
             if self._handle is None:
+                self.acquire()
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = open(self.path, "ab")
             self._handle.write(line)
@@ -123,10 +178,18 @@ class CampaignJournal:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self.release()
 
     def discard(self) -> None:
-        """Close and delete the journal (a fresh, non-resumed campaign)."""
-        self.close()
+        """Delete the journal (a fresh, non-resumed campaign).
+
+        Keeps the writer lock if this instance holds it: the campaign
+        that discarded a stale journal is about to write a fresh one,
+        and no other writer may slip in between.
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
         try:
             self.path.unlink()
         except OSError:

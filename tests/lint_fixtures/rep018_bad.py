@@ -1,0 +1,35 @@
+"""REP018 fixtures: blocking calls stalling an async event loop."""
+
+import subprocess
+import time
+
+from repro.telemetry.clock import sleep_s
+
+
+async def sync_sleep_in_loop():
+    time.sleep(0.5)
+
+
+async def telemetry_sleep_in_loop():
+    sleep_s(0.5)
+
+
+async def unguarded_recv(sock):
+    return sock.recv(4096)
+
+
+async def unguarded_accept(listener):
+    conn, _ = listener.accept()
+    return conn
+
+
+async def blocking_sendall(sock, data):
+    sock.sendall(data)
+
+
+async def bare_future_result(future):
+    return future.result()
+
+
+async def blocking_subprocess():
+    return subprocess.run(["true"], check=True)

@@ -1,0 +1,37 @@
+"""REP018 no-fire fixtures: async code that keeps the loop responsive."""
+
+import asyncio
+import subprocess
+import time
+
+from repro.telemetry.clock import sleep_s
+
+
+async def async_sleep_is_fine():
+    await asyncio.sleep(0.5)
+
+
+async def timed_future_result(future):
+    # An explicit timeout bounds the stall; not flagged.
+    return future.result(0.5)
+
+
+async def awaiting_streams(reader, writer):
+    line = await reader.readline()
+    writer.write(line)
+    await writer.drain()
+    return line
+
+
+async def nested_sync_helper_runs_elsewhere(pool):
+    def work():
+        # Runs in an executor thread, not on the event loop.
+        time.sleep(0.1)
+        return 1
+
+    return await asyncio.get_event_loop().run_in_executor(pool, work)
+
+
+def sync_functions_may_block(sock):
+    sleep_s(0.2)
+    return subprocess.run(["true"]), sock.recv(4096)

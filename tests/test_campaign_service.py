@@ -1,0 +1,291 @@
+"""End-to-end tests of the campaign daemon: real subprocesses, real kills.
+
+These spawn ``repro-spec2017 serve`` as a subprocess (its own session,
+so SIGKILL can take out the server *and* its forked worker children the
+way a machine crash would), drive it through the sync client, and pin
+the service's three headline guarantees:
+
+* a service-run result is byte-identical to a direct CLI run;
+* identical concurrent submissions run the work exactly once
+  (``campaign.dedup.hit`` >= 1);
+* kill -9 mid-campaign + restart ``--resume`` reuses journaled items
+  instead of recomputing, and the final artifact is still byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.client import CampaignClient
+from repro.errors import CampaignServiceError
+
+pytestmark = [pytest.mark.slow, pytest.mark.resilience]
+
+#: One benchmark keeps a job around a second; three give the kill test
+#: something to interrupt.
+QUICK_BENCH = ["505.mcf_r"]
+KILL_BENCH = ["505.mcf_r", "520.omnetpp_r", "525.x264_r"]
+
+BOOT_TIMEOUT_S = 30.0
+JOB_TIMEOUT_S = 180.0
+
+
+def _spawn_server(cache_dir: Path, *extra_args: str) -> subprocess.Popen:
+    """Start ``serve`` in its own session; returns once it is listening."""
+    ready = cache_dir / f"ready-{time.monotonic_ns()}.json"
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--ready-file", str(ready), *extra_args,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while not ready.is_file():
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server exited during boot (code {proc.returncode})"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("server did not become ready in time")
+        time.sleep(0.05)
+    return proc
+
+
+def _kill_server_group(proc: subprocess.Popen) -> None:
+    """SIGKILL the server's whole session (server + worker children)."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait(timeout=10)
+
+
+def _shutdown(client: CampaignClient, proc: subprocess.Popen) -> int:
+    try:
+        client.shutdown()
+    except CampaignServiceError:
+        pass
+    try:
+        return proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        _kill_server_group(proc)
+        raise
+
+
+def _client_for(cache_dir: Path) -> CampaignClient:
+    return CampaignClient(cache_dir / "campaign.sock")
+
+
+def _write_result_like_cli(client, job_id: str, path: Path) -> None:
+    """Re-serialize a job's stored result exactly as the CLI would."""
+    from repro.experiments.registry import (
+        get_spec,
+        result_from_payload,
+        result_payload,
+    )
+
+    job = client.status(job_id)
+    payload = client.result(job_id)
+    spec = get_spec(job["experiment"])
+    result = result_from_payload(spec, payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_payload(spec, result), handle, indent=2)
+        handle.write("\n")
+
+
+def _direct_json(tmp_path: Path, benchmarks) -> Path:
+    """A direct (service-free) CLI run's --json-out, in a fresh store."""
+    from repro.cli import main as cli_main
+
+    out = tmp_path / "direct.json"
+    code = cli_main(
+        [
+            "fig8", "--benchmarks", *benchmarks,
+            "--cache-dir", str(tmp_path / "direct-cache"),
+            "--json-out", str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestServiceEndToEnd:
+    def test_submit_runs_and_matches_direct_run(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        proc = _spawn_server(cache)
+        client = _client_for(cache)
+        try:
+            outcome = client.submit("fig8", {"benchmarks": QUICK_BENCH})
+            job_id = outcome["job"]["id"]
+            assert outcome["deduped"] is False
+            job = client.wait(job_id, timeout_s=JOB_TIMEOUT_S)
+            assert job["state"] == "done"
+            assert job["completed_items"] == job["total_items"] > 0
+            svc_json = tmp_path / "svc.json"
+            _write_result_like_cli(client, job_id, svc_json)
+        finally:
+            assert _shutdown(client, proc) == 0
+        direct = _direct_json(tmp_path, QUICK_BENCH)
+        assert svc_json.read_bytes() == direct.read_bytes()
+
+    def test_identical_submissions_dedup_to_one_run(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        proc = _spawn_server(cache)
+        client = _client_for(cache)
+        try:
+            first = client.submit("fig8", {"benchmarks": QUICK_BENCH})
+            second = client.submit(
+                "fig8", {"benchmarks": QUICK_BENCH, "jobs": 2}
+            )
+            assert second["deduped"] is True
+            assert second["job"]["id"] == first["job"]["id"]
+            client.wait(first["job"]["id"], timeout_s=JOB_TIMEOUT_S)
+            # A third submission after completion dedups against the
+            # done job / stored result — still no second run.
+            third = client.submit("fig8", {"benchmarks": QUICK_BENCH})
+            assert third["deduped"] is True
+            counters = client.status()["metrics"]["counters"]
+            dedup_hits = sum(
+                v for k, v in counters.items()
+                if k.startswith("campaign.dedup.hit")
+            )
+            assert dedup_hits >= 1
+            assert counters.get("campaign.queued", 0) == 1
+            jobs = client.ls()
+            assert len(jobs) == 1
+        finally:
+            assert _shutdown(client, proc) == 0
+
+    def test_watch_streams_progress_to_end(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        proc = _spawn_server(cache)
+        client = _client_for(cache)
+        try:
+            job_id = client.submit(
+                "fig8", {"benchmarks": QUICK_BENCH}
+            )["job"]["id"]
+            events = list(client.watch(job_id))
+            kinds = [event.get("event") for event in events]
+            assert kinds[0] == "state"
+            assert kinds[-1] == "end"
+            assert any(k == "progress" for k in kinds)
+            assert events[-1]["state"] == "done"
+        finally:
+            assert _shutdown(client, proc) == 0
+
+    def test_kill9_then_resume_reuses_journaled_items(self, tmp_path):
+        """The acceptance scenario: SIGKILL mid-campaign, restart
+        ``--resume``, journaled items are not recomputed, and the final
+        artifact is byte-identical to an uninterrupted run."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        proc = _spawn_server(cache)
+        client = _client_for(cache)
+        job_id = client.submit(
+            "fig8", {"benchmarks": KILL_BENCH, "jobs": 1}
+        )["job"]["id"]
+        # Wait until at least one item is journaled, then pull the plug.
+        journals = cache / "journals"
+        deadline = time.monotonic() + JOB_TIMEOUT_S
+        while True:
+            items = 0
+            for journal in journals.glob("*.jsonl"):
+                if journal.name.startswith("campaign-server"):
+                    continue
+                items += journal.read_bytes().count(b'"event":"item"')
+            if items >= 1:
+                break
+            assert time.monotonic() < deadline, "no item journaled in time"
+            time.sleep(0.05)
+        _kill_server_group(proc)
+
+        proc2 = _spawn_server(cache, "--resume")
+        client2 = _client_for(cache)
+        try:
+            job = client2.wait(job_id, timeout_s=JOB_TIMEOUT_S)
+            assert job["state"] == "done"
+            assert job["reused_items"] >= 1
+            assert job["completed_items"] == job["total_items"]
+            svc_json = tmp_path / "svc.json"
+            _write_result_like_cli(client2, job_id, svc_json)
+        finally:
+            assert _shutdown(client2, proc2) == 0
+        direct = _direct_json(tmp_path, KILL_BENCH)
+        assert svc_json.read_bytes() == direct.read_bytes()
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        proc = _spawn_server(cache)
+        client = _client_for(cache)
+        job_id = client.submit(
+            "fig8", {"benchmarks": QUICK_BENCH}
+        )["job"]["id"]
+        # Let the scheduler start the job, then ask for a graceful stop.
+        deadline = time.monotonic() + JOB_TIMEOUT_S
+        while client.status(job_id)["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=JOB_TIMEOUT_S) == 0
+        # The in-flight job was finished (not abandoned) before exit.
+        ledger = cache / "journals" / "campaign-server.jsonl"
+        states = [
+            json.loads(line)["job"]["state"]
+            for line in ledger.read_text().splitlines()
+            if '"event":"job"' in line or '"event": "job"' in line
+        ]
+        assert states[-1] == "done"
+
+    def test_cancel_queued_job(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        # One worker slot: the second submission must queue behind the
+        # first, so it is reliably cancellable.
+        proc = _spawn_server(cache, "--workers", "1")
+        client = _client_for(cache)
+        try:
+            first = client.submit(
+                "fig8", {"benchmarks": KILL_BENCH, "jobs": 1}
+            )["job"]["id"]
+            second = client.submit(
+                "fig8", {"benchmarks": ["500.perlbench_r"]}
+            )["job"]["id"]
+            assert second != first
+            cancelled = client.cancel(second)
+            deadline = time.monotonic() + JOB_TIMEOUT_S
+            while cancelled["state"] not in ("cancelled",):
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+                cancelled = client.status(second)
+            assert cancelled["state"] == "cancelled"
+            client.wait(first, timeout_s=JOB_TIMEOUT_S)
+        finally:
+            assert _shutdown(client, proc) == 0
+
+    def test_client_without_server_fails_cleanly(self, tmp_path):
+        client = CampaignClient(tmp_path / "nothing.sock")
+        with pytest.raises(CampaignServiceError, match="cannot reach"):
+            client.ping()

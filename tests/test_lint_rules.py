@@ -59,6 +59,7 @@ CASES = [
     ("REP011", "rep011_bad.py", 4, "rep011_good.py"),
     ("REP012", "rep012_bad.py", 7, "rep012_good.py"),
     ("REP013", "rep013_bad.py", 3, "rep013_good.py"),
+    ("REP018", "rep018_bad.py", 7, "rep018_good.py"),
 ]
 
 

@@ -345,3 +345,208 @@ class TestCliCampaign:
         ) == 0
         assert "pruned" in capsys.readouterr().out
         assert main(["cache", "doctor", "--cache-dir", store_dir]) == 0
+
+
+class TestReplayEdgeCases:
+    """The journal states a hard kill (or stray edit) can leave behind."""
+
+    def _journaled_run(self, tmp_path, key: str) -> CampaignJournal:
+        campaign = Campaign(policy=SKIP)
+        campaign.attach_journal(tmp_path, key)
+        with using_campaign(campaign):
+            resilient_map(_tenfold, ITEMS, jobs=1)
+        campaign.finish(complete=False)
+        return CampaignJournal(CampaignJournal.path_for(tmp_path, key))
+
+    def test_truncated_final_line_recomputes_only_that_item(self, tmp_path):
+        journal = self._journaled_run(tmp_path, "trunc")
+        raw = journal.path.read_bytes()
+        # Tear the last append mid-record, as SIGKILL during write would.
+        journal.path.write_bytes(raw[: raw.rfind(b'"status"')])
+
+        resumed = Campaign(resume=True)
+        resumed.attach_journal(tmp_path, "trunc")
+        with using_campaign(resumed):
+            outcome = resilient_map(_tenfold, ITEMS, jobs=1)
+        assert outcome.results == [x * 10 for x in ITEMS]
+        assert [o.cached for o in outcome.outcomes] == [
+            True, True, True, True, False,
+        ]
+        assert resumed.reused_items == len(ITEMS) - 1
+
+    def test_duplicate_item_records_last_write_wins(self, tmp_path):
+        journal = self._journaled_run(tmp_path, "dup")
+        # Re-append item 2 with a different (detectably newer) value, as
+        # an interrupted retry that ran the item twice would.
+        journal.append(
+            {
+                "event": "item", "seq": 0, "index": 2, "status": "ok",
+                "label": "2", "attempts": 1, "kind": None, "error": None,
+                "payload": encode_value(999),
+            }
+        )
+        journal.close()
+
+        resumed = Campaign(resume=True)
+        resumed.attach_journal(tmp_path, "dup")
+        with using_campaign(resumed):
+            outcome = resilient_map(_tenfold, ITEMS, jobs=1)
+        assert outcome.results == [0, 10, 999, 30, 40]
+        assert all(o.cached for o in outcome.outcomes)
+
+    def test_item_outcome_payload_round_trip(self, tmp_path):
+        """to_payload -> journal -> cached_outcome preserves the item."""
+        from repro.resilience.policy import ItemOutcome
+
+        original = ItemOutcome(
+            index=3, label="item-3", status="ok", attempts=2,
+            value={"nested": [1, 2.5, "x"]},
+        )
+        campaign = Campaign()
+        campaign.attach_journal(tmp_path, "rt")
+        campaign.journal_item(0, original)
+        campaign.finish(complete=False)
+
+        resumed = Campaign(resume=True)
+        resumed.attach_journal(tmp_path, "rt")
+        replayed = resumed.cached_outcome(0, 3, "item-3")
+        assert replayed is not None
+        assert replayed.value == original.value
+        assert replayed.cached is True
+
+    def test_future_schema_lines_are_ignored_not_trusted(self, tmp_path):
+        """Version skew: records from any other journal schema replay as
+        absent (recompute), never as misparsed values."""
+        journal = self._journaled_run(tmp_path, "ver")
+        lines = journal.path.read_bytes().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("index") == 1:
+                record["schema"] = "repro-journal-v999"
+            doctored.append(json.dumps(record).encode())
+        journal.path.write_bytes(b"\n".join(doctored) + b"\n")
+
+        resumed = Campaign(resume=True)
+        resumed.attach_journal(tmp_path, "ver")
+        with using_campaign(resumed):
+            outcome = resilient_map(_tenfold, ITEMS, jobs=1)
+        assert outcome.results == [x * 10 for x in ITEMS]
+        assert [o.cached for o in outcome.outcomes] == [
+            True, False, True, True, True,
+        ]
+
+    def test_unknown_record_fields_are_tolerated(self, tmp_path):
+        journal = self._journaled_run(tmp_path, "fwd")
+        lines = journal.path.read_bytes().splitlines()
+        doctored = []
+        for line in lines:
+            record = json.loads(line)
+            record["future_field"] = {"anything": True}
+            doctored.append(json.dumps(record).encode())
+        journal.path.write_bytes(b"\n".join(doctored) + b"\n")
+
+        resumed = Campaign(resume=True)
+        resumed.attach_journal(tmp_path, "fwd")
+        with using_campaign(resumed):
+            outcome = resilient_map(_tenfold, ITEMS, jobs=1)
+        assert all(o.cached for o in outcome.outcomes)
+
+
+class TestJournalLock:
+    """One journal, one writer: the flock on <journal>.lock."""
+
+    def test_second_acquirer_gets_structured_error(self, tmp_path):
+        from repro.errors import JournalLockedError
+
+        first = CampaignJournal(tmp_path / "j.jsonl")
+        first.acquire()
+        second = CampaignJournal(tmp_path / "j.jsonl")
+        with pytest.raises(JournalLockedError) as excinfo:
+            second.acquire()
+        assert str(tmp_path / "j.jsonl") == excinfo.value.path
+        first.close()
+
+    def test_lock_released_on_close(self, tmp_path):
+        first = CampaignJournal(tmp_path / "j.jsonl")
+        first.append({"event": "item"})
+        first.close()
+        second = CampaignJournal(tmp_path / "j.jsonl")
+        second.acquire()  # must not raise
+        second.close()
+
+    def test_acquire_is_idempotent_per_instance(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.acquire()
+        journal.acquire()
+        journal.close()
+
+    def test_discard_keeps_the_lock(self, tmp_path):
+        holder = CampaignJournal(tmp_path / "j.jsonl")
+        holder.append({"event": "item"})
+        holder.discard()
+        from repro.errors import JournalLockedError
+
+        rival = CampaignJournal(tmp_path / "j.jsonl")
+        with pytest.raises(JournalLockedError):
+            rival.acquire()
+        holder.close()
+
+    def test_campaign_attach_conflict(self, tmp_path):
+        from repro.errors import JournalLockedError
+
+        first = Campaign(policy=SKIP)
+        first.attach_journal(tmp_path, "same-key")
+        second = Campaign(resume=True)
+        with pytest.raises(JournalLockedError):
+            second.attach_journal(tmp_path, "same-key")
+        first.finish(complete=False)
+        # After the holder seals its campaign, attaching succeeds.
+        third = Campaign(resume=True)
+        third.attach_journal(tmp_path, "same-key")
+        third.finish(complete=False)
+
+    def test_lock_dies_with_the_process(self, tmp_path):
+        """Kernel-released lock: a SIGKILL'd holder does not wedge the
+        journal for the resuming process."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        code = (
+            "import sys, time\n"
+            "from repro.resilience.journal import CampaignJournal\n"
+            f"j = CampaignJournal({str(tmp_path / 'j.jsonl')!r})\n"
+            "j.acquire()\n"
+            "print('locked', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            env=env, stdout=subprocess.PIPE,
+        )
+        try:
+            assert proc.stdout.readline().strip() == b"locked"
+            mine = CampaignJournal(tmp_path / "j.jsonl")
+            from repro.errors import JournalLockedError
+
+            with pytest.raises(JournalLockedError):
+                mine.acquire()
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            deadline = time.monotonic() + 10
+            while True:
+                try:
+                    mine.acquire()
+                    break
+                except JournalLockedError:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.05)
+            mine.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# CI smoke test for the campaign service (`repro-spec2017 serve`).
+#
+# Boots the daemon against a scratch store, submits fig8 through the
+# client, waits for completion, renders the stored result with
+# `campaign result --json-out`, shuts the server down gracefully, and
+# byte-compares the artifact against a direct (service-free) CLI run.
+# Runs under REPRO_INJECT_FAULTS so the store-fault recovery paths are
+# exercised inside the service's forked workers too.
+#
+# Usage: tools/service_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"
+export REPRO_INJECT_FAULTS="${REPRO_INJECT_FAULTS:-ci-default}"
+
+WORK="${1:-$(mktemp -d)}"
+CACHE="$WORK/cache"
+READY="$WORK/ready.json"
+BENCH=(505.mcf_r 520.omnetpp_r 525.x264_r)
+mkdir -p "$CACHE"
+
+cleanup() {
+    if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -TERM "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "==> booting campaign server (store: $CACHE)"
+python -m repro serve --cache-dir "$CACHE" --ready-file "$READY" &
+SERVER_PID=$!
+
+for _ in $(seq 1 200); do
+    [[ -f "$READY" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        echo "FAIL: server exited during boot" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -f "$READY" ]] || { echo "FAIL: server never became ready" >&2; exit 1; }
+
+echo "==> submitting fig8 (${BENCH[*]})"
+JOB=$(python -m repro campaign submit fig8 --benchmarks "${BENCH[@]}" \
+    --cache-dir "$CACHE" --id-only)
+echo "==> job: $JOB"
+
+echo "==> waiting for completion"
+python -m repro campaign status "$JOB" --cache-dir "$CACHE" \
+    --wait --wait-timeout 300
+
+echo "==> rendering service result"
+python -m repro campaign result "$JOB" --cache-dir "$CACHE" \
+    --json-out "$WORK/service.json" > /dev/null
+
+echo "==> graceful shutdown"
+python -m repro campaign shutdown --cache-dir "$CACHE"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "==> direct run for comparison"
+python -m repro fig8 --benchmarks "${BENCH[@]}" \
+    --cache-dir "$WORK/direct-cache" --json-out "$WORK/direct.json" \
+    > /dev/null
+
+echo "==> byte-comparing service vs direct artifacts"
+cmp "$WORK/service.json" "$WORK/direct.json"
+echo "service-smoke: OK (artifacts byte-identical)"
