@@ -1,0 +1,44 @@
+"""Extension: accuracy/cost frontier smoke across the sampler registry.
+
+A deliberately small sweep — two contrasting workloads at the quick
+pipeline scale — so the whole frontier (every default sampler at every
+default budget) finishes well under a minute and can gate CI.  The full
+suite-wide frontier is ``repro-spec2017 sampler-frontier``.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_frontier, run_frontier
+
+# One skewed-phase and one flat-phase workload: enough to exercise every
+# sampler's allocation logic without a suite-scale runtime.
+BENCHMARKS = ["620.omnetpp_s", "557.xz_r"]
+SMOKE = dict(slice_size=10_000, total_slices=240)
+
+
+def test_ext_sampler_frontier(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_frontier(BENCHMARKS, budgets=(2, 4, 8, 16), **SMOKE),
+    )
+    print()
+    print(render_frontier(result))
+    samplers = result.samplers()
+    # The acceptance bar: at least four distinct sampler curves,
+    # including the paper's methodology and the newly ported methods.
+    assert len(samplers) >= 4
+    assert {"simpoint", "stratified2", "ranked", "mav"} <= set(samplers)
+    budgets = result.budgets()
+    assert budgets == [2, 4, 8, 16]
+    # Every curve must be complete (no silently dropped cells) ...
+    assert len(result.rows) == len(samplers) * len(budgets) * len(BENCHMARKS)
+    # ... and sane: errors finite, budgets actually consumed.
+    for row in result.rows:
+        assert row.cpi_error_pct >= 0.0
+        assert 0 < row.points <= row.budget
+        assert row.instructions > 0
+    # Clustering at a generous budget should beat blind random sampling
+    # at the top of the frontier on these phase-structured workloads.
+    top = budgets[-1]
+    assert result.mean_error_pct("simpoint", top) <= \
+        result.mean_error_pct("random", top) + 5.0

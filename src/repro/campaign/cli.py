@@ -127,6 +127,11 @@ def add_campaign_parser(sub) -> None:
         help="worker processes inside the job's own fan-out",
     )
     submit.add_argument(
+        "--sampler", metavar="NAME[:k=v,...]", default=None,
+        help="sampling methodology for experiments that support one "
+             "(validated server-side against the sampler registry)",
+    )
+    submit.add_argument(
         "--priority", type=int, default=100, metavar="P",
         help="scheduling priority; lower runs sooner (default: 100)",
     )
@@ -279,6 +284,18 @@ def _run_submit(client, args) -> int:
         kwargs["benchmark"] = args.benchmark
     if args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    if getattr(args, "sampler", None):
+        from repro.errors import ConfigError
+        from repro.sampling.registry import parse_sampler_arg
+
+        try:
+            name, params = parse_sampler_arg(args.sampler)
+        except ConfigError as exc:
+            print(f"invalid sampler: {exc}", file=sys.stderr)
+            return 2
+        kwargs["sampler"] = name
+        if params:
+            kwargs["sampler_params"] = params
     outcome = client.submit(args.experiment, kwargs, priority=args.priority)
     job = outcome["job"]
     if args.id_only:

@@ -66,6 +66,8 @@ def validate_submission(experiment: str, kwargs: Optional[dict]) -> Tuple:
         allowed.add("benchmarks")
     if spec.benchmark_option is not None:
         allowed.add("benchmark")
+    if spec.supports_sampler:
+        allowed.update(("sampler", "sampler_params"))
     unknown = sorted(set(kwargs) - allowed)
     if unknown:
         raise CampaignServiceError(
@@ -100,6 +102,28 @@ def validate_submission(experiment: str, kwargs: Optional[dict]) -> Tuple:
         raise CampaignServiceError(
             f"jobs must be a non-negative integer, got {jobs!r}"
         )
+    sampler_name = kwargs.get("sampler")
+    sampler_params = kwargs.get("sampler_params")
+    if sampler_name is not None or sampler_params is not None:
+        from repro.sampling.registry import get_sampler
+
+        if not isinstance(sampler_name, str):
+            raise CampaignServiceError(
+                "sampler must be a registered sampler name"
+            )
+        if sampler_params is not None and not isinstance(
+            sampler_params, dict
+        ):
+            raise CampaignServiceError(
+                "sampler_params must be a mapping of declared parameters"
+            )
+        try:
+            sampler_spec = get_sampler(sampler_name)
+            coerced = sampler_spec.coerce_params(sampler_params)
+        except ConfigError as exc:
+            raise CampaignServiceError(str(exc)) from exc
+        if sampler_params is not None:
+            kwargs["sampler_params"] = coerced
     return spec, kwargs
 
 

@@ -54,6 +54,13 @@ def _add_experiment_options(
                  "(1 = serial, 0 = one per CPU core; output is "
                  "identical either way)",
         )
+    if spec.supports_sampler:
+        exp.add_argument(
+            "--sampler", metavar="NAME[:k=v,...]", default=None,
+            help="sampling methodology from the sampler registry "
+                 "(default: simpoint), with optional parameters, e.g. "
+                 "'ranked:set_size=7'; see 'samplers' for the registry",
+        )
     exp.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="artifact store directory (default: REPRO_CACHE_DIR or "
@@ -152,6 +159,18 @@ def _experiment_kwargs(spec: ExperimentSpec, args) -> Optional[dict]:
         kwargs["benchmarks"] = args.benchmarks
     if spec.supports_jobs:
         kwargs["jobs"] = args.jobs
+    if spec.supports_sampler and getattr(args, "sampler", None):
+        from repro.errors import ConfigError
+        from repro.sampling.registry import parse_sampler_arg
+
+        try:
+            name, params = parse_sampler_arg(args.sampler)
+        except ConfigError as exc:
+            print(f"invalid sampler: {exc}", file=sys.stderr)
+            return None
+        kwargs["sampler"] = name
+        if params:
+            kwargs["sampler_params"] = params
     if spec.benchmark_option is not None:
         kwargs["benchmark"] = args.benchmark
     return kwargs
@@ -183,6 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     specs = experiments.all_specs()
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the registered benchmarks")
+    sub.add_parser("samplers", help="list the registered samplers")
     lint = sub.add_parser(
         "lint",
         help="run the repro-lint static analyzer (see repro-lint --help)",
@@ -542,6 +562,22 @@ def _run_experiment(args) -> int:
     return _report_campaign(campaign)
 
 
+def _run_samplers() -> str:
+    from repro.sampling.registry import all_samplers
+
+    lines = ["Registered samplers (--sampler NAME[:key=value,...]):"]
+    for spec in all_samplers():
+        lines.append(f"  {spec.name:12s} {spec.summary}")
+        lines.append(f"  {'':12s}   ref: {spec.paper_ref}; "
+                     f"features: {', '.join(spec.requires)}")
+        for param in spec.params:
+            lines.append(
+                f"  {'':12s}   {param.name}={param.default!r} "
+                f"({param.type.__name__}) — {param.help}"
+            )
+    return "\n".join(lines)
+
+
 def _run_list() -> str:
     lines = ["Registered SPEC CPU2017 benchmarks:"]
     for spec_id, d in SPEC_CPU2017.items():
@@ -565,6 +601,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         print(_run_list())
+        return 0
+    if args.command == "samplers":
+        print(_run_samplers())
         return 0
     if args.command == "checkpoint":
         return _run_checkpoint(args.benchmark, args.out)

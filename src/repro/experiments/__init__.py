@@ -20,6 +20,7 @@ from repro.experiments.fig9 import run_fig9, render_fig9
 from repro.experiments.fig10 import run_fig10, render_fig10
 from repro.experiments.fig12 import run_fig12, render_fig12
 from repro.experiments.baselines import run_baselines, render_baselines
+from repro.experiments.frontier import run_frontier, render_frontier
 from repro.experiments.rate_scaling import (
     render_rate_scaling,
     run_rate_scaling,
@@ -42,6 +43,7 @@ __all__ = [
     "ExperimentSpec", "all_specs", "execute", "get_spec",
     "result_from_payload", "result_payload",
     "run_baselines", "render_baselines",
+    "run_frontier", "render_frontier",
     "run_rate_scaling", "render_rate_scaling",
     "run_turnaround", "render_turnaround",
     "run_future_suite", "render_future_suite",

@@ -25,15 +25,10 @@ from repro.experiments.common import (
 from repro.experiments.registry import experiment, renders
 from repro.experiments.report import format_table
 from repro.pinball.logger import PinPlayLogger
-from repro.sampling import (
-    prefix_sample,
-    random_sample,
-    stratified_sample,
-    systematic_sample,
-)
+from repro.sampling.registry import run_sampler
 from repro.stats.compare import max_abs_percentage_points
 
-#: Sampler name -> callable(num_slices, num_points, seed-ish).
+#: Registry sampler names compared at SimPoint's slice budget.
 STRATEGIES = ("simpoint", "random", "systematic", "stratified", "prefix")
 
 
@@ -101,24 +96,12 @@ class BaselineResult:
         )
 
 
-def _baseline_points(strategy: str, num_slices: int, budget: int, seed: int):
-    if strategy == "random":
-        return random_sample(num_slices, budget, seed=seed)
-    if strategy == "systematic":
-        return systematic_sample(num_slices, budget)
-    if strategy == "stratified":
-        return stratified_sample(num_slices, budget, seed=seed)
-    if strategy == "prefix":
-        return prefix_sample(num_slices, budget)
-    raise ValueError(f"unknown strategy {strategy!r}")
-
-
 def _benchmark_baselines(name: str, pinpoints_kwargs: dict) -> BaselineRow:
     """One benchmark's strategy comparison (process-pool worker unit)."""
     out = pinpoints_for(name, **pinpoints_kwargs)
     whole = measure_whole(out)
     logger = PinPlayLogger(out.benchmark, out.program)
-    budget = out.simpoints.num_points
+    budget = out.num_points
 
     mix_errors: Dict[str, float] = {}
     l3_errors: Dict[str, float] = {}
@@ -126,11 +109,8 @@ def _benchmark_baselines(name: str, pinpoints_kwargs: dict) -> BaselineRow:
         if strategy == "simpoint":
             pinballs = out.regional
         else:
-            points = _baseline_points(
-                strategy, out.program.num_slices, budget,
-                seed=out.program.seed,
-            )
-            pinballs = logger.log_regions(points)
+            selection = run_sampler(strategy, out.features, budget)
+            pinballs = logger.log_regions(selection.replay_points())
         metrics = measure_points(out, pinballs)
         mix_errors[strategy] = max_abs_percentage_points(
             metrics.mix, whole.mix
@@ -152,6 +132,7 @@ def _benchmark_baselines(name: str, pinpoints_kwargs: dict) -> BaselineRow:
     paper_ref="Extension — SimPoint vs classic sampling baselines",
     supports_benchmarks=True,
     supports_jobs=True,
+    supports_sampler=True,
 )
 def run_baselines(
     benchmarks: Optional[Sequence[str]] = None,

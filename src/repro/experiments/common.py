@@ -290,6 +290,20 @@ def measure_points(
 _PINPOINTS_CACHE: Dict[tuple, PinPointsOutput] = {}
 
 
+def _freeze(value):
+    """Make a kwarg value hashable for the in-process pinpoints key.
+
+    ``sampler_params`` arrives as a dict; live objects (``program``,
+    ``analysis``) hash by identity, which is exactly the sharing the
+    per-process tier wants.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
 def pinpoints_for(benchmark: str, **kwargs) -> PinPointsOutput:
     """Run (or fetch a cached) PinPoints flow for a benchmark.
 
@@ -300,8 +314,13 @@ def pinpoints_for(benchmark: str, **kwargs) -> PinPointsOutput:
     and sessions; kwargs that cannot be hashed stably — live ``program``
     or ``analysis`` objects — simply bypass the disk tier.
     """
-    key = (benchmark,) + tuple(sorted(kwargs.items()))
-    params = {"benchmark": benchmark, "kwargs": dict(kwargs)}
+    key = (benchmark,) + tuple(
+        (name, _freeze(value)) for name, value in sorted(kwargs.items())
+    )
+    # ``schema`` versions the pickled bundle's shape: bundles persisted
+    # before the sampler-registry refactor (no ``selection`` field) must
+    # miss here and recompute rather than resurrect with stale attributes.
+    params = {"benchmark": benchmark, "kwargs": dict(kwargs), "schema": 2}
     if key in _PINPOINTS_CACHE:
         telemetry_count("memtier.hit", kind="pinpoints")
         out = _PINPOINTS_CACHE[key]
@@ -377,7 +396,7 @@ def measure_benchmark(
         out = pinpoints_for(benchmark, **(pinpoints_kwargs or {}))
         result: Dict[str, object] = {
             "benchmark": out.benchmark,
-            "num_points": out.simpoints.num_points,
+            "num_points": out.num_points,
             "num_points_90": len(out.reduced),
         }
         for run in runs:

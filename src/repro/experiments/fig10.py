@@ -81,6 +81,7 @@ class Fig10Result:
     paper_ref="Figure 10 — L3 cache accesses per run type",
     supports_benchmarks=True,
     supports_jobs=True,
+    supports_sampler=True,
 )
 def run_fig10(
     benchmarks: Optional[Sequence[str]] = None,

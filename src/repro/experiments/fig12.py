@@ -141,6 +141,7 @@ def _benchmark_cpi(
     paper_ref="Figure 12 — CPI: native (perf) vs Sniper",
     supports_benchmarks=True,
     supports_jobs=True,
+    supports_sampler=True,
 )
 def run_fig12(
     benchmarks: Optional[Sequence[str]] = None,

@@ -98,6 +98,7 @@ class Fig7Result:
     paper_ref="Figure 7 — instruction distribution across run types",
     supports_benchmarks=True,
     supports_jobs=True,
+    supports_sampler=True,
 )
 def run_fig7(
     benchmarks: Optional[Sequence[str]] = None,

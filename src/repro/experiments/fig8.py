@@ -95,6 +95,7 @@ class Fig8Result:
     paper_ref="Figure 8 — cache miss rates across four run types",
     supports_benchmarks=True,
     supports_jobs=True,
+    supports_sampler=True,
 )
 def run_fig8(
     benchmarks: Optional[Sequence[str]] = None,

@@ -118,7 +118,7 @@ def _workload_points(
         out = pinpoints_for(
             name, slice_size=slice_size, total_slices=total_slices
         )
-        points = out.simpoints.num_points
+        points = out.num_points
         points_90 = len(out.reduced)
         projected = False
     else:

@@ -75,6 +75,12 @@ class ExperimentSpec:
             a ``benchmarks`` keyword (CLI ``--benchmarks``).
         supports_jobs: Whether the runner fans per-benchmark work across
             worker processes via a ``jobs`` keyword (CLI ``--jobs``).
+        supports_sampler: Whether the runner forwards ``sampler`` /
+            ``sampler_params`` keywords to the PinPoints pipeline (CLI
+            ``--sampler NAME[:k=v,...]``, validated against the sampler
+            registry before any work runs).  Both keywords fold into the
+            result-cache key, so cached results never alias across
+            samplers.
         benchmark_option: For single-benchmark sweeps, the default value
             of the ``benchmark`` keyword (CLI ``--benchmark``).
         benchmark_universe: Callable producing the benchmark names this
@@ -88,6 +94,7 @@ class ExperimentSpec:
     paper_ref: str
     supports_benchmarks: bool = False
     supports_jobs: bool = False
+    supports_sampler: bool = False
     benchmark_option: Optional[str] = None
     benchmark_universe: Callable[[], Sequence[str]] = field(
         default=_default_universe
@@ -114,6 +121,7 @@ def experiment(
     paper_ref: str,
     supports_benchmarks: bool = False,
     supports_jobs: bool = False,
+    supports_sampler: bool = False,
     benchmark_option: Optional[str] = None,
     benchmark_universe: Optional[Callable[[], Sequence[str]]] = None,
 ) -> Callable:
@@ -129,6 +137,7 @@ def experiment(
             paper_ref=paper_ref,
             supports_benchmarks=supports_benchmarks,
             supports_jobs=supports_jobs,
+            supports_sampler=supports_sampler,
             benchmark_option=benchmark_option,
             benchmark_universe=benchmark_universe or _default_universe,
         )

@@ -1,4 +1,4 @@
-"""The simulation-correctness rule set (REP001–REP013, REP018).
+"""The simulation-correctness rule set (REP001–REP013, REP018, REP019).
 
 Every rule here guards a way a simulation codebase silently loses
 determinism or fidelity: hidden global RNG state, float round-trip
@@ -714,4 +714,77 @@ def check_blocking_call_in_async(ctx) -> Yield:
                     f".result() with no timeout blocks the event loop "
                     f"inside async def {func.name}; await the future "
                     "instead"
+                )
+
+
+#: RNG constructors banned inside ``@sampler`` bodies (REP019): even a
+#: *seeded* private generator breaks the registry's reproducibility
+#: story, because the seed no longer flows from the benchmark identity
+#: through the sampler context.
+_SAMPLER_RNG_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng", "numpy.random.RandomState",
+    "random.Random", "random.SystemRandom",
+})
+
+
+def _is_sampler_decorator(ctx, decorator: ast.AST) -> bool:
+    """True for ``@sampler(...)`` / ``@sampler`` in any import spelling."""
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    name = ctx.resolve(target)
+    return name is not None and name.rsplit(".", 1)[-1] == "sampler"
+
+
+def _sampler_functions(ctx) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+            _is_sampler_decorator(ctx, d) for d in node.decorator_list
+        ):
+            yield node
+
+
+@rule(
+    "REP019",
+    "sampler-private-rng",
+    hazard=(
+        "a sampler that reads global RNG state or builds its own "
+        "generator escapes the registry's seeding discipline: two runs "
+        "with the same benchmark seed pick different slices, cached "
+        "results stop matching fresh ones, and the accuracy/cost "
+        "frontier is no longer reproducible.  All randomness inside a "
+        "@sampler body must come from the seeded Generator in the "
+        "sampler context (ctx.rng)."
+    ),
+)
+def check_sampler_private_rng(ctx) -> Yield:
+    for func in _sampler_functions(ctx):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is None:
+                continue
+            basename = name.rsplit(".", 1)[-1]
+            if name in _SAMPLER_RNG_CONSTRUCTORS:
+                yield node, (
+                    f"{name}() inside sampler {func.name!r}: do not "
+                    "construct a private generator (seeded or not); "
+                    "draw from the sampler context's ctx.rng"
+                )
+            elif (
+                name.startswith("numpy.random.")
+                and basename in NUMPY_GLOBAL_RNG_FNS
+            ):
+                yield node, (
+                    f"{name} inside sampler {func.name!r} reads numpy's "
+                    "hidden global RNG state; draw from the sampler "
+                    "context's ctx.rng"
+                )
+            elif (
+                name.startswith("random.")
+                and basename in STDLIB_GLOBAL_RNG_FNS
+            ):
+                yield node, (
+                    f"{name} inside sampler {func.name!r} reads the "
+                    "shared module-level Random instance; draw from the "
+                    "sampler context's ctx.rng"
                 )

@@ -1,22 +1,27 @@
-"""The PinPoints pipeline: program -> whole pinball -> BBVs -> simulation
-points -> regional pinballs.
+"""The PinPoints pipeline: program -> whole pinball -> slice features ->
+simulation points -> regional pinballs.
 
-This is the flow of the paper's Figure 2: the compiled binary is logged
-into a Whole Pinball, the whole pinball is profiled for BBVs, SimPoint
-clusters the BBVs and picks weighted simulation points, and the logger
-captures a Regional Pinball (with warmup prefix) per point.
+This is the flow of the paper's Figure 2, generalized over sampling
+methodologies: the compiled binary is logged into a Whole Pinball, the
+whole pinball is profiled into a :class:`~repro.sampling.features.
+SliceFeatures` bundle (BBVs, plus memory access vectors when the chosen
+sampler requires them), a registered sampler selects weighted simulation
+points, and the logger captures a Regional Pinball (with warmup prefix)
+per point.  SimPoint is simply the default registry entry; every other
+sampler flows through the identical pinball/replay machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.pin.engine import Engine
-from repro.pin.tools.bbv import BBVProfiler
+from repro.errors import SimPointError
 from repro.pinball.logger import PinPlayLogger
 from repro.pinball.pinball import RegionalPinball, WholePinball
 from repro.pinball.replayer import Replayer
+from repro.sampling.features import SliceFeatures, collect_features
+from repro.sampling.registry import SamplerResult, get_sampler, run_sampler
 from repro.simpoint.reduction import reduce_to_percentile
 from repro.simpoint.simpoints import (
     DEFAULT_MAX_K,
@@ -40,7 +45,10 @@ class PinPointsOutput:
         benchmark: Full SPEC id.
         program: The materialized synthetic program.
         whole: Checkpoint of the complete execution.
-        simpoints: SimPoint analysis result (points, weights, BIC trace).
+        selection: The sampler's weighted point selection (always set;
+            carries the full clustering analysis for SimPoint-family
+            samplers).
+        features: The profiled slice-feature bundle the sampler consumed.
         regional: One regional pinball per simulation point.
         reduced: The 90th-percentile subset of ``regional``.
     """
@@ -48,9 +56,31 @@ class PinPointsOutput:
     benchmark: str
     program: SyntheticProgram
     whole: WholePinball
-    simpoints: SimPointResult
+    selection: SamplerResult
+    features: SliceFeatures
     regional: List[RegionalPinball]
     reduced: List[RegionalPinball]
+
+    @property
+    def num_points(self) -> int:
+        """Number of selected simulation points."""
+        return self.selection.num_points
+
+    @property
+    def simpoints(self) -> SimPointResult:
+        """The clustering analysis, for SimPoint-family selections.
+
+        Raises:
+            SimPointError: When the run's sampler is not clustering-based
+                (random, systematic, ...), which has no BIC trace, labels,
+                or per-cluster variances to report.
+        """
+        if self.selection.analysis is None:
+            raise SimPointError(
+                f"sampler {self.selection.sampler!r} is not "
+                "clustering-based; use .selection for its points"
+            )
+        return self.selection.analysis
 
     def replayer(self) -> Replayer:
         """A replayer sharing this output's materialized program."""
@@ -66,6 +96,8 @@ def run_pinpoints(
     analysis: Optional[SimPointAnalysis] = None,
     warmup_slices: Optional[int] = None,
     program: Optional[SyntheticProgram] = None,
+    sampler: str = "simpoint",
+    sampler_params: Optional[Dict] = None,
 ) -> PinPointsOutput:
     """Run the complete PinPoints flow for one benchmark.
 
@@ -73,19 +105,27 @@ def run_pinpoints(
         benchmark: Registered benchmark name (full or short).
         slice_size: Simulated instructions per slice.
         total_slices: Simulated slices in the whole execution.
-        max_k: MaxK bound for clustering (paper default 35).
+        max_k: Simulation-point budget — MaxK for clustering samplers
+            (paper default 35), the sample count for fixed-size ones.
         percentile: Weight coverage of the reduced point set (paper: 0.9).
-        analysis: Optional pre-configured analysis pipeline; by default
-            one is built with the benchmark's seed and ``max_k``.
+        analysis: Optional pre-configured analysis pipeline, honoured by
+            the SimPoint sampler; by default one is built with the
+            benchmark's seed and ``max_k``.
         warmup_slices: Warmup prefix per regional pinball; defaults to the
             paper's 500 M instructions in slices.
         program: Optional pre-built program (must match the parameters).
+        sampler: Registered sampler name (see
+            :func:`repro.sampling.registry.sampler_names`).
+        sampler_params: Declared-parameter overrides for the sampler.
 
     Returns:
         A :class:`PinPointsOutput` bundle.
     """
     descriptor = get_descriptor(benchmark)
-    with span("pinpoints.run", benchmark=descriptor.spec_id):
+    spec = get_sampler(sampler)
+    with span(
+        "pinpoints.run", benchmark=descriptor.spec_id, sampler=spec.name
+    ):
         if program is None:
             from repro.workloads.spec2017 import build_program
 
@@ -94,30 +134,35 @@ def run_pinpoints(
                 slice_size=slice_size,
                 total_slices=total_slices,
             )
-        if analysis is None:
-            analysis = SimPointAnalysis(max_k=max_k, seed=descriptor.seed)
 
         logger = PinPlayLogger(descriptor.spec_id, program)
         with span("pinpoints.log_whole", benchmark=descriptor.spec_id):
             whole = logger.log_whole()
 
-        profiler = BBVProfiler(program.block_sizes)
-        with span("pinpoints.bbv", benchmark=descriptor.spec_id):
-            Engine([profiler]).run(whole.replay_slices(program))
-        with span("pinpoints.simpoint", benchmark=descriptor.spec_id):
-            result = analysis.analyze(
-                profiler.matrix(), profiler.slice_indices()
+        with span("pinpoints.features", benchmark=descriptor.spec_id):
+            features = collect_features(
+                program, whole,
+                benchmark=descriptor.spec_id,
+                seed=descriptor.seed,
+                requires=spec.requires,
             )
+        extra = {}
+        if spec.name == "simpoint" and analysis is not None:
+            extra["analysis"] = analysis
+        selection = run_sampler(
+            spec, features, budget=max_k, params=sampler_params, **extra
+        )
         recorder = get_recorder()
         if recorder is not None:
             recorder.count("pinpoints.slices", program.num_slices)
-            recorder.observe("simpoint.points", result.num_points)
+            recorder.observe("simpoint.points", selection.num_points)
 
+        replay_points = selection.replay_points()
         with span("pinpoints.regions", benchmark=descriptor.spec_id):
             regional = logger.log_regions(
-                result.points, warmup_slices=warmup_slices
+                replay_points, warmup_slices=warmup_slices
             )
-        reduced_points = reduce_to_percentile(result.points, percentile)
+        reduced_points = reduce_to_percentile(replay_points, percentile)
         reduced_indices = {p.slice_index for p in reduced_points}
         reduced = [rp for rp in regional if rp.region_start in reduced_indices]
 
@@ -125,7 +170,8 @@ def run_pinpoints(
         benchmark=descriptor.spec_id,
         program=program,
         whole=whole,
-        simpoints=result,
+        selection=selection,
+        features=features,
         regional=regional,
         reduced=reduced,
     )

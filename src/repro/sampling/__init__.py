@@ -1,21 +1,48 @@
-"""Alternative statistical-sampling baselines.
+"""The sampling subsystem: a declarative registry of methodologies.
 
 SimPoint is one member of a family of sampling methodologies (Section V-B
 of the paper discusses SimFlex/SMARTS-style approaches).  This package
-implements the classic baselines so SimPoint's targeted phase selection
-can be compared against them at equal simulation budget:
+hosts the whole family behind one interface:
 
-* random sampling — uniformly drawn slices (SMARTS-style),
-* systematic sampling — every k-th slice (SimFlex/SMARTS),
-* stratified sampling — one slice per contiguous execution stratum,
-* prefix sampling — the first N slices (the classic *bad* baseline that
-  motivated the whole field: early execution is not representative).
+* :mod:`repro.sampling.registry` — the :func:`~repro.sampling.registry.
+  sampler` decorator, :class:`~repro.sampling.registry.SamplerSpec`, and
+  :func:`~repro.sampling.registry.run_sampler`, the single dispatch
+  point every pipeline uses,
+* :mod:`repro.sampling.features` — the common
+  :class:`~repro.sampling.features.SliceFeatures` bundle (BBVs plus
+  optional memory access vectors) every sampler consumes,
+* :mod:`repro.sampling.methods` — the registered zoo: ``simpoint``,
+  the classic equal-weight baselines (``random``, ``systematic``,
+  ``stratified``, ``prefix``), two-phase stratified sampling
+  (``stratified2``), ranked-set sampling (``ranked``), and Memory
+  Access Vectors (``mav``),
+* :mod:`repro.sampling.samplers` — the arithmetic cores of the
+  baselines, usable as a plain library.
 
-All samplers return :class:`~repro.simpoint.simpoints.SimulationPoint`
-lists, so every downstream consumer (pinball logger, replayer, weighted
-aggregation, experiments) works unchanged.
+All samplers return weighted
+:class:`~repro.simpoint.simpoints.SimulationPoint` lists, so every
+downstream consumer (pinball logger, replayer, weighted aggregation,
+experiments) works with every methodology unchanged.
 """
 
+from repro.sampling.features import (
+    FEATURE_BBV,
+    FEATURE_MAV,
+    SliceFeatures,
+    collect_features,
+)
+from repro.sampling.registry import (
+    SamplerContext,
+    SamplerParam,
+    SamplerResult,
+    SamplerSpec,
+    all_samplers,
+    get_sampler,
+    parse_sampler_arg,
+    run_sampler,
+    sampler,
+    sampler_names,
+)
 from repro.sampling.samplers import (
     prefix_sample,
     random_sample,
@@ -24,6 +51,20 @@ from repro.sampling.samplers import (
 )
 
 __all__ = [
+    "FEATURE_BBV",
+    "FEATURE_MAV",
+    "SliceFeatures",
+    "SamplerContext",
+    "SamplerParam",
+    "SamplerResult",
+    "SamplerSpec",
+    "all_samplers",
+    "collect_features",
+    "get_sampler",
+    "parse_sampler_arg",
+    "run_sampler",
+    "sampler",
+    "sampler_names",
     "random_sample",
     "systematic_sample",
     "stratified_sample",

@@ -1,0 +1,405 @@
+"""The registered sampler zoo.
+
+Every sampling methodology the system knows, implemented against the
+registry interface (``(features, budget, ctx, **params) ->
+SamplerResult``):
+
+* ``simpoint`` — BBV clustering with BIC model selection (the paper's
+  methodology, Section IV-A), migrated onto the registry byte-for-byte.
+* ``random`` / ``systematic`` / ``stratified`` / ``prefix`` — the
+  classic equal-weight baselines (SMARTS/SimFlex lineage).
+* ``stratified2`` — two-phase stratified sampling (Ekman,
+  arXiv:2603.22605): behavioural strata from cheap clustering, a pilot
+  phase estimating within-stratum spread, then Neyman allocation of the
+  budget across strata.
+* ``ranked`` — ranked-set sampling with repeated subsampling (Ekman,
+  arXiv:2603.22598): candidate subsets ranked by a cheap auxiliary
+  statistic, selections cycling through the ranks.
+* ``mav`` — Memory Access Vectors (Caculo et al., arXiv:2506.02344):
+  SimPoint's clustering over BBVs augmented with the pin engine's
+  per-slice memory-locality vectors.
+
+All randomness flows through ``ctx.rng`` (the seeded generator in the
+sampler context); REP019 enforces this at lint time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.projection import (
+    DEFAULT_PROJECTION_DIM,
+    project,
+    random_projection_matrix,
+)
+from repro.errors import SimPointError
+from repro.sampling.features import FEATURE_BBV, FEATURE_MAV, SliceFeatures
+from repro.sampling.registry import (
+    SamplerContext,
+    SamplerParam,
+    SamplerResult,
+    sampler,
+)
+from repro.sampling.samplers import (
+    prefix_sample,
+    random_sample,
+    stratified_sample,
+    systematic_sample,
+)
+from repro.simpoint.simpoints import SimPointAnalysis, SimulationPoint
+
+
+def _sorted_points(points) -> List[SimulationPoint]:
+    return sorted(points, key=lambda p: p.slice_index)
+
+
+# -- the paper's methodology ------------------------------------------
+
+
+@sampler(
+    "simpoint",
+    params=(
+        SamplerParam("projection_dim", int, DEFAULT_PROJECTION_DIM,
+                     "random-projection dimensionality"),
+        SamplerParam("coverage", float, 0.96,
+                     "BIC score coverage for choosing k"),
+        SamplerParam("n_init", int, 3, "k-means restarts per candidate k"),
+        SamplerParam("kmeans_init", str, "maximin",
+                     "k-means seeding: maximin, k-means++ or random"),
+        SamplerParam("bic_penalty_weight", float, 2.0,
+                     "complexity-penalty weight of the BIC"),
+    ),
+    requires=(FEATURE_BBV,),
+    paper_ref="Sherwood et al. / this paper, Section IV-A",
+    summary="BBV k-means clustering with BIC model selection",
+)
+def simpoint_sampler(
+    features: SliceFeatures,
+    budget: int,
+    ctx: SamplerContext,
+    analysis: SimPointAnalysis = None,
+    **params,
+) -> SamplerResult:
+    """SimPoint: one weighted point per BBV cluster, k chosen by BIC.
+
+    ``analysis`` is a live-object passthrough for pre-configured
+    pipelines (never CLI-reachable); by default one is built from the
+    declared parameters with ``max_k=budget`` and the context seed —
+    exactly the construction the pre-registry pipeline used.
+    """
+    if analysis is None:
+        analysis = SimPointAnalysis(max_k=budget, seed=ctx.seed, **params)
+    result = analysis.analyze(features.bbv, features.slice_indices)
+    return SamplerResult(
+        sampler="simpoint",
+        points=_sorted_points(result.points),
+        analysis=result,
+    )
+
+
+# -- classic equal-weight baselines -----------------------------------
+
+
+@sampler(
+    "random",
+    requires=(FEATURE_BBV,),
+    paper_ref="SMARTS (Wunderlich et al., ISCA 2003)",
+    summary="uniform random slices without replacement",
+)
+def random_sampler(
+    features: SliceFeatures, budget: int, ctx: SamplerContext
+) -> SamplerResult:
+    points = random_sample(features.num_slices, budget, rng=ctx.rng)
+    return SamplerResult(sampler="random", points=_sorted_points(points))
+
+
+@sampler(
+    "systematic",
+    params=(
+        SamplerParam("offset", int, 0,
+                     "starting offset within the first period"),
+    ),
+    requires=(FEATURE_BBV,),
+    paper_ref="SimFlex/SMARTS periodic sampling",
+    summary="every k-th slice at a fixed phase offset",
+)
+def systematic_sampler(
+    features: SliceFeatures,
+    budget: int,
+    ctx: SamplerContext,
+    offset: int = 0,
+) -> SamplerResult:
+    points = systematic_sample(features.num_slices, budget, offset=offset)
+    return SamplerResult(sampler="systematic", points=_sorted_points(points))
+
+
+@sampler(
+    "stratified",
+    requires=(FEATURE_BBV,),
+    paper_ref="classic temporal stratification",
+    summary="one random slice per contiguous execution window",
+)
+def stratified_sampler(
+    features: SliceFeatures, budget: int, ctx: SamplerContext
+) -> SamplerResult:
+    points = stratified_sample(features.num_slices, budget, rng=ctx.rng)
+    return SamplerResult(sampler="stratified", points=_sorted_points(points))
+
+
+@sampler(
+    "prefix",
+    requires=(FEATURE_BBV,),
+    paper_ref="the classic strawman (Sherwood et al.)",
+    summary="the first N slices (fast-forward-free, badly biased)",
+)
+def prefix_sampler(
+    features: SliceFeatures, budget: int, ctx: SamplerContext
+) -> SamplerResult:
+    points = prefix_sample(features.num_slices, budget)
+    return SamplerResult(sampler="prefix", points=_sorted_points(points))
+
+
+# -- two-phase stratified sampling (Ekman, arXiv:2603.22605) ----------
+
+
+def _neyman_allocation(
+    budget: int, sizes: np.ndarray, spreads: np.ndarray
+) -> np.ndarray:
+    """Allocate ``budget`` samples across strata, Neyman style.
+
+    Every non-empty stratum gets one sample first (so no behaviour goes
+    unobserved), the rest go proportionally to ``N_h * s_h`` by largest
+    remainder, capped at the stratum population; any overflow spills to
+    the strata with spare capacity in deterministic (remainder, then
+    index) order.
+    """
+    occupied = np.flatnonzero(sizes > 0)
+    alloc = np.zeros(len(sizes), dtype=np.int64)
+    alloc[occupied] = 1
+    remaining = budget - len(occupied)
+    mass = sizes[occupied] * np.maximum(spreads[occupied], 1e-12)
+    ideal = remaining * mass / mass.sum()
+    floor = np.floor(ideal).astype(np.int64)
+    alloc[occupied] += floor
+    leftover = remaining - int(floor.sum())
+    # Largest fractional remainder first; ties break on stratum index.
+    order = sorted(
+        range(len(occupied)),
+        key=lambda i: (-(ideal[i] - floor[i]), occupied[i]),
+    )
+    for i in order:
+        if leftover <= 0:
+            break
+        alloc[occupied[i]] += 1
+        leftover -= 1
+    # Cap at population and spill the excess to strata with headroom.
+    excess = int(np.maximum(alloc - sizes, 0).sum())
+    alloc = np.minimum(alloc, sizes)
+    for h in occupied:
+        if excess <= 0:
+            break
+        room = int(sizes[h] - alloc[h])
+        take = min(room, excess)
+        alloc[h] += take
+        excess -= take
+    return alloc
+
+
+@sampler(
+    "stratified2",
+    params=(
+        SamplerParam("strata", int, 0,
+                     "behavioural strata (0 = auto: half the budget)"),
+        SamplerParam("pilot", int, 4,
+                     "pilot draws per stratum for spread estimation"),
+        SamplerParam("projection_dim", int, DEFAULT_PROJECTION_DIM,
+                     "random-projection dimensionality"),
+    ),
+    requires=(FEATURE_BBV,),
+    paper_ref="Ekman, arXiv:2603.22605",
+    summary="behavioural strata + pilot phase + Neyman allocation",
+)
+def stratified2_sampler(
+    features: SliceFeatures,
+    budget: int,
+    ctx: SamplerContext,
+    strata: int = 0,
+    pilot: int = 4,
+    projection_dim: int = DEFAULT_PROJECTION_DIM,
+) -> SamplerResult:
+    """Two-phase stratified sampling.
+
+    Phase one stratifies the execution by *behaviour* (cheap k-means
+    over projected BBVs — unlike temporal stratification, a stratum can
+    span disjoint execution intervals) and estimates each stratum's
+    internal spread from a small pilot sample.  Phase two spends the
+    budget where it buys the most variance reduction: Neyman allocation
+    assigns samples proportionally to stratum size times spread, and
+    each selected point carries its stratum's population share split
+    over the stratum's samples, so estimates stay unbiased.
+    """
+    if pilot < 1:
+        raise SimPointError("pilot must be at least 1")
+    n = features.num_slices
+    num_strata = strata if strata > 0 else max(1, budget // 2)
+    num_strata = min(num_strata, budget, n)
+    matrix = random_projection_matrix(
+        features.bbv.shape[1], projection_dim, seed=ctx.seed
+    )
+    projected = project(features.bbv, matrix)
+    clustering = kmeans(
+        projected, num_strata, seed=ctx.seed, n_init=1, init="maximin"
+    )
+    sizes = np.bincount(clustering.labels, minlength=num_strata)
+    spreads = np.zeros(num_strata, dtype=np.float64)
+    members: List[np.ndarray] = []
+    for h in range(num_strata):
+        stratum = np.flatnonzero(clustering.labels == h)
+        members.append(stratum)
+        if stratum.size == 0:
+            continue
+        draws = min(pilot, stratum.size)
+        pilot_rows = np.sort(ctx.rng.choice(stratum, draws, replace=False))
+        deltas = projected[pilot_rows] - clustering.centers[h]
+        spreads[h] = float(
+            np.sqrt(np.einsum("ij,ij->i", deltas, deltas)).mean()
+        )
+    alloc = _neyman_allocation(budget, sizes, spreads)
+    points: List[SimulationPoint] = []
+    for h in range(num_strata):
+        n_h = int(alloc[h])
+        if n_h == 0:
+            continue
+        chosen = np.sort(ctx.rng.choice(members[h], n_h, replace=False))
+        share = sizes[h] / n
+        for idx in chosen:
+            points.append(
+                SimulationPoint(
+                    slice_index=int(idx),
+                    cluster=h,
+                    weight=share / n_h,
+                    cluster_size=int(sizes[h]),
+                )
+            )
+    return SamplerResult(
+        sampler="stratified2", points=_sorted_points(points)
+    )
+
+
+# -- ranked-set sampling (Ekman, arXiv:2603.22598) --------------------
+
+
+@sampler(
+    "ranked",
+    params=(
+        SamplerParam("set_size", int, 5,
+                     "candidate slices drawn and ranked per selection"),
+        SamplerParam("repeats", int, 3,
+                     "repeated subsample draws per selection (median pick)"),
+    ),
+    requires=(FEATURE_BBV,),
+    paper_ref="Ekman, arXiv:2603.22598",
+    summary="ranked candidate subsets, selections cycling the ranks",
+)
+def ranked_sampler(
+    features: SliceFeatures,
+    budget: int,
+    ctx: SamplerContext,
+    set_size: int = 5,
+    repeats: int = 3,
+) -> SamplerResult:
+    """Ranked-set sampling with repeated subsampling.
+
+    For each of the ``budget`` selections, draw ``set_size`` candidate
+    slices, rank them by a free auxiliary statistic (the slice BBV's
+    distance from the mean BBV — a proxy for how atypical the slice's
+    behaviour is), and keep the candidate at the selection's target rank;
+    cycling the target rank across selections spreads the sample over
+    the whole behaviour distribution, which plain random sampling only
+    achieves in expectation.  Each selection repeats the subsample draw
+    ``repeats`` times and keeps the median-ranked pick, damping the
+    variance of any single unlucky subset.
+    """
+    if set_size < 1:
+        raise SimPointError("set_size must be at least 1")
+    if repeats < 1:
+        raise SimPointError("repeats must be at least 1")
+    n = features.num_slices
+    aux = np.sqrt(
+        ((features.bbv - features.bbv.mean(axis=0)) ** 2).sum(axis=1)
+    )
+    available = np.ones(n, dtype=bool)
+    selected: List[int] = []
+    for j in range(budget):
+        pool = np.flatnonzero(available)
+        take = min(set_size, pool.size)
+        target = min(j % set_size, take - 1)
+        picks: List[int] = []
+        for _ in range(repeats):
+            candidates = ctx.rng.choice(pool, take, replace=False)
+            # Rank by aux; ties break on slice index for determinism.
+            ranked = candidates[np.lexsort((candidates, aux[candidates]))]
+            picks.append(int(ranked[target]))
+        picks.sort(key=lambda i: (aux[i], i))
+        pick = picks[(len(picks) - 1) // 2]
+        selected.append(pick)
+        available[pick] = False
+    weight = 1.0 / len(selected)
+    base, remainder = divmod(n, len(selected))
+    points = [
+        SimulationPoint(slice_index=i, cluster=rank, weight=weight,
+                        cluster_size=base + (1 if rank < remainder else 0))
+        for rank, i in enumerate(sorted(selected))
+    ]
+    return SamplerResult(sampler="ranked", points=points)
+
+
+# -- Memory Access Vectors (Caculo et al., arXiv:2506.02344) ----------
+
+
+@sampler(
+    "mav",
+    params=(
+        SamplerParam("mav_weight", float, 1.0,
+                     "relative pull of memory features vs the BBV"),
+        SamplerParam("projection_dim", int, DEFAULT_PROJECTION_DIM,
+                     "random-projection dimensionality"),
+        SamplerParam("coverage", float, 0.96,
+                     "BIC score coverage for choosing k"),
+        SamplerParam("n_init", int, 3, "k-means restarts per candidate k"),
+    ),
+    requires=(FEATURE_BBV, FEATURE_MAV),
+    paper_ref="Caculo et al., arXiv:2506.02344",
+    summary="SimPoint clustering over BBVs + memory-locality vectors",
+)
+def mav_sampler(
+    features: SliceFeatures,
+    budget: int,
+    ctx: SamplerContext,
+    mav_weight: float = 1.0,
+    projection_dim: int = DEFAULT_PROJECTION_DIM,
+    coverage: float = 0.96,
+    n_init: int = 3,
+) -> SamplerResult:
+    """SimPoint's pipeline over memory-augmented feature vectors.
+
+    Identical clustering machinery to ``simpoint``; the input matrix is
+    ``[BBV | mav_weight * MAV]``, so slices that execute the same code
+    but stress memory differently land in different clusters and earn
+    separate simulation points.
+    """
+    analysis = SimPointAnalysis(
+        max_k=budget, seed=ctx.seed, projection_dim=projection_dim,
+        coverage=coverage, n_init=n_init,
+    )
+    result = analysis.analyze(
+        features.augmented(mav_weight), features.slice_indices
+    )
+    return SamplerResult(
+        sampler="mav",
+        points=_sorted_points(result.points),
+        analysis=result,
+    )

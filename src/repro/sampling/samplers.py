@@ -3,11 +3,19 @@
 Every sampler selects ``num_points`` slices out of ``num_slices`` and
 assigns them equal weights (the baselines have no cluster structure to
 weight by — that is exactly SimPoint's advantage).
+
+These are the arithmetic cores; the registry entries in
+:mod:`repro.sampling.methods` wrap them behind the common
+:class:`~repro.sampling.registry.SamplerSpec` interface.  Randomized
+samplers accept a pre-seeded :class:`numpy.random.Generator` (the
+sampler context's ``rng``); the ``seed`` keyword remains for direct
+library use and seeds an identical generator, so both call styles
+produce byte-identical selections.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,22 +33,39 @@ def _validate(num_slices: int, num_points: int) -> None:
 
 
 def _points_from_indices(indices, num_slices: int) -> List[SimulationPoint]:
+    """Equal-weight points whose reported cluster sizes tile the run.
+
+    Each point stands for one equal share of the execution; integer
+    division leaves ``num_slices % k`` slices over, distributed
+    deterministically to the lowest-ranked points so the sizes always
+    sum to ``num_slices`` exactly.
+    """
     indices = sorted(int(i) for i in indices)
-    weight = 1.0 / len(indices)
-    cluster_size = max(1, num_slices // len(indices))
+    k = len(indices)
+    weight = 1.0 / k
+    base, remainder = divmod(num_slices, k)
     return [
         SimulationPoint(slice_index=i, cluster=rank, weight=weight,
-                        cluster_size=cluster_size)
+                        cluster_size=base + (1 if rank < remainder else 0))
         for rank, i in enumerate(indices)
     ]
 
 
+def _resolve_rng(
+    seed: int, rng: Optional[np.random.Generator]
+) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
 def random_sample(
-    num_slices: int, num_points: int, seed: int = 0
+    num_slices: int,
+    num_points: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[SimulationPoint]:
     """Uniform random sampling without replacement (SMARTS-style)."""
     _validate(num_slices, num_points)
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     indices = rng.choice(num_slices, size=num_points, replace=False)
     return _points_from_indices(indices, num_slices)
 
@@ -73,7 +98,10 @@ def systematic_sample(
 
 
 def stratified_sample(
-    num_slices: int, num_points: int, seed: int = 0
+    num_slices: int,
+    num_points: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[SimulationPoint]:
     """One random slice per contiguous execution stratum.
 
@@ -81,7 +109,7 @@ def stratified_sample(
     ``num_points`` equal windows and one slice is drawn from each.
     """
     _validate(num_slices, num_points)
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     bounds = np.linspace(0, num_slices, num_points + 1).astype(int)
     indices = []
     for lo, hi in zip(bounds[:-1], bounds[1:]):

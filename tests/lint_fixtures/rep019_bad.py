@@ -1,0 +1,44 @@
+"""REP019 fixtures: samplers sidestepping the seeded context generator."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng as make_rng
+
+from repro.sampling.registry import sampler
+
+
+@sampler("bad-global-numpy")
+def global_numpy(features, budget, ctx):
+    return np.random.choice(features.num_slices, budget)  # 1
+
+
+@sampler("bad-private-generator", requires=("bbv",))
+def private_generator(features, budget, ctx):
+    rng = np.random.default_rng(ctx.seed)  # 2: even seeded is banned
+    return rng.choice(features.num_slices, budget)
+
+
+@sampler("bad-aliased-constructor")
+def aliased_constructor(features, budget, ctx):
+    return make_rng(0).integers(0, features.num_slices, budget)  # 3
+
+
+@sampler("bad-stdlib")
+def stdlib_random(features, budget, ctx):
+    pool = list(range(features.num_slices))
+    random.shuffle(pool)  # 4
+    return sorted(random.sample(pool, budget))  # 5
+
+
+@sampler("bad-nested-helper")
+def nested_helper(features, budget, ctx):
+    def draw():
+        return random.Random(7).sample(range(features.num_slices), budget)  # 6
+
+    return draw()
+
+
+def plain_helper_is_fine(num_slices, budget):
+    # Not decorated: REP019 stays silent (REP001 owns this hazard).
+    return np.random.default_rng(0).choice(num_slices, budget)

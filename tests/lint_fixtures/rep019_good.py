@@ -1,0 +1,25 @@
+"""REP019 clean fixtures: all randomness through the context generator."""
+
+import numpy as np
+
+from repro.sampling.registry import sampler
+
+
+@sampler("good-context-rng")
+def context_rng(features, budget, ctx):
+    indices = ctx.rng.choice(features.num_slices, budget, replace=False)
+    return np.sort(indices)
+
+
+@sampler("good-deterministic")
+def deterministic(features, budget, ctx):
+    # No randomness at all is also fine.
+    return list(range(budget))
+
+
+@sampler("good-nested-uses-ctx")
+def nested_uses_ctx(features, budget, ctx):
+    def draw(rng):
+        return rng.integers(0, features.num_slices, budget)
+
+    return sorted(draw(ctx.rng))

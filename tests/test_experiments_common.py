@@ -55,6 +55,26 @@ class TestPinpointsCache:
         b = pinpoints_for("620.omnetpp_s", **QUICK)
         assert a is not b
 
+    def test_dict_valued_kwargs_are_keyable(self):
+        # ``--sampler stratified2:strata=4`` forwards sampler_params as
+        # a dict; the in-process key must freeze it, not crash on it.
+        clear_pinpoints_cache()
+        a = pinpoints_for(
+            "620.omnetpp_s", sampler="stratified2",
+            sampler_params={"strata": 4}, **QUICK,
+        )
+        b = pinpoints_for(
+            "620.omnetpp_s", sampler="stratified2",
+            sampler_params={"strata": 4}, **QUICK,
+        )
+        c = pinpoints_for(
+            "620.omnetpp_s", sampler="stratified2",
+            sampler_params={"strata": 2}, **QUICK,
+        )
+        assert a is b
+        assert a is not c
+        assert a.selection.sampler == "stratified2"
+
 
 class TestMeasurementCache:
     def test_whole_metrics_cached(self):

@@ -56,6 +56,8 @@ QUICK_KWARGS = {
                  jobs=1, **QUICK),
     "turnaround": dict(benchmarks=[B], jobs=1, **QUICK),
     "table2-projected": dict(benchmarks=[B, "628.pop2_s"], jobs=1, **QUICK),
+    "sampler-frontier": dict(benchmarks=[B], samplers=("simpoint", "random"),
+                             budgets=(2, 4), jobs=1, **QUICK),
 }
 
 SPEC_NAMES = [spec.name for spec in all_specs()]

@@ -13,8 +13,12 @@
 # environment to record without gating.
 set -eu
 cd "$(dirname "$0")/.."
-target="${1:-benchmarks/bench_perf_pipeline.py}"
-[ "$#" -gt 0 ] && shift
+if [ "$#" -eq 0 ]; then
+    # Default pass: the pipeline timing benchmark plus the sub-minute
+    # sampler-frontier smoke (2 workloads, every registered sampler).
+    set -- benchmarks/bench_perf_pipeline.py \
+        benchmarks/bench_ext_sampler_frontier.py
+fi
 REPRO_BENCH_ENFORCE="${REPRO_BENCH_ENFORCE-1}" \
     PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    exec python -m pytest "$target" -q -s "$@"
+    exec python -m pytest "$@" -q -s
