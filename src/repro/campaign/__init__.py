@@ -12,10 +12,11 @@ jobs re-adopt without recomputing journaled items.
 Module map — :mod:`protocol` (the ``repro-campaign-v1`` wire frames),
 :mod:`jobs` (validation, states, dedup keys), :mod:`queue` (the
 priority heap), :mod:`ledger` (crash-safe job log), :mod:`worker` (the
-forked child + progress streaming), :mod:`server` (the asyncio event
-loop), :mod:`httpfront` (localhost HTTP), :mod:`client` (the sync
-client the ``campaign`` subcommand drives), :mod:`cli` (argparse
-wiring).
+forked child + progress streaming + heartbeat pump),
+:mod:`supervision` (hang detection, kill budgets, admission control,
+disk-watermark degradation), :mod:`server` (the asyncio event loop),
+:mod:`httpfront` (localhost HTTP), :mod:`client` (the sync client the
+``campaign`` subcommand drives), :mod:`cli` (argparse wiring).
 """
 
 from __future__ import annotations
@@ -24,12 +25,15 @@ from repro.campaign.client import CampaignClient, default_socket_path
 from repro.campaign.jobs import Job, job_key, validate_submission
 from repro.campaign.protocol import PROTOCOL
 from repro.campaign.server import CampaignServer
+from repro.campaign.supervision import JobSupervisor, SupervisionPolicy
 
 __all__ = [
     "CampaignClient",
     "CampaignServer",
     "Job",
+    "JobSupervisor",
     "PROTOCOL",
+    "SupervisionPolicy",
     "default_socket_path",
     "job_key",
     "validate_submission",

@@ -22,12 +22,19 @@ import sys
 from typing import Optional
 
 from repro.errors import (
+    CampaignRejectedError,
     CampaignServiceError,
     ConfigError,
     JournalLockedError,
     ProtocolError,
     ReproError,
 )
+
+#: Client exit codes beyond the generic 2: distinct so scripts can
+#: branch on *why* (retry-later vs give-up-and-investigate).
+EXIT_FAILED = 3
+EXIT_REJECTED = 4
+EXIT_POISONED = 5
 
 __all__ = ["add_campaign_parser", "add_serve_parser", "run_campaign", "run_serve"]
 
@@ -91,6 +98,36 @@ def add_serve_parser(sub) -> None:
         help="cache-simulation backend every worker child inherits "
              f"(choices: {', '.join(BACKENDS + ('auto',))}; default: "
              "REPRO_CACHE_BACKEND or auto)",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        dest="heartbeat_s",
+        help="worker liveness beat cadence (default: 1.0)",
+    )
+    serve.add_argument(
+        "--stall-timeout", type=float, default=300.0, metavar="SECONDS",
+        dest="stall_timeout_s",
+        help="SIGKILL a worker with no heartbeat for this long; "
+             "0 disables hang detection (default: 300)",
+    )
+    serve.add_argument(
+        "--max-kills", type=int, default=3, metavar="N",
+        dest="max_kills",
+        help="dead workers (crash or watchdog kill) before a job is "
+             "quarantined as poisoned (default: 3)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        dest="max_queued",
+        help="bound the queue: further submissions get a structured "
+             "'rejected' answer (default: unbounded)",
+    )
+    serve.add_argument(
+        "--min-free-mb", type=int, default=0, metavar="MB",
+        dest="min_free_mb",
+        help="free-disk watermark on the store root; below it new jobs "
+             "run memory-only (degraded mode) instead of risking ENOSPC "
+             "(default: 0 = disabled)",
     )
     serve.add_argument(
         "--ready-file", metavar="FILE", default=None,
@@ -196,6 +233,7 @@ def _socket_path(args):
 
 def run_serve(args) -> int:
     from repro.campaign.server import CampaignServer
+    from repro.campaign.supervision import SupervisionPolicy
     from repro.experiments.common import configure_cache, get_store, set_store
 
     try:
@@ -208,6 +246,13 @@ def run_serve(args) -> int:
         from repro.resilience import ResiliencePolicy
 
         ResiliencePolicy.from_options(**policy_options)
+        supervision = SupervisionPolicy(
+            heartbeat_s=args.heartbeat_s,
+            stall_timeout_s=args.stall_timeout_s,
+            max_kills=args.max_kills,
+            max_queued=args.max_queued,
+            min_free_bytes=args.min_free_mb * 1024 * 1024,
+        )
         # Validate + pin the cache backend now: forked worker children
         # inherit the environment, and a typo must fail at boot, not in
         # the first job minutes later.
@@ -227,6 +272,7 @@ def run_serve(args) -> int:
             resume=args.resume,
             policy_options=policy_options,
             metrics_out=args.metrics_out,
+            supervision=supervision,
         )
         try:
             server.boot()
@@ -322,7 +368,9 @@ def _run_status(client, args) -> int:
         job = client.status(args.job)
     _print_job(job, as_json=args.as_json)
     if job["state"] == "failed":
-        return 3
+        return EXIT_FAILED
+    if job["state"] == "poisoned":
+        return EXIT_POISONED
     return 0
 
 
@@ -339,10 +387,20 @@ def _run_watch(client, args) -> int:
                 f" {k}={v}" for k, v in sorted(tags.items())
             )
             print(f"{args.job}: {event.get('counter')}{detail}")
+        elif kind == "reconnect":
+            print(
+                f"{args.job}: stream dropped; reconnected "
+                f"(attempt {event.get('attempt')})",
+                file=sys.stderr,
+            )
         elif kind == "end":
             final_state = event.get("state")
             print(f"{args.job}: finished ({final_state})")
-    return 0 if final_state != "failed" else 3
+    if final_state == "failed":
+        return EXIT_FAILED
+    if final_state == "poisoned":
+        return EXIT_POISONED
+    return 0
 
 
 def _run_result(client, args) -> int:
@@ -401,6 +459,12 @@ def run_campaign(args) -> int:
         raise ConfigError(
             f"unknown campaign command {args.campaign_command!r}"
         )
+    except CampaignRejectedError as exc:
+        # Load shed, not an error in the request: distinct exit code so
+        # submit loops can back off and retry instead of aborting.
+        print(f"campaign {args.campaign_command} rejected: {exc}",
+              file=sys.stderr)
+        return EXIT_REJECTED
     except (CampaignServiceError, ProtocolError, ConfigError) as exc:
         print(f"campaign {args.campaign_command} failed: {exc}",
               file=sys.stderr)

@@ -6,6 +6,14 @@ it is created — the client never blocks indefinitely on a wedged or
 dead server; it raises :class:`CampaignServiceError` with the socket
 detail instead.  Polling waits go through the telemetry clock's
 ``sleep_s`` like every other timed wait in the system.
+
+``watch`` survives dropped connections: when the stream dies mid-job it
+backs off on the shared deterministic schedule
+(:func:`~repro.resilience.policy.backoff_sleep`), reconnects, and
+resubscribes — emitting a synthetic ``{"event": "reconnect"}`` so the
+consumer can tell the stream was stitched.  Only
+:data:`WATCH_RECONNECT_ATTEMPTS` *consecutive* failures give up; any
+successfully delivered event resets the budget.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import socket
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro.campaign.jobs import TERMINAL_STATES
 from repro.campaign.protocol import (
     MAX_FRAME_BYTES,
     check_ok,
@@ -22,6 +31,7 @@ from repro.campaign.protocol import (
     request_frame,
 )
 from repro.errors import CampaignServiceError, ProtocolError
+from repro.resilience.policy import Retry, backoff_sleep
 from repro.telemetry.clock import monotonic_ns, sleep_s
 
 __all__ = ["CampaignClient", "default_socket_path"]
@@ -36,6 +46,19 @@ WATCH_IDLE_TIMEOUT_S = 300.0
 
 #: Status polling cadence for ``--wait``.
 POLL_INTERVAL_S = 0.2
+
+#: Consecutive stream failures before ``watch`` gives up.
+WATCH_RECONNECT_ATTEMPTS = 5
+
+#: Deterministic bounded backoff between watch reconnects (seeded: the
+#: same failure sequence always waits the same amounts).
+WATCH_RECONNECT_RETRY = Retry(
+    attempts=WATCH_RECONNECT_ATTEMPTS + 1,
+    base_delay_s=0.1,
+    multiplier=2.0,
+    jitter=0.5,
+    seed=1729,
+)
 
 
 def default_socket_path(cache_dir=None) -> Path:
@@ -147,15 +170,15 @@ class CampaignClient:
         """Ask the server to drain and exit."""
         self._request("shutdown")
 
-    def watch(self, job_id: str) -> Iterator[dict]:
-        """Yield progress/state events until the job's ``end`` frame."""
+    def _watch_once(self, job_id: str) -> Iterator[dict]:
+        """One watch subscription: events until ``end`` or a dropped stream."""
         sock = self._connect(timeout_s=WATCH_IDLE_TIMEOUT_S)
         buffer = bytearray()
         try:
             sock.sendall(encode_frame(request_frame("watch", job=job_id)))
             first = check_ok(self._read_frame(sock, buffer))
             yield {"event": "state", "job": first["job"]}
-            if first["job"].get("state") in ("done", "failed", "cancelled"):
+            if first["job"].get("state") in TERMINAL_STATES:
                 # The server still sends its end frame; surface it.
                 yield self._read_frame(sock, buffer)
                 return
@@ -171,6 +194,48 @@ class CampaignClient:
         finally:
             sock.close()
 
+    def watch(self, job_id: str, reconnect: bool = True) -> Iterator[dict]:
+        """Yield progress/state events until the job's ``end`` frame.
+
+        With ``reconnect`` (the default) a dropped stream is stitched:
+        bounded seeded backoff, a fresh subscription, and a synthetic
+        ``{"event": "reconnect", "attempt": k}`` marker in the stream.
+        The budget counts *consecutive* failures — any delivered event
+        resets it — so a long job under an unreliable path is watched
+        to completion, while a hard-down server fails after
+        :data:`WATCH_RECONNECT_ATTEMPTS` tries.
+        """
+        failures = 0
+        while True:
+            delivered = False
+            try:
+                for event in self._watch_once(job_id):
+                    delivered = True
+                    failures = 0
+                    yield event
+                    if event.get("event") == "end":
+                        return
+                # The server closed the stream without an end frame
+                # (connection reset mid-job): treat as a drop.
+                raise CampaignServiceError(
+                    "watch stream ended without the job finishing"
+                )
+            except CampaignServiceError:
+                if not reconnect:
+                    raise
+                failures += 1
+                if failures > WATCH_RECONNECT_ATTEMPTS:
+                    raise
+                # attempt is 2-based in Retry.delay_s; failure k waits
+                # the schedule's k-th delay.
+                backoff_sleep(WATCH_RECONNECT_RETRY, 0, failures + 1)
+                yield {
+                    "event": "reconnect",
+                    "job": job_id,
+                    "attempt": failures,
+                    "resumed": delivered,
+                }
+
     def wait(self, job_id: str, timeout_s: Optional[float] = None) -> dict:
         """Poll until the job is terminal; returns its final status."""
         deadline = (
@@ -180,7 +245,7 @@ class CampaignClient:
         )
         while True:
             job = self.status(job_id)
-            if job.get("state") in ("done", "failed", "cancelled"):
+            if job.get("state") in TERMINAL_STATES:
                 return job
             if deadline is not None and monotonic_ns() > deadline:
                 raise CampaignServiceError(

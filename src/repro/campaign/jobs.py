@@ -25,6 +25,7 @@ __all__ = [
     "STATE_CANCELLED",
     "STATE_DONE",
     "STATE_FAILED",
+    "STATE_POISONED",
     "STATE_QUEUED",
     "STATE_RUNNING",
     "TERMINAL_STATES",
@@ -37,9 +38,17 @@ STATE_RUNNING = "running"
 STATE_DONE = "done"
 STATE_FAILED = "failed"
 STATE_CANCELLED = "cancelled"
+#: Terminal quarantine: the job's worker died (crashed or was killed by
+#: the watchdog) more times than the server's kill budget allows.  A
+#: poisoned job never re-enters the queue — one pathological submission
+#: must not monopolize the worker pool forever — but stays in the
+#: ledger and listings so operators can see it and resubmit after a fix.
+STATE_POISONED = "poisoned"
 
 #: States a job never leaves.
-TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED, STATE_CANCELLED})
+TERMINAL_STATES = frozenset(
+    {STATE_DONE, STATE_FAILED, STATE_CANCELLED, STATE_POISONED}
+)
 
 #: Default scheduling priority (lower runs sooner; FIFO within a tier).
 DEFAULT_PRIORITY = 100
@@ -171,6 +180,10 @@ class Job:
     total_items: int = 0
     degraded: bool = False
     cancel_requested: bool = False
+    #: How many times this job's worker died without a status document
+    #: (crash or watchdog kill).  Doubles as the run generation handed
+    #: to the child, and drives the poison decision at max_kills.
+    kills: int = 0
 
     @property
     def terminal(self) -> bool:
@@ -195,6 +208,7 @@ class Job:
             "completed_items": self.completed_items,
             "total_items": self.total_items,
             "degraded": self.degraded,
+            "kills": self.kills,
         }
 
     @classmethod
@@ -204,7 +218,7 @@ class Job:
             "id", "experiment", "kwargs", "priority", "key", "state",
             "resume", "cached", "error", "submitted_ns", "started_ns",
             "finished_ns", "reused_items", "completed_items",
-            "total_items", "degraded",
+            "total_items", "degraded", "kills",
         }
         fields = {k: v for k, v in record.items() if k in known}
         missing = {"id", "experiment"} - set(fields)
@@ -226,6 +240,7 @@ def summarize_jobs(jobs: List[Job]) -> List[dict]:
             "cached": job.cached,
             "reused_items": job.reused_items,
             "completed_items": job.completed_items,
+            "kills": job.kills,
             "error": job.error,
         }
         for job in jobs

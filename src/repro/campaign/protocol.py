@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from repro.errors import ProtocolError
+from repro.errors import CampaignRejectedError, ProtocolError
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -123,12 +123,20 @@ def error_frame(code: str, message: str, **fields) -> dict:
 
 
 def check_ok(frame: dict) -> dict:
-    """Raise :class:`ProtocolError` for error frames; pass ok ones through."""
+    """Raise for error frames; pass ok ones through.
+
+    The ``rejected`` code (admission control shed the request) maps to
+    :class:`~repro.errors.CampaignRejectedError` so callers can back
+    off and retry; every other error code raises
+    :class:`ProtocolError`.
+    """
     if not isinstance(frame, dict) or frame.get("ok") is not True:
         code = frame.get("code", "error") if isinstance(frame, dict) else "?"
         message: Optional[str] = (
             frame.get("error") if isinstance(frame, dict) else None
         )
+        if code == "rejected":
+            raise CampaignRejectedError(message or "queue is full")
         raise ProtocolError(
             f"server refused the request [{code}]: {message or 'no detail'}"
         )

@@ -5,6 +5,11 @@ first, and within one priority tier the monotonically increasing
 submission sequence keeps strict FIFO order.  Cancellation is lazy — a
 cancelled entry stays in the heap and is skipped at pop time — so
 ``cancel`` is O(1) and never has to re-heapify.
+
+The queue can carry an advisory bound (``limit``): it never blocks or
+refuses a push itself — admission control is the server's decision at
+submit time, where it can answer with a structured ``rejected`` frame —
+but :attr:`full` gives that decision a single authoritative predicate.
 """
 
 from __future__ import annotations
@@ -18,10 +23,16 @@ __all__ = ["JobQueue"]
 class JobQueue:
     """Min-heap of queued job ids, ordered by (priority, submission)."""
 
-    def __init__(self) -> None:
+    def __init__(self, limit: Optional[int] = None) -> None:
         self._heap: List[Tuple[int, int, str]] = []
         self._seq = 0
         self._dropped: Set[str] = set()
+        self.limit = limit
+
+    @property
+    def full(self) -> bool:
+        """Whether the advisory bound is met (always False unbounded)."""
+        return self.limit is not None and len(self) >= self.limit
 
     def push(self, job_id: str, priority: int) -> None:
         heapq.heappush(self._heap, (priority, self._seq, job_id))

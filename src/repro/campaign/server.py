@@ -42,8 +42,10 @@ from repro.campaign.jobs import (
     STATE_CANCELLED,
     STATE_DONE,
     STATE_FAILED,
+    STATE_POISONED,
     STATE_QUEUED,
     STATE_RUNNING,
+    TERMINAL_STATES,
     Job,
     job_key,
     result_params,
@@ -60,7 +62,20 @@ from repro.campaign.protocol import (
     ok_frame,
 )
 from repro.campaign.queue import JobQueue
-from repro.errors import CampaignServiceError, ProtocolError, StoreError
+from repro.campaign.supervision import (
+    DECISION_POISON,
+    HEARTBEAT_COUNTER,
+    JobSupervisor,
+    SupervisionPolicy,
+    free_disk_bytes,
+)
+from repro.errors import (
+    CampaignRejectedError,
+    CampaignServiceError,
+    ProtocolError,
+    StoreError,
+)
+from repro.resilience.faults import inject_service_fault
 from repro.telemetry.clock import monotonic_ns
 from repro.telemetry.exporters import summarize, write_summary
 from repro.telemetry.recorder import TraceRecorder
@@ -84,6 +99,7 @@ class CampaignServer:
         resume: bool = False,
         policy_options: Optional[dict] = None,
         metrics_out=None,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> None:
         if store is None:
             raise CampaignServiceError(
@@ -100,10 +116,12 @@ class CampaignServer:
         self.metrics_out = metrics_out
         self.recorder = TraceRecorder()
         self.ledger = ServerLedger(store.root)
+        self.supervision = supervision or SupervisionPolicy()
+        self.supervisor = JobSupervisor(self.supervision)
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._by_key: Dict[str, str] = {}
-        self._queue = JobQueue()
+        self._queue = JobQueue(limit=self.supervision.max_queued)
         self._running: Dict[str, multiprocessing.Process] = {}
         self._watchers: Dict[str, List[asyncio.Queue]] = {}
         self._progress_offset: Dict[str, int] = {}
@@ -111,6 +129,9 @@ class CampaignServer:
         self._draining = False
         self._adopted = 0
         self._conn_tasks: set = set()
+        self.degraded = False
+        self._last_disk_probe_ns: Optional[int] = None
+        self._doctor_report: Dict[str, int] = {}
 
     # -- boot ----------------------------------------------------------
 
@@ -119,12 +140,27 @@ class CampaignServer:
 
         Raises :class:`~repro.errors.JournalLockedError` when another
         server already owns this store root.
+
+        A ``--resume`` boot first runs the ledger doctor (torn/corrupt
+        lines are quarantined, never fatal — a server that died mid-
+        append must not brick its own restart) and then compacts the
+        healthy history into one snapshot record, so replay cost stays
+        bounded by job count across arbitrarily many crash/resume
+        cycles.
         """
         self.ledger.acquire()
         if not self.resume:
             self.ledger.discard()
             return
-        for job in self.ledger.load():
+        self._doctor_report = self.ledger.doctor()
+        if self._doctor_report.get("quarantined"):
+            self.recorder.count(
+                "campaign.ledger.quarantined",
+                n=self._doctor_report["quarantined"],
+            )
+        jobs = self.ledger.load()
+        self.ledger.compact(jobs)
+        for job in jobs:
             self._jobs[job.id] = job
             self._order.append(job.id)
             if job.id.startswith("job-"):
@@ -132,7 +168,10 @@ class CampaignServer:
                     self._next_id = max(self._next_id, int(job.id[4:]) + 1)
                 except ValueError:
                     pass
-            if job.key and (job.state != STATE_FAILED or job.key not in self._by_key):
+            if job.key and (
+                job.state not in (STATE_FAILED, STATE_POISONED)
+                or job.key not in self._by_key
+            ):
                 self._by_key.setdefault(job.key, job.id)
             if not job.terminal:
                 # Re-adopt: whatever this job had journaled survives in
@@ -157,7 +196,9 @@ class CampaignServer:
 
         Returns ``{"job": <describe>, "deduped": bool}``.  Raises
         :class:`CampaignServiceError` on validation failure or while
-        draining.
+        draining, and :class:`CampaignRejectedError` when the bounded
+        queue is full (admission control: dedup hits and stored-result
+        hits still succeed — they add no queue load).
         """
         if self._draining:
             raise CampaignServiceError(
@@ -175,9 +216,19 @@ class CampaignServer:
             if existing is not None and existing.state not in (
                 STATE_FAILED,
                 STATE_CANCELLED,
+                STATE_POISONED,
             ):
                 self.recorder.count("campaign.dedup.hit", source="inflight")
                 return {"job": existing.describe(), "deduped": True}
+        stored = key is not None and self._has_stored_result(
+            spec.name, kwargs
+        )
+        if not stored and self._queue.full:
+            self.recorder.count("campaign.rejected")
+            raise CampaignRejectedError(
+                f"queue is full ({self.supervision.max_queued} queued); "
+                f"retry after the backlog drains"
+            )
         job = Job(
             id=f"job-{self._next_id:04d}",
             experiment=spec.name,
@@ -191,7 +242,7 @@ class CampaignServer:
         self._order.append(job.id)
         if key is not None:
             self._by_key[key] = job.id
-        if key is not None and self._has_stored_result(job):
+        if stored:
             # The store already holds this exact result: the job is
             # born done, no child ever forks.
             job.state = STATE_DONE
@@ -206,10 +257,10 @@ class CampaignServer:
         self.recorder.count("campaign.queued")
         return {"job": job.describe(), "deduped": False}
 
-    def _has_stored_result(self, job: Job) -> bool:
+    def _has_stored_result(self, experiment: str, kwargs: dict) -> bool:
         try:
             return self.store.has(
-                "result", result_params(job.experiment, job.kwargs)
+                "result", result_params(experiment, kwargs)
             )
         except StoreError:
             return False
@@ -238,7 +289,7 @@ class CampaignServer:
 
     def _transition(self, job: Job, state: str) -> None:
         job.state = state
-        if state in (STATE_DONE, STATE_FAILED, STATE_CANCELLED):
+        if state in TERMINAL_STATES:
             job.finished_ns = monotonic_ns()
             self.recorder.count(f"campaign.{state}")
         self.ledger.record_state(job)
@@ -266,7 +317,12 @@ class CampaignServer:
             "policy": dict(self.policy_options),
             "resume": job.resume,
             "close_fds": self._child_close_fds(),
+            "heartbeat_s": self.supervision.heartbeat_s,
+            "no_cache": self.degraded,
+            "generation": job.kills,
         }
+        if self.degraded:
+            job.degraded = True
         ctx = multiprocessing.get_context(
             "fork"
             if "fork" in multiprocessing.get_all_start_methods()
@@ -277,6 +333,7 @@ class CampaignServer:
         )
         proc.start()
         self._running[job.id] = proc
+        self.supervisor.note_start(job.id, monotonic_ns())
         job.state = STATE_RUNNING
         self.recorder.count("campaign.running")
         self.ledger.record_state(job)
@@ -296,6 +353,7 @@ class CampaignServer:
         return fds
 
     def _tick(self) -> None:
+        self._probe_disk()
         if not self._draining:
             while len(self._running) < self.workers:
                 job_id = self._queue.pop()
@@ -308,6 +366,35 @@ class CampaignServer:
                 self._start_job(job)
         self._pump_progress()
         self._reap()
+
+    def _probe_disk(self) -> None:
+        """Flip degraded (no-cache) mode on the free-disk watermark.
+
+        Degradation, not death: below the watermark new children run
+        memory-only so the campaign keeps answering, just without
+        artifacts.  The mode clears itself once space returns.
+        """
+        if self.supervision.min_free_bytes <= 0:
+            return
+        now_ns = monotonic_ns()
+        interval_ns = int(self.supervision.disk_probe_interval_s * 1e9)
+        if (
+            self._last_disk_probe_ns is not None
+            and now_ns - self._last_disk_probe_ns < interval_ns
+        ):
+            return
+        self._last_disk_probe_ns = now_ns
+        low = (
+            free_disk_bytes(self.store.root)
+            < self.supervision.min_free_bytes
+        )
+        if low != self.degraded:
+            self.degraded = low
+            self.recorder.count(
+                "campaign.degraded.flip",
+                direction="enter" if low else "exit",
+            )
+        self.recorder.gauge("campaign.degraded", 1 if self.degraded else 0)
 
     def _pump_progress(self) -> None:
         for job_id in list(self._running):
@@ -324,6 +411,9 @@ class CampaignServer:
             return
         if not chunk:
             return
+        # Any growth of the progress file proves the child is alive and
+        # scheduled — even a torn tail counts as a beat.
+        self.supervisor.note_beat(job_id, monotonic_ns())
         # Only complete lines; a torn tail is re-read next tick.
         end = chunk.rfind(b"\n")
         if end < 0:
@@ -335,6 +425,10 @@ class CampaignServer:
             except (ValueError, UnicodeDecodeError):
                 continue
             if isinstance(event, dict):
+                if event.get("counter") == HEARTBEAT_COUNTER:
+                    # Beats are a pulse for the watchdog, not progress;
+                    # watchers never see them.
+                    continue
                 event.update({"event": "progress", "job": job_id})
                 self._broadcast(job_id, event)
 
@@ -346,12 +440,18 @@ class CampaignServer:
             del self._running[job_id]
             job = self._jobs[job_id]
             self._drain_progress_file(job_id)
+            self.supervisor.note_exit(job_id)
             status = self._read_status(job_id)
             if status is not None:
                 job.reused_items = int(status.get("reused_items", 0))
                 job.completed_items = int(status.get("completed_items", 0))
                 job.total_items = int(status.get("total_items", 0))
-                job.degraded = bool(status.get("degraded", False))
+                # OR, don't overwrite: the flag covers both "ran
+                # no-cache" (set at start under the disk watermark)
+                # and "result degraded" (the worker's survivor count).
+                job.degraded = job.degraded or bool(
+                    status.get("degraded", False)
+                )
                 job.error = status.get("error")
                 self._transition(
                     job, STATE_DONE if status.get("ok") else STATE_FAILED
@@ -359,16 +459,38 @@ class CampaignServer:
             elif job.cancel_requested:
                 self._transition(job, STATE_CANCELLED)
             else:
-                job.error = (
-                    f"worker exited without a status document "
-                    f"(exit code {proc.exitcode})"
-                )
-                self._transition(job, STATE_FAILED)
+                # Died without finishing: a watchdog kill or a
+                # spontaneous crash.  Charge the kill budget — requeue
+                # with resume (journaled items replay) while under it,
+                # quarantine as poisoned at it.
+                reason = self.supervisor.kill_reason(job_id)
+                if reason is None:
+                    reason = (
+                        f"worker crashed without a status document "
+                        f"(exit code {proc.exitcode})"
+                    )
+                    self.recorder.count("campaign.worker.crash")
+                decision = self.supervisor.record_kill(job)
+                if decision == DECISION_POISON:
+                    job.error = (
+                        f"poisoned after {job.kills} dead workers "
+                        f"(last: {reason})"
+                    )
+                    self._transition(job, STATE_POISONED)
+                else:
+                    job.error = reason
+                    job.resume = True
+                    job.state = STATE_QUEUED
+                    self.ledger.record_state(job)
+                    self._queue.push(job.id, job.priority)
+                    self.recorder.count("campaign.requeued")
             self._broadcast(job_id, {"event": "state", "job": job.describe()})
-            self._broadcast(
-                job_id, {"event": "end", "job": job_id, "state": job.state}
-            )
-            self._watchers.pop(job_id, None)
+            if job.terminal:
+                self._broadcast(
+                    job_id,
+                    {"event": "end", "job": job_id, "state": job.state},
+                )
+                self._watchers.pop(job_id, None)
 
     def _read_status(self, job_id: str) -> Optional[dict]:
         path = worker.status_path(self.store.root, job_id)
@@ -382,6 +504,30 @@ class CampaignServer:
     def _broadcast(self, job_id: str, event: dict) -> None:
         for queue in self._watchers.get(job_id, ()):  # pragma: no branch
             queue.put_nowait(event)
+
+    # -- the watchdog --------------------------------------------------
+
+    async def _watchdog(self) -> None:
+        """SIGKILL workers whose heartbeat went silent past the deadline."""
+        while True:
+            await asyncio.sleep(self.supervision.watchdog_interval_s)
+            self._check_stalls()
+
+    def _check_stalls(self) -> None:
+        if self.supervision.stall_timeout_s <= 0:
+            return
+        for job_id in self.supervisor.stalled_jobs(monotonic_ns()):
+            proc = self._running.get(job_id)
+            if proc is None or not proc.is_alive():
+                continue
+            self.supervisor.note_kill(
+                job_id,
+                f"stalled: no heartbeat for "
+                f"{self.supervision.stall_timeout_s:g}s "
+                f"(SIGKILLed by the watchdog)",
+            )
+            self.recorder.count("campaign.watchdog.kill")
+            proc.kill()
 
     # -- status payloads -----------------------------------------------
 
@@ -397,6 +543,10 @@ class CampaignServer:
             "draining": self._draining,
             "adopted": self._adopted,
             "jobs": states,
+            "queue_depth": len(self._queue),
+            "degraded": self.degraded,
+            "supervision": self.supervision.describe(),
+            "ledger_quarantined": self._doctor_report.get("quarantined", 0),
             "metrics": self.recorder.metrics.snapshot(),
         }
 
@@ -462,12 +612,15 @@ class CampaignServer:
                 + "\n",
                 encoding="utf-8",
             )
+        watchdog = asyncio.ensure_future(self._watchdog())
         try:
             while not (self._draining and not self._running):
                 self._tick()
                 await asyncio.sleep(TICK_S)
             self._tick()
         finally:
+            watchdog.cancel()
+            await asyncio.gather(watchdog, return_exceptions=True)
             listener.close()
             await listener.wait_closed()
             if http_listener is not None:
@@ -578,6 +731,15 @@ class CampaignServer:
                 self.request_drain()
                 return None
             return error_frame("unknown-op", f"unknown op {op!r}")
+        except CampaignRejectedError as exc:
+            # Load shed, not refusal: a distinct code so clients can
+            # back off and retry instead of treating it as fatal.
+            return error_frame(
+                "rejected",
+                str(exc),
+                queue_depth=len(self._queue),
+                max_queued=self.supervision.max_queued,
+            )
         except (CampaignServiceError, ProtocolError) as exc:
             return error_frame("refused", str(exc))
 
@@ -593,13 +755,22 @@ class CampaignServer:
                 writer, {"event": "end", "job": job.id, "state": job.state}
             )
             return
+        # The connreset service fault drops this subscription after one
+        # forwarded event — exercising the client's reconnect path
+        # without a flaky network to provide the drops.
+        reset_after = 1 if inject_service_fault("connreset") else None
         queue: asyncio.Queue = asyncio.Queue()
         self._watchers.setdefault(job.id, []).append(queue)
         try:
+            forwarded = 0
             while True:
                 event = await queue.get()
                 await self._send(writer, event)
                 if event.get("event") == "end":
+                    break
+                forwarded += 1
+                if reset_after is not None and forwarded >= reset_after:
+                    writer.close()
                     break
         finally:
             try:

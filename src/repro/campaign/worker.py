@@ -19,6 +19,13 @@ Completion handshake: the child atomically writes
 ``<job id>.status.json`` (tmp + ``os.replace``) as its last act, so the
 server distinguishes "exited after finishing" from "died mid-run" by
 the file's existence, never by exit-code guesswork alone.
+
+Liveness: a :class:`HeartbeatPump` daemon thread appends periodic beat
+lines to the same progress stream.  Beats flow as long as the process
+is alive and scheduled — a child wedged hard enough to stop its threads
+(SIGSTOP, unkillable I/O, a dead box) stops beating, which is exactly
+the signal the server watchdog kills on.  A busy child computing one
+long item keeps beating, so honest work is never mistaken for a hang.
 """
 
 from __future__ import annotations
@@ -27,12 +34,14 @@ import json
 import os
 import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.telemetry.recorder import TraceRecorder
 
 __all__ = [
     "PROGRESS_COUNTERS",
+    "HeartbeatPump",
     "ProgressRecorder",
     "child_main",
     "progress_path",
@@ -80,36 +89,79 @@ class ProgressRecorder(TraceRecorder):
         self._stream_path = Path(stream_path)
         self._stream = None
         self._stream_dead = False
+        # The heartbeat pump writes from its own thread; one lock keeps
+        # beat lines and counter lines from interleaving mid-line.
+        self._stream_lock = threading.Lock()
 
-    def count(self, name: str, n: int = 1, **tags) -> None:
-        super().count(name, n, **tags)
-        if name not in PROGRESS_COUNTERS or self._stream_dead:
+    def _emit(self, payload: dict) -> None:
+        if self._stream_dead:
             return
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         try:
-            if self._stream is None:
-                self._stream_path.parent.mkdir(parents=True, exist_ok=True)
-                self._stream = open(
-                    self._stream_path, "a", encoding="utf-8"
-                )
-            self._stream.write(
-                json.dumps(
-                    {"counter": name, "n": n, "tags": tags},
-                    sort_keys=True,
-                    separators=(",", ":"),
-                )
-                + "\n"
-            )
-            self._stream.flush()
+            with self._stream_lock:
+                if self._stream is None:
+                    self._stream_path.parent.mkdir(
+                        parents=True, exist_ok=True
+                    )
+                    self._stream = open(
+                        self._stream_path, "a", encoding="utf-8"
+                    )
+                self._stream.write(line + "\n")
+                self._stream.flush()
         except OSError:
             self._stream_dead = True
 
+    def count(self, name: str, n: int = 1, **tags) -> None:
+        super().count(name, n, **tags)
+        if name not in PROGRESS_COUNTERS:
+            return
+        self._emit({"counter": name, "n": n, "tags": tags})
+
+    def beat(self, sequence: int) -> None:
+        """Append one liveness beat line (heartbeat-pump thread only).
+
+        Deliberately bypasses the metrics dict — the recorder's metric
+        machinery is not thread-safe, and a beat is a pulse for the
+        server's watchdog, not a statistic.
+        """
+        from repro.campaign.supervision import HEARTBEAT_COUNTER
+
+        self._emit({"counter": HEARTBEAT_COUNTER, "n": sequence, "tags": {}})
+
     def close_stream(self) -> None:
-        if self._stream is not None:
-            try:
-                self._stream.close()
-            except OSError:
-                pass
-            self._stream = None
+        with self._stream_lock:
+            if self._stream is not None:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass
+                self._stream = None
+                self._stream_dead = True
+
+
+class HeartbeatPump(threading.Thread):
+    """Daemon thread beating the job's progress stream every interval.
+
+    Beats prove the child is alive *and scheduled*: SIGSTOP, a dead
+    machine, or a process wedged in the kernel stops all threads —
+    including this one — so the server-side stall deadline fires.  The
+    pump is pure liveness; it never touches the recorder's metrics.
+    """
+
+    def __init__(self, recorder: ProgressRecorder, interval_s: float) -> None:
+        super().__init__(name="campaign-heartbeat", daemon=True)
+        self.recorder = recorder
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._beats = 0
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._beats += 1
+            self.recorder.beat(self._beats)
+
+    def stop(self) -> None:
+        self._stop.set()
 
 
 def run_job(payload: dict) -> dict:
@@ -131,7 +183,14 @@ def run_job(payload: dict) -> dict:
     policy = ResiliencePolicy.from_options(**payload.get("policy", {}))
     campaign = Campaign(policy=policy, resume=bool(payload.get("resume")))
     recorder = ProgressRecorder(progress_path(store_root, job_id))
-    configure_cache(store_root)
+    # Degraded (low-disk) mode: run memory-only so the job completes
+    # without a single artifact write that could ENOSPC mid-campaign.
+    configure_cache(store_root, enabled=not payload.get("no_cache"))
+    pump = None
+    heartbeat_s = float(payload.get("heartbeat_s", 0) or 0)
+    if heartbeat_s > 0:
+        pump = HeartbeatPump(recorder, heartbeat_s)
+        pump.start()
     status = {
         "job_id": job_id,
         "ok": False,
@@ -148,6 +207,8 @@ def run_job(payload: dict) -> dict:
     except Exception as exc:  # repro-lint: disable=REP006 -- the child is the process boundary: any failure must become a status document for the server, not a traceback lost in a daemon log
         status["error"] = f"{type(exc).__name__}: {exc}"
     finally:
+        if pump is not None:
+            pump.stop()
         recorder.close_stream()
     status["reused_items"] = campaign.reused_items
     status["completed_items"] = campaign.completed_items
@@ -182,6 +243,12 @@ def child_main(payload: dict) -> None:
             os.close(fd)
         except OSError:
             pass
+    # Mark this process as a service worker for the fault plan:
+    # workerkill/workerhang clauses only ever fire here, and gen=N
+    # clauses match the job's kill count (its run generation).
+    from repro.resilience import faults
+
+    faults.set_service_context(True, int(payload.get("generation", 0)))
     status = run_job(payload)
     target = status_path(payload["store_root"], payload["job_id"])
     target.parent.mkdir(parents=True, exist_ok=True)

@@ -88,5 +88,15 @@ class CampaignServiceError(ReproError):
     """The campaign service refused a request or could not perform it."""
 
 
+class CampaignRejectedError(CampaignServiceError):
+    """The server shed load: the bounded queue is full.
+
+    Admission control, not failure — the submission was valid, the
+    server is healthy, there is simply no queue capacity.  Clients map
+    this to a distinct exit code so callers can back off and retry
+    instead of treating it like a validation error.
+    """
+
+
 class ProtocolError(CampaignServiceError):
     """A campaign wire frame was malformed or spoke the wrong version."""

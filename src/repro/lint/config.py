@@ -13,6 +13,7 @@ underscores interchangeable)::
     rep010-allowed = ["repro/config.py"]      # modules that may own geometry
     rep012-allowed = ["repro/telemetry/clock.py"]  # modules that may read clocks
     rep014-allowed = ["repro/telemetry/clock.py"]  # taint-containment modules
+    rep020-allowed = ["repro/resilience/policy.py"]  # may sleep in retry loops
 
     [tool.repro-lint.severity]
     REP002 = "warning"                        # error | warning | off
@@ -51,6 +52,7 @@ _KNOWN_KEYS = {
     "rep010_allowed",
     "rep012_allowed",
     "rep014_allowed",
+    "rep020_allowed",
     "severity",
 }
 
@@ -79,6 +81,9 @@ class LintConfig:
     #: discipline nondeterminism, so REP014 treats their return values
     #: as clean (the telemetry clock is the canonical example).
     rep014_allowed: Tuple[str, ...] = ("repro/telemetry/clock.py",)
+    #: Modules allowed to sleep inside retry loops directly (REP020) —
+    #: the home of the sanctioned backoff_sleep helper itself.
+    rep020_allowed: Tuple[str, ...] = ("repro/resilience/policy.py",)
     #: Directory paths/baselines resolve against (pyproject's directory).
     root: Optional[Path] = None
 
@@ -169,6 +174,11 @@ def _parse_section(section: Mapping, root: Path) -> LintConfig:
         ),
         rep014_allowed=tuple(
             normalized.get("rep014_allowed", ("repro/telemetry/clock.py",))
+        ),
+        rep020_allowed=tuple(
+            normalized.get(
+                "rep020_allowed", ("repro/resilience/policy.py",)
+            )
         ),
         root=root,
     )

@@ -1,4 +1,4 @@
-"""The simulation-correctness rule set (REP001–REP013, REP018, REP019).
+"""The simulation-correctness rule set (REP001–REP013, REP018–REP020).
 
 Every rule here guards a way a simulation codebase silently loses
 determinism or fidelity: hidden global RNG state, float round-trip
@@ -787,4 +787,63 @@ def check_sampler_private_rng(ctx) -> Yield:
                     f"{name} inside sampler {func.name!r} reads the "
                     "shared module-level Random instance; draw from the "
                     "sampler context's ctx.rng"
+                )
+
+
+def _loop_contains_try(loop: ast.AST) -> bool:
+    """Whether a for/while body contains a try with handlers (a retry
+    shape), not counting nested function definitions."""
+    stack = list(ast.iter_child_nodes(loop))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Try) and node.handlers:
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@rule(
+    "REP020",
+    "ad-hoc-retry-sleep",
+    hazard=(
+        "a hand-rolled sleep inside a retry loop (a loop that also "
+        "catches exceptions) invents its own backoff schedule: "
+        "un-seeded, un-bounded, invisible to tests, and different from "
+        "every other retry in the system.  Route the wait through "
+        "repro.resilience.policy.backoff_sleep, which derives a "
+        "deterministic bounded delay from a Retry policy."
+    ),
+)
+def check_ad_hoc_retry_sleep(ctx) -> Yield:
+    if _inside_test_path(ctx.rel_path):
+        return
+    if any(ctx.rel_path.endswith(suffix) for suffix in ctx.config.rep020_allowed):
+        return
+    seen = set()
+    for loop in ast.walk(ctx.tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        if not _loop_contains_try(loop):
+            continue
+        stack = list(ast.iter_child_nodes(loop))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call) or id(node) in seen:
+                continue
+            name = _call_name(ctx, node)
+            basename = name.rsplit(".", 1)[-1] if name else None
+            if name in _BLOCKING_SLEEP_CALLS or (
+                basename in _BLOCKING_SLEEP_BASENAMES
+            ):
+                seen.add(id(node))
+                yield node, (
+                    f"{basename}() inside a retry loop is an ad-hoc "
+                    "backoff; use backoff_sleep(retry, index, attempt) "
+                    "from repro.resilience.policy for the shared "
+                    "deterministic schedule"
                 )

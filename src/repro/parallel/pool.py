@@ -67,8 +67,8 @@ from repro.resilience.policy import (
     MapOutcome,
     OnFailure,
     ResiliencePolicy,
+    backoff_sleep,
 )
-from repro.telemetry.clock import sleep_s
 from repro.telemetry.recorder import (
     TraceRecorder,
     get_recorder,
@@ -193,7 +193,7 @@ def _serial_item(
         if attempt > 1:
             if recorder is not None:
                 recorder.count("item.retry", label=label)
-            sleep_s(policy.retry.delay_s(index, attempt))
+            backoff_sleep(policy.retry, index, attempt)
         try:
             inject_worker_fault(index, attempt)
             value = fn(item)
@@ -287,7 +287,9 @@ def _run_pool(
                         attempts[index] += 1
                         if recorder is not None:
                             recorder.count("item.retry", label=labels[index])
-                        sleep_s(policy.retry.delay_s(index, attempts[index]))
+                        backoff_sleep(
+                            policy.retry, index, attempts[index]
+                        )
                         futures[index] = pool.submit(
                             _resilient_call, fn, work[index], index,
                             attempts[index], plan,

@@ -36,9 +36,11 @@ from repro.resilience.faults import (
     FaultPlan,
     InjectedFaultError,
     get_plan,
+    inject_service_fault,
     parse_spec,
     reset_plan,
     set_plan,
+    set_service_context,
     using_plan,
 )
 from repro.resilience.journal import JOURNAL_SCHEMA, CampaignJournal
@@ -49,6 +51,7 @@ from repro.resilience.policy import (
     ResiliencePolicy,
     Retry,
     Timeout,
+    backoff_sleep,
 )
 
 __all__ = [
@@ -64,12 +67,15 @@ __all__ = [
     "ResiliencePolicy",
     "Retry",
     "Timeout",
+    "backoff_sleep",
     "get_campaign",
     "get_plan",
+    "inject_service_fault",
     "parse_spec",
     "reset_plan",
     "set_campaign",
     "set_plan",
+    "set_service_context",
     "using_campaign",
     "using_plan",
 ]

@@ -26,6 +26,24 @@ and attempt number; store faults (``truncate``/``garbage``/``enospc``)
 trigger by a per-artifact-kind write ordinal, with ``every=N`` hitting
 ordinals N-1, 2N-1, ... so the first writes of a run stay clean.
 
+Service-level faults (the campaign chaos harness)::
+
+    workerkill:items=4        # SIGKILL the campaign worker child
+    workerhang:items=1:gen=0  # SIGSTOP it (beats stop; watchdog fires)
+    connreset:every=2         # drop every 2nd watch stream mid-events
+    ledgertear:every=3        # write a torn decoy line into the journal
+    diskfull:every=1          # free-disk probe reports zero bytes free
+
+``workerkill``/``workerhang`` ride the worker dispatch hook but only
+ever fire inside a process marked as a *service worker*
+(:func:`set_service_context`, called by the campaign child) — a plain
+CLI run with the same plan in its environment is never killed.  The
+``gen=N`` option matches the job's kill count, so a clause can wedge a
+job's first run (``gen=0``) and let the requeued run through — the
+deterministic kill→requeue→complete cycle the chaos smoke asserts.
+``connreset``/``ledgertear``/``diskfull`` trigger by a per-point
+ordinal via :func:`inject_service_fault`, like store faults.
+
 The active plan lives in a module-level slot like the telemetry
 recorder: explicit :func:`set_plan`/:func:`using_plan`, or lazily from
 the ``REPRO_INJECT_FAULTS`` environment variable (the CI ``faults`` job
@@ -39,6 +57,7 @@ import contextlib
 import errno
 import hashlib
 import os
+import signal
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -51,33 +70,53 @@ __all__ = [
     "FaultPlan",
     "InjectedFaultError",
     "PRESETS",
+    "SERVICE_FAULT_KINDS",
     "STORE_FAULT_KINDS",
     "WORKER_FAULT_KINDS",
     "get_plan",
+    "inject_service_fault",
     "inject_store_fault",
     "inject_worker_fault",
     "parse_spec",
     "reset_plan",
+    "service_generation",
     "set_plan",
+    "set_service_context",
     "using_plan",
 ]
 
 #: Faults raised inside (or instead of) the worker callable.
-WORKER_FAULT_KINDS = ("crash", "hang", "poolcrash")
+#: ``workerkill``/``workerhang`` only ever fire in a process marked as
+#: a campaign service worker (see :func:`set_service_context`).
+WORKER_FAULT_KINDS = ("crash", "hang", "poolcrash", "workerkill", "workerhang")
 
 #: Faults applied to artifact-store writes.
 STORE_FAULT_KINDS = ("truncate", "garbage", "enospc")
 
-_ALL_KINDS = WORKER_FAULT_KINDS + STORE_FAULT_KINDS
+#: Faults applied at campaign-service hook points, by per-point ordinal.
+SERVICE_FAULT_KINDS = ("connreset", "ledgertear", "diskfull")
+
+_ALL_KINDS = WORKER_FAULT_KINDS + STORE_FAULT_KINDS + SERVICE_FAULT_KINDS
 
 #: Named plans; ``ci-default`` corrupts only the self-healing artifact
 #: kinds (metrics/pinpoints recompute transparently on a corrupt read),
 #: sparsely enough that small unit-test write sequences stay clean.
+#: ``ci-chaos`` is the campaign chaos-smoke plan: wedge every job's
+#: first run at item 1 (the watchdog must kill + requeue it), SIGKILL
+#: any run that reaches item 4 (only jobs wide enough to get there —
+#: the designated poison job — so they exhaust the kill budget), tear a
+#: decoy ledger line every 3rd append, and drop every 2nd watch stream.
 PRESETS = {
     "ci-default": (
         "truncate:every=7:kinds=metrics,points,pinpoints;"
         "garbage:every=11:kinds=metrics,points,pinpoints;"
         "enospc:every=13:kinds=metrics,points,pinpoints"
+    ),
+    "ci-chaos": (
+        "workerhang:items=1:gen=0;"
+        "workerkill:items=4;"
+        "ledgertear:every=3;"
+        "connreset:every=2"
     ),
 }
 
@@ -103,6 +142,7 @@ class FaultClause:
     hang_s: float = 30.0
     seed: int = 0
     kinds: Optional[Tuple[str, ...]] = None
+    generation: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _ALL_KINDS:
@@ -124,6 +164,10 @@ class FaultClause:
             raise ConfigError(f"fault hang= must be > 0, got {self.hang_s!r}")
         if self.items is not None and any(i < 0 for i in self.items):
             raise ConfigError("fault items= indices must be >= 0")
+        if self.generation is not None and self.generation < 0:
+            raise ConfigError(
+                f"fault gen= must be >= 0, got {self.generation!r}"
+            )
 
     def triggers(self, index: int, attempt: int = 1) -> bool:
         """Whether this clause fires for (item/write ``index``, ``attempt``)."""
@@ -159,6 +203,7 @@ class FaultPlan:
         self.spec = spec
         self.origin_pid = os.getpid()
         self._write_ordinals: Dict[str, int] = {}
+        self._service_ordinals: Dict[str, int] = {}
 
     def worker_clause(
         self, index: int, attempt: int = 1
@@ -167,7 +212,29 @@ class FaultPlan:
         for clause in self.clauses:
             if clause.kind not in WORKER_FAULT_KINDS:
                 continue
+            if (
+                clause.generation is not None
+                and clause.generation != _SERVICE["generation"]
+            ):
+                continue
             if clause.triggers(index, attempt):
+                return clause
+        return None
+
+    def service_clause(self, point: str) -> Optional[FaultClause]:
+        """The first service-fault clause firing at this hook point.
+
+        Advances the per-point ordinal whether or not a clause fires,
+        so trigger positions depend only on how many times this process
+        hit the point (``connreset:every=2`` drops the 2nd, 4th, ...
+        watch stream deterministically).
+        """
+        ordinal = self._service_ordinals.get(point, 0)
+        self._service_ordinals[point] = ordinal + 1
+        for clause in self.clauses:
+            if clause.kind != point:
+                continue
+            if clause.triggers(ordinal):
                 return clause
         return None
 
@@ -202,8 +269,9 @@ def _parse_clause(raw: str) -> FaultClause:
         "hang": float,
         "seed": int,
         "kinds": lambda v: tuple(x.strip() for x in v.split(",")),
+        "gen": int,
     }
-    renames = {"p": "probability", "hang": "hang_s"}
+    renames = {"p": "probability", "hang": "hang_s", "gen": "generation"}
     for part in parts[1:]:
         key, sep, value = part.partition("=")
         key = key.strip()
@@ -233,6 +301,30 @@ def parse_spec(spec: str) -> FaultPlan:
     if not clauses:
         raise ConfigError("empty fault-injection spec")
     return FaultPlan(clauses, spec=text)
+
+
+# -- service-worker context --------------------------------------------
+
+#: Whether this process is a campaign service worker, and which run
+#: generation of its job it is (the job's kill count at fork time).
+#: ``workerkill``/``workerhang`` clauses consult both — they simulate a
+#: dying *service* worker and must never touch a user's CLI process.
+_SERVICE = {"worker": False, "generation": 0}
+
+
+def set_service_context(worker: bool, generation: int = 0) -> None:
+    """Mark this process as a campaign service worker (or unmark it).
+
+    Called by the campaign child right after the fork; ``generation``
+    is the job's kill count, matched by ``gen=N`` clause options.
+    """
+    _SERVICE["worker"] = bool(worker)
+    _SERVICE["generation"] = int(generation)
+
+
+def service_generation() -> int:
+    """The current service-worker run generation (0 outside workers)."""
+    return int(_SERVICE["generation"])
 
 
 # -- the active-plan slot ----------------------------------------------
@@ -297,9 +389,37 @@ def inject_worker_fault(index: int, attempt: int = 1) -> None:
         if os.getpid() != plan.origin_pid:
             os._exit(3)
         return
+    if clause.kind == "workerkill":
+        if _SERVICE["worker"]:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return
+    if clause.kind == "workerhang":
+        # SIGSTOP freezes every thread of the child, heartbeat pump
+        # included — exactly the wedge the server watchdog must detect.
+        if _SERVICE["worker"]:
+            os.kill(os.getpid(), signal.SIGSTOP)
+        return
     raise InjectedFaultError(
         f"injected crash at item {index} (attempt {attempt})"
     )
+
+
+def inject_service_fault(point: str) -> bool:
+    """Service-path hook: whether the fault at this hook point is due.
+
+    ``point`` is one of :data:`SERVICE_FAULT_KINDS`; the caller owns the
+    fault's semantics (the server drops the connection, the journal
+    writes a torn decoy line, the disk probe reports zero free bytes) —
+    this hook only answers "fire now?" deterministically and counts it.
+    """
+    plan = get_plan()
+    if plan is None:
+        return False
+    clause = plan.service_clause(point)
+    if clause is None:
+        return False
+    telemetry_count("fault.injected", kind=clause.kind)
+    return True
 
 
 def inject_store_fault(artifact_kind: str, data: bytes) -> bytes:

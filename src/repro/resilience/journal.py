@@ -91,6 +91,11 @@ class CampaignJournal:
     def lock_path(self) -> Path:
         return self.path.with_name(self.path.name + ".lock")
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Where :meth:`doctor` moves corrupt lines (forensics, not replay)."""
+        return self.path.with_name(self.path.name + ".quarantine")
+
     def exists(self) -> bool:
         return self.path.is_file()
 
@@ -138,6 +143,14 @@ class CampaignJournal:
         line = json.dumps(
             stamped, sort_keys=True, separators=(",", ":")
         ).encode("utf-8") + b"\n"
+        from repro.resilience.faults import inject_service_fault
+
+        if inject_service_fault("ledgertear"):
+            # A torn decoy line *before* the real record: simulates the
+            # half-flushed append of a previous crashed writer.  load()
+            # skips it; doctor() quarantines it.  The real record below
+            # still lands intact, so no data is ever lost to the fault.
+            line = line[: max(1, len(line) // 2)] + b"\n" + line
         try:
             if self._handle is None:
                 self.acquire()
@@ -173,6 +186,88 @@ class CampaignJournal:
             else:
                 telemetry_count("journal.corrupt_line")
         return records
+
+    def doctor(self) -> Dict[str, int]:
+        """Self-heal the journal file in place; corrupt lines quarantined.
+
+        Scans every line: intact records (valid JSON object with this
+        journal's schema tag) are kept *byte-identical*; anything else —
+        the torn final line of a hard kill, a torn mid-file line merged
+        with its successor, stray editing — is appended to
+        :attr:`quarantine_path` for forensics and dropped from the
+        journal via an atomic rewrite.  Idempotent; never raises on
+        corruption (that is the point).  Returns
+        ``{"lines", "intact", "quarantined"}``.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return {"lines": 0, "intact": 0, "quarantined": 0}
+        intact: List[bytes] = []
+        corrupt: List[bytes] = []
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                record = None
+            if isinstance(record, dict) and record.get("schema") == JOURNAL_SCHEMA:
+                intact.append(line)
+            else:
+                corrupt.append(line)
+        if corrupt:
+            telemetry_count("journal.quarantined", n=len(corrupt))
+            try:
+                with open(self.quarantine_path, "ab") as handle:
+                    handle.write(b"".join(part + b"\n" for part in corrupt))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                pass
+            self.rewrite_raw(intact)
+        return {
+            "lines": len(intact) + len(corrupt),
+            "intact": len(intact),
+            "quarantined": len(corrupt),
+        }
+
+    def rewrite_raw(self, lines: List[bytes]) -> None:
+        """Atomically replace the journal with these raw (intact) lines."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(b"".join(line + b"\n" for line in lines))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot rewrite campaign journal {self.path}: {exc}"
+            ) from exc
+
+    def rewrite(self, records: List[dict]) -> None:
+        """Atomically replace the journal's contents with ``records``.
+
+        Each record is schema-stamped exactly as :meth:`append` would;
+        the swap is tmp + fsync + ``os.replace``, so a crash mid-rewrite
+        leaves either the old journal or the new one, never a hybrid.
+        The caller must hold the writer lock.
+        """
+        lines = []
+        for record in records:
+            stamped = dict(record)
+            stamped["schema"] = JOURNAL_SCHEMA
+            lines.append(
+                json.dumps(
+                    stamped, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            )
+        self.rewrite_raw(lines)
 
     def close(self) -> None:
         if self._handle is not None:

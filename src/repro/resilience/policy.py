@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.errors import ConfigError
+from repro.telemetry.clock import sleep_s
 
 __all__ = [
     "KIND_BROKEN_POOL",
@@ -36,6 +37,7 @@ __all__ = [
     "ResiliencePolicy",
     "Retry",
     "Timeout",
+    "backoff_sleep",
 ]
 
 STATUS_OK = "ok"
@@ -140,6 +142,21 @@ class Retry:
             unit = int(digest[:16], 16) / float(1 << 64)
             delay *= 1.0 + self.jitter * unit
         return delay
+
+
+def backoff_sleep(retry: Retry, index: int, attempt: int) -> float:
+    """The one sanctioned retry sleep in the system (REP020).
+
+    Computes the deterministic seeded delay for ``attempt`` of item
+    ``index`` under ``retry`` and sleeps it through the telemetry
+    clock, so every retry loop — the parallel runner, the campaign
+    client's reconnect, anything new — backs off on the same
+    reproducible schedule.  Returns the delay actually slept.
+    """
+    delay = retry.delay_s(index, attempt)
+    if delay > 0:
+        sleep_s(delay)
+    return delay
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,32 @@
+"""REP020 fixtures: ad-hoc sleeps inside retry loops."""
+
+import time
+
+from repro.telemetry.clock import sleep_s
+
+
+def retry_with_time_sleep(fetch):
+    for attempt in range(5):
+        try:
+            return fetch()
+        except OSError:
+            time.sleep(2 ** attempt)
+
+
+def retry_with_telemetry_sleep(fetch):
+    while True:
+        try:
+            return fetch()
+        except ValueError:
+            sleep_s(0.5)
+
+
+def retry_sleeping_before_the_try(fetch):
+    # The sleep sits outside the try but inside the same loop: still an
+    # ad-hoc backoff schedule.
+    for attempt in range(3):
+        sleep_s(attempt * 0.1)
+        try:
+            return fetch()
+        except OSError:
+            continue

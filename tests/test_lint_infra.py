@@ -304,7 +304,7 @@ class TestCli:
         out = capsys.readouterr().out
         for spec in all_rules():
             assert spec.id in out
-        assert len(all_rules()) == 19
+        assert len(all_rules()) == 20
 
     def test_main_cli_forwards_lint(self, capsys):
         from repro.cli import main as repro_main

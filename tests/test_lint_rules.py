@@ -61,6 +61,7 @@ CASES = [
     ("REP013", "rep013_bad.py", 3, "rep013_good.py"),
     ("REP018", "rep018_bad.py", 7, "rep018_good.py"),
     ("REP019", "rep019_bad.py", 6, "rep019_good.py"),
+    ("REP020", "rep020_bad.py", 3, "rep020_good.py"),
 ]
 
 
